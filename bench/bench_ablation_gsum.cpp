@@ -1,0 +1,95 @@
+// Ablation (Section 4.2's design choice): the latency-optimal butterfly
+// "minimizes latency at the expense of more messages" -- N log2 N
+// messages in log2 N rounds.  Compare against the message-minimal
+// alternative: a serial gather-to-root + broadcast tree (2(N-1) messages
+// but each on the critical path twice over the tree depth with
+// sequential sends).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "net/arctic_model.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hyades;
+
+double butterfly_cost(const net::Interconnect& net, int nodes) {
+  cluster::MachineConfig mc;
+  mc.smp_count = nodes;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &net;
+  cluster::Runtime rt(mc);
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    (void)comm.global_sum(1.0);
+  });
+  return rt.max_clock();
+}
+
+// Binomial-tree reduce + broadcast implemented directly on the runtime,
+// costed with the same per-round model.
+double tree_cost(const net::Interconnect& net, int nodes) {
+  cluster::MachineConfig mc;
+  mc.smp_count = nodes;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &net;
+  cluster::Runtime rt(mc);
+  rt.run([&](cluster::RankContext& ctx) {
+    const int r = ctx.rank();
+    double v = 1.0;
+    // Reduce toward rank 0 (binomial tree).
+    for (int bit = 1; bit < nodes; bit <<= 1) {
+      if (r & bit) {
+        ctx.send_raw(r & ~bit, 600, {v}, ctx.clock().now());
+        break;
+      }
+      if (r + bit < nodes) {
+        const cluster::Message m = ctx.recv_raw(r + bit, 600);
+        ctx.clock().advance_to(m.stamp_us);
+        int round = 0;
+        for (int b = bit; b > 1; b >>= 1) ++round;
+        ctx.clock().advance(ctx.net().gsum_round_time(round));
+        v += m.data[0];
+      }
+    }
+    // Broadcast back down.
+    for (int bit = 1 << 30; bit >= 1; bit >>= 1) {
+      if (bit >= nodes) continue;
+      if ((r & (2 * bit - 1)) == 0 && r + bit < nodes) {
+        ctx.send_raw(r + bit, 601, {v}, ctx.clock().now());
+      } else if ((r & (2 * bit - 1)) == bit) {
+        const cluster::Message m = ctx.recv_raw(r & ~bit, 601);
+        ctx.clock().advance_to(m.stamp_us);
+        int round = 0;
+        for (int b = bit; b > 1; b >>= 1) ++round;
+        ctx.clock().advance(ctx.net().gsum_round_time(round));
+        v = m.data[0];
+      }
+    }
+  });
+  return rt.max_clock();
+}
+
+}  // namespace
+
+int main() {
+  const net::ArcticModel net;
+  bench::banner("Ablation: butterfly vs reduce+broadcast tree global sum");
+  Table t({"N", "butterfly (us)", "tree (us)", "speedup", "msgs fly/tree"});
+  for (int nodes = 2; nodes <= 16; nodes *= 2) {
+    const double fly = butterfly_cost(net, nodes);
+    const double tree = tree_cost(net, nodes);
+    int log2n = 0;
+    for (int n = nodes; n > 1; n >>= 1) ++log2n;
+    t.add_row({Table::fmt_int(nodes), Table::fmt(fly, 1),
+               Table::fmt(tree, 1), Table::fmt(tree / fly, 2) + "x",
+               Table::fmt_int(nodes * log2n) + " / " +
+                   Table::fmt_int(2 * (nodes - 1))});
+  }
+  t.print(std::cout,
+          "the butterfly buys latency with message count (Section 4.2)");
+  return 0;
+}

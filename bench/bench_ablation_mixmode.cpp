@@ -1,0 +1,53 @@
+// Ablation (Section 4.1/4.2): mix-mode operation.  With two processors
+// per SMP sharing one NIU, the communication master serializes both
+// processors' remote traffic (and the local combine adds ~1 us to the
+// global sum), but the same node count delivers twice the compute.
+// Compare the two ways of using 16 processors' worth of hardware:
+// 16 SMPs x 1 proc (one NIU each) vs 8 SMPs x 2 procs (mix-mode).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "gcm/config.hpp"
+#include "net/arctic_model.hpp"
+#include "perf/calibrate.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hyades;
+  const net::ArcticModel net;
+  bench::banner("Ablation: mix-mode (2 procs/SMP) vs one proc per node");
+
+  const perf::PrimitiveCosts one =
+      perf::measure_primitives(net, perf::MachineShape{16, 1}, 8);
+  const perf::PrimitiveCosts mix =
+      perf::measure_primitives(net, perf::MachineShape{8, 2}, 8);
+
+  Table t({"primitive", "16x1 (us)", "2x8 mix-mode (us)", "penalty"});
+  t.add_row({"global sum", Table::fmt(one.tgsum, 2), Table::fmt(mix.tgsum, 2),
+             bench::pct(mix.tgsum, one.tgsum)});
+  t.add_row({"exchange 2-D", Table::fmt(one.texchxy, 1),
+             Table::fmt(mix.texchxy, 1), bench::pct(mix.texchxy, one.texchxy)});
+  t.add_row({"exchange 3-D (10 lev)", Table::fmt(one.texchxyz_atmos, 0),
+             Table::fmt(mix.texchxyz_atmos, 0),
+             bench::pct(mix.texchxyz_atmos, one.texchxyz_atmos)});
+  t.add_row({"exchange 3-D (30 lev)", Table::fmt(one.texchxyz_ocean, 0),
+             Table::fmt(mix.texchxyz_ocean, 0),
+             bench::pct(mix.texchxyz_ocean, one.texchxyz_ocean)});
+  t.print(std::cout,
+          "mix-mode funnels two processors' strips through one NIU "
+          "(paper: slave bandwidth ~30% lower, local sum ~1 us)");
+
+  // Whole-application view: the same 16-processor atmosphere on both
+  // machine shapes.
+  const perf::ModelMeasurement m16x1 = perf::measure_model(
+      gcm::atmosphere_preset(4, 4), net, perf::MachineShape{16, 1}, 3);
+  const perf::ModelMeasurement m2x8 = perf::measure_model(
+      gcm::atmosphere_preset(4, 4), net, perf::MachineShape{8, 2}, 3);
+  std::cout << "\natmosphere step: 16x1 = "
+            << Table::fmt(m16x1.step_us / 1000.0, 2)
+            << " ms, 2x8 mix-mode = " << Table::fmt(m2x8.step_us / 1000.0, 2)
+            << " ms (" << bench::pct(m2x8.step_us, m16x1.step_us)
+            << ") -- mix-mode halves the interconnect cost per processor "
+               "for a modest communication penalty\n";
+  return 0;
+}

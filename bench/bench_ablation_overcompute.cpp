@@ -1,0 +1,89 @@
+// Ablation (Section 4): halo "overcomputation".  The PS phase uses a
+// halo at least three points wide and duplicates computation in the halo
+// so all communication collapses into ONE exchange per field per step.
+// The alternative -- a one-point halo refreshed before every stencil
+// pass -- trades the duplicated flops for two extra exchange/sync points
+// per field.  Measured with production strip sizes on each interconnect.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "gcm/config.hpp"
+#include "gcm/halo.hpp"
+#include "net/arctic_model.hpp"
+#include "net/ethernet.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hyades;
+
+double exchange_pattern_cost(const net::Interconnect& net, int nz, int width,
+                             int exchanges_per_field) {
+  cluster::MachineConfig mc;
+  mc.smp_count = 8;
+  mc.procs_per_smp = 2;
+  mc.interconnect = &net;
+  cluster::Runtime rt(mc);
+  gcm::ModelConfig cfg = gcm::atmosphere_preset(4, 4);
+  cfg.nz = nz;
+  constexpr int kFields = 5;
+  constexpr int kReps = 4;
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    const gcm::Decomp dec(cfg, comm.group_rank());
+    Array3D<double> f(static_cast<std::size_t>(dec.ext_x()),
+                      static_cast<std::size_t>(dec.ext_y()),
+                      static_cast<std::size_t>(nz), 1.0);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int field = 0; field < kFields; ++field) {
+        for (int x = 0; x < exchanges_per_field; ++x) {
+          gcm::exchange3d(comm, dec, f, width);
+        }
+      }
+    }
+  });
+  return rt.max_clock() / kReps;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: PS overcomputation vs per-stage halo refresh");
+
+  const net::ArcticModel arctic;
+  const net::EthernetModel ge = net::gigabit_ethernet();
+  const net::EthernetModel fe = net::fast_ethernet();
+  Table t({"network", "halo-3 x1 (us)", "halo-1 x3 (us)", "saved"});
+  struct Row {
+    const char* name;
+    const net::Interconnect* net;
+  };
+  double arctic_saved = 0;
+  for (const Row& row : {Row{"Arctic", &arctic},
+                         Row{"Gigabit Ethernet", &ge},
+                         Row{"Fast Ethernet", &fe}}) {
+    const double over = exchange_pattern_cost(*row.net, 10, 3, 1);
+    const double staged = exchange_pattern_cost(*row.net, 10, 1, 3);
+    if (row.net == &arctic) arctic_saved = staged / over;
+    t.add_row({row.name, Table::fmt(over, 0), Table::fmt(staged, 0),
+               Table::fmt(staged / over, 2) + "x"});
+  }
+  t.print(std::cout,
+          "five 3-D atmosphere fields per step, 16 procs / 8 SMPs");
+
+  std::cout
+      << "\nreading: at production 3-D sizes the Arctic exchange is "
+         "bandwidth-dominated, so collapsing three exchanges into one "
+         "saves only the duplicated per-transfer overheads ("
+      << Table::fmt(arctic_saved, 2)
+      << "x here) -- but on overhead-dominated commodity interconnects "
+         "the same trick is worth far more, and on every network it "
+         "removes two synchronization points per field (the paper's "
+         "stated goal: to \"reduce the number of communication and "
+         "synchronization points required in a model time-step\").  The "
+         "price is the duplicated tendency flops in the 2-cell overlap "
+         "ring.\n";
+  return 0;
+}

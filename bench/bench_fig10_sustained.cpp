@@ -1,0 +1,73 @@
+// Figure 10: sustained performance of the ocean isomorph of the coarse-
+// resolution climate model.  Vector-machine rows are the paper's
+// reference numbers; the Hyades rows are measured by running the real
+// GCM on the simulated cluster (1 processor, and 16 processors over 8
+// two-way SMPs) and dividing counted flops by virtual time.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "gcm/config.hpp"
+#include "net/arctic_model.hpp"
+#include "perf/calibrate.hpp"
+#include "perf/perf_model.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hyades;
+  bench::banner("Figure 10: sustained performance, ocean isomorph");
+
+  const net::ArcticModel net;
+
+  const gcm::ModelConfig one = gcm::ocean_preset(1, 1);
+  const perf::ModelMeasurement m1 =
+      perf::measure_model(one, net, perf::MachineShape{1, 1}, 3);
+
+  const gcm::ModelConfig sixteen = gcm::ocean_preset(4, 4);
+  const perf::ModelMeasurement m16 =
+      perf::measure_model(sixteen, net, perf::MachineShape{8, 2}, 3);
+
+  Table t({"procs", "machine", "sustained (GFlop/s)", "source"});
+  for (const auto& ref : perf::kVectorMachines) {
+    t.add_row({Table::fmt_int(ref.processors), ref.name,
+               Table::fmt(ref.sustained_gflops, 1), "paper (reported)"});
+  }
+  t.add_row({"1", "Hyades", Table::fmt(m1.aggregate_gflops, 3),
+             "measured  (paper: " + Table::fmt(perf::kPaperHyades1, 3) + ")"});
+  t.add_row({"16", "Hyades", Table::fmt(m16.aggregate_gflops, 3),
+             "measured  (paper: " + Table::fmt(perf::kPaperHyades16, 1) + ")"});
+  t.print(std::cout);
+
+  const double speedup = m16.aggregate_gflops / m1.aggregate_gflops;
+  std::cout << "\n16-processor speedup over 1 processor: "
+            << Table::fmt(speedup, 1)
+            << "x   (paper: \"fifteen times higher\")\n";
+  std::cout << "coupled-run aggregate (both isomorphs, 32 procs): ~"
+            << Table::fmt(2.0 * m16.aggregate_gflops, 2)
+            << " GFlop/s (paper: 1.6-1.8 GFlop/s)\n";
+
+  // Attribution of the residual gap: our kernel is leaner than the 1999
+  // code (measured Nps vs the paper's 751 flops/cell), which lowers the
+  // compute:communication ratio.  Feeding the paper's flop density into
+  // the analytic model with OUR measured communication costs recovers
+  // the paper's scaling -- i.e. the interconnect substrate reproduces
+  // the paper's balance; only the kernel flop count differs.
+  perf::PerfParams paper_density = m16.params;
+  paper_density.ps.nps = perf::paper_ocean().ps.nps;
+  paper_density.ds.nds = perf::paper_ocean().ds.nds;
+  const double agg_paper_density =
+      16.0 * perf::sustained_mflops(paper_density, m16.ni) / 1.0e3;
+  // One-processor rate with the same density: compute time only.
+  const auto& pd = paper_density;
+  const double flops1 =
+      pd.ps.nps * pd.ps.nxyz + m16.ni * pd.ds.nds * pd.ds.nxy;
+  const double one_proc_rate =
+      flops1 / (perf::tps_compute(pd.ps) + m16.ni * perf::tds_compute(pd.ds));
+  std::cout << "with the paper's kernel flop density (Nps=751, Nds=36) on "
+               "our measured comm costs: "
+            << Table::fmt(agg_paper_density, 2) << " GFlop/s aggregate, "
+            << Table::fmt(16.0 * perf::sustained_mflops(paper_density, m16.ni) /
+                              one_proc_rate,
+                          1)
+            << "x speedup\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 11: performance-model parameters of the coupled ocean-
+// atmosphere simulation at 2.8125 degrees, each isomorph on sixteen
+// processors over eight SMPs.
+//
+// Communication parameters come from stand-alone benchmarks of the comm
+// primitives (as in the paper); Nps/Nds come from the GCM's kernel flop
+// counters.  Our kernel is leaner than the 1999 code's full physics, so
+// the measured Nps sits below the paper's 781/751 -- reported side by
+// side, not hidden.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "gcm/config.hpp"
+#include "net/arctic_model.hpp"
+#include "perf/calibrate.hpp"
+#include "perf/perf_model.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hyades;
+  const net::ArcticModel net;
+  const perf::MachineShape shape{8, 2};
+
+  const perf::ModelMeasurement atm =
+      perf::measure_model(gcm::atmosphere_preset(4, 4), net, shape, 4);
+  const perf::ModelMeasurement ocn =
+      perf::measure_model(gcm::ocean_preset(4, 4), net, shape, 4);
+  const perf::PerfParams patm = perf::paper_atmosphere();
+  const perf::PerfParams pocn = perf::paper_ocean();
+
+  bench::banner("Figure 11: PS phase parameters");
+  {
+    Table t({"isomorph", "param", "measured", "paper", "d"});
+    auto ps_rows = [&](const char* name, const perf::ModelMeasurement& m,
+                       const perf::PerfParams& p) {
+      t.add_row({name, "Nps (flops/cell)", Table::fmt(m.params.ps.nps, 0),
+                 Table::fmt(p.ps.nps, 0), bench::pct(m.params.ps.nps, p.ps.nps)});
+      t.add_row({name, "nxyz (cells/proc)", Table::fmt(m.params.ps.nxyz, 0),
+                 Table::fmt(p.ps.nxyz, 0),
+                 bench::pct(m.params.ps.nxyz, p.ps.nxyz)});
+      t.add_row({name, "texchxyz (us)", Table::fmt(m.params.ps.texchxyz, 0),
+                 Table::fmt(p.ps.texchxyz, 0),
+                 bench::pct(m.params.ps.texchxyz, p.ps.texchxyz)});
+      t.add_row({name, "Fps (MFlop/s)", Table::fmt(m.params.ps.fps_mflops, 0),
+                 Table::fmt(p.ps.fps_mflops, 0), "-"});
+    };
+    ps_rows("atmosphere", atm, patm);
+    ps_rows("ocean", ocn, pocn);
+    t.print(std::cout);
+  }
+
+  bench::banner("Figure 11: DS phase parameters");
+  {
+    Table t({"param", "measured", "paper", "d"});
+    t.add_row({"Nds (flops/col/iter)", Table::fmt(atm.params.ds.nds, 0),
+               Table::fmt(patm.ds.nds, 0),
+               bench::pct(atm.params.ds.nds, patm.ds.nds)});
+    t.add_row({"nxy (cols/proc)", Table::fmt(atm.params.ds.nxy, 0),
+               Table::fmt(patm.ds.nxy, 0),
+               bench::pct(atm.params.ds.nxy, patm.ds.nxy)});
+    t.add_row({"tgsum (us)", Table::fmt(atm.params.ds.tgsum, 1),
+               Table::fmt(patm.ds.tgsum, 1),
+               bench::pct(atm.params.ds.tgsum, patm.ds.tgsum)});
+    t.add_row({"texchxy (us)", Table::fmt(atm.params.ds.texchxy, 0),
+               Table::fmt(patm.ds.texchxy, 0),
+               bench::pct(atm.params.ds.texchxy, patm.ds.texchxy)});
+    t.add_row({"Fds (MFlop/s)", Table::fmt(atm.params.ds.fds_mflops, 0),
+               Table::fmt(patm.ds.fds_mflops, 0), "-"});
+    t.print(std::cout,
+            "(paper's nxy=1024 vs 128*64/16=512 columns/proc: see DESIGN.md; "
+            "we report wet columns per processor)");
+  }
+
+  std::cout << "\nmean CG iterations Ni: atmosphere "
+            << Table::fmt(atm.ni, 1) << ", ocean " << Table::fmt(ocn.ni, 1)
+            << " (paper one-year mean: 60)\n";
+  return 0;
+}

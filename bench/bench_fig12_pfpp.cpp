@@ -1,0 +1,87 @@
+// Figure 12: Potential Floating-Point Performance of the 2.8125-degree
+// atmospheric simulation on a 16-processor/8-SMP cluster interconnected
+// by Fast Ethernet, Gigabit Ethernet, and the Arctic Switch Fabric.
+//
+// Two passes:
+//   (1) Eqs. 14-15 evaluated with the paper's measured primitive costs
+//       (exact reproduction of the table's arithmetic);
+//   (2) the same equations fed with primitive costs measured by running
+//       the comm library on each interconnect *model* (end-to-end
+//       reproduction through our stack).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "net/arctic_model.hpp"
+#include "net/ethernet.hpp"
+#include "perf/calibrate.hpp"
+#include "perf/perf_model.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  hyades::perf::InterconnectCosts costs;
+  double pfpp_ps, pfpp_ds;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hyades;
+  const PaperRow rows[] = {
+      {"Fast Ethernet", perf::paper_fast_ethernet(), 8.0, 1.6},
+      {"Gigabit Ethernet", perf::paper_gigabit_ethernet(), 139.0, 6.2},
+      {"Arctic", perf::paper_arctic(), 487.0, 143.0},
+  };
+
+  bench::banner("Figure 12 (paper costs): Pfpp via Eqs. 14-15");
+  {
+    Table t({"network", "tgsum", "texchxy", "texchxyz", "Pfpp,ps", "paper",
+             "Pfpp,ds", "paper"});
+    for (const PaperRow& row : rows) {
+      const perf::PerfParams p =
+          perf::with_interconnect(perf::paper_atmosphere(), row.costs);
+      t.add_row({row.name, Table::fmt(row.costs.tgsum, 1),
+                 Table::fmt(row.costs.texchxy, 0),
+                 Table::fmt(row.costs.texchxyz, 0),
+                 Table::fmt(perf::pfpp_ps(p.ps), 1), Table::fmt(row.pfpp_ps, 1),
+                 Table::fmt(perf::pfpp_ds(p.ds), 1),
+                 Table::fmt(row.pfpp_ds, 1)});
+    }
+    t.print(std::cout, "(MFlop/s; Fps = 50, Fds = 60 for reference)");
+  }
+
+  bench::banner("Figure 12 (our stack): primitives measured per interconnect");
+  {
+    const net::ArcticModel arctic;
+    const net::EthernetModel fe = net::fast_ethernet();
+    const net::EthernetModel ge = net::gigabit_ethernet();
+    const net::EthernetModel hpvm = net::hpvm_myrinet();
+    const net::Interconnect* nets[] = {&fe, &ge, &hpvm, &arctic};
+    const char* paper_note[] = {"8.0 / 1.6", "139 / 6.2", "(not in Fig 12)",
+                                "487 / 143"};
+    Table t({"network", "tgsum (us)", "texchxy (us)", "texchxyz (us)",
+             "Pfpp,ps", "Pfpp,ds", "paper ps/ds"});
+    for (int i = 0; i < 4; ++i) {
+      const perf::PrimitiveCosts c =
+          perf::measure_primitives(*nets[i], perf::MachineShape{}, 4);
+      perf::PerfParams p = perf::paper_atmosphere();
+      p.ps.texchxyz = c.texchxyz_atmos;
+      p.ds.tgsum = c.tgsum;
+      p.ds.texchxy = c.texchxy;
+      t.add_row({nets[i]->name(), Table::fmt(c.tgsum, 1),
+                 Table::fmt(c.texchxy, 0), Table::fmt(c.texchxyz_atmos, 0),
+                 Table::fmt(perf::pfpp_ps(p.ps), 1),
+                 Table::fmt(perf::pfpp_ds(p.ds), 1), paper_note[i]});
+    }
+    t.print(std::cout, "(HPVM/Myrinet added from Section 6's data points)");
+  }
+
+  std::cout << "\nreading (Section 5.4): with ~50 MFlop/s processors, "
+               "Gigabit Ethernet is viable for the coarse-grain PS phase "
+               "but ~10x short of the 306 us DS-phase budget; only Arctic "
+               "keeps Pfpp above the processors' compute rate in both "
+               "phases.\n";
+  return 0;
+}

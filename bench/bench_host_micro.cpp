@@ -1,0 +1,97 @@
+// Host-side microbenchmarks (google-benchmark): throughput of the
+// simulator substrate itself -- event scheduling, packet routing through
+// the fat tree, CG operator application, and a full GCM model step.
+// These guard the *reproduction's* performance, not the paper's numbers.
+#include <benchmark/benchmark.h>
+
+#include "arctic/fabric.hpp"
+#include "gcm/cg.hpp"
+#include "gcm/halo.hpp"
+#include "gcm/model.hpp"
+#include "net/arctic_model.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace hyades;
+
+void BM_SchedulerEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(sim::from_us(i % 97), [&count] { ++count; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerEventChurn);
+
+void BM_FabricAllPairs(benchmark::State& state) {
+  const auto endpoints = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    arctic::Fabric fabric(sched, endpoints);
+    int delivered = 0;
+    fabric.set_delivery_handler(
+        [&delivered](int, arctic::Packet&&) { ++delivered; });
+    for (int s = 0; s < endpoints; ++s) {
+      for (int d = 0; d < endpoints; ++d) {
+        if (s == d) continue;
+        arctic::Packet p;
+        p.payload = {1u, 2u};
+        fabric.inject(s, d, std::move(p));
+      }
+    }
+    sched.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * endpoints * (endpoints - 1));
+}
+BENCHMARK(BM_FabricAllPairs)->Arg(16)->Arg(64);
+
+void BM_EllipticApply(benchmark::State& state) {
+  gcm::ModelConfig cfg = gcm::ocean_preset(1, 1);
+  cfg.topography = gcm::ModelConfig::Topography::kFlat;
+  const gcm::Decomp dec(cfg, 0);
+  const gcm::TileGrid grid(cfg, dec);
+  const gcm::EllipticOperator op(cfg, dec, grid);
+  Array2D<double> p(static_cast<std::size_t>(dec.ext_x()),
+                    static_cast<std::size_t>(dec.ext_y()), 1.0);
+  Array2D<double> out = p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.apply(p, out));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.nx * cfg.ny);
+}
+BENCHMARK(BM_EllipticApply);
+
+void BM_ModelStepSingleTile(benchmark::State& state) {
+  // Host cost of one full 128x64x10 atmosphere step on one tile (no
+  // threading): the dominant real-time cost of the reproduction.
+  const net::ArcticModel net;
+  cluster::MachineConfig mc;
+  mc.smp_count = 1;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &net;
+  gcm::ModelConfig cfg = gcm::atmosphere_preset(1, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::Runtime rt(mc);
+    state.ResumeTiming();
+    rt.run([&](cluster::RankContext& ctx) {
+      comm::Comm comm(ctx);
+      gcm::Model m(cfg, comm);
+      m.initialize();
+      (void)m.step();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.nx * cfg.ny * cfg.nz);
+}
+BENCHMARK(BM_ModelStepSingleTile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

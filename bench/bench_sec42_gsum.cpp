@@ -1,0 +1,76 @@
+// Section 4.2: optimized global sum latencies.
+//
+//   * single processor per node: 2/4/8/16-way = 4.0 / 8.3 / 12.8 / 18.2 us
+//   * two processors per SMP:    2x2 .. 2x16  = 4.8 / 9.1 / 13.5 / 19.5 us
+//   * least-squares fit: tgsum = 4.67 * log2(N) - 0.95 us
+//
+// Latencies are measured by running the comm library's butterfly on the
+// cluster runtime over the Arctic timing model.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "net/arctic_model.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+double measure_gsum(const hyades::net::Interconnect& net, int smps, int ppp) {
+  using namespace hyades;
+  cluster::MachineConfig mc;
+  mc.smp_count = smps;
+  mc.procs_per_smp = ppp;
+  mc.interconnect = &net;
+  cluster::Runtime rt(mc);
+  constexpr int kReps = 32;
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    for (int i = 0; i < kReps; ++i) (void)comm.global_sum(1.0);
+  });
+  return rt.max_clock() / kReps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hyades;
+  const net::ArcticModel net;
+
+  bench::banner("Section 4.2: N-way global sum latency (1 proc/node)");
+  {
+    const double paper[] = {4.0, 8.3, 12.8, 18.2};
+    Table t({"N", "measured (us)", "paper (us)", "d"});
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 4; ++i) {
+      const int nodes = 2 << i;
+      const double us = measure_gsum(net, nodes, 1);
+      t.add_row({Table::fmt_int(nodes), Table::fmt(us, 2),
+                 Table::fmt(paper[i], 1), bench::pct(us, paper[i])});
+      xs.push_back(i + 1.0);
+      ys.push_back(us);
+    }
+    t.print(std::cout);
+    const LinearFit fit = least_squares(xs, ys);
+    std::cout << "least-squares fit: tgsum = " << Table::fmt(fit.slope, 2)
+              << " * log2(N) " << (fit.intercept < 0 ? "- " : "+ ")
+              << Table::fmt(std::abs(fit.intercept), 2)
+              << " us   (paper: 4.67 * log2(N) - 0.95)\n";
+  }
+
+  bench::banner("Section 4.2: 2xN-way global sum latency (2 procs/SMP)");
+  {
+    const double paper[] = {4.8, 9.1, 13.5, 19.5};
+    Table t({"config", "measured (us)", "paper (us)", "d"});
+    for (int i = 0; i < 4; ++i) {
+      const int smps = 2 << i;
+      const double us = measure_gsum(net, smps, 2);
+      t.add_row({"2x" + Table::fmt_int(smps), Table::fmt(us, 2),
+                 Table::fmt(paper[i], 1), bench::pct(us, paper[i])});
+    }
+    t.print(std::cout, "SMP-local combine adds ~1 us (paper: \"about 1 usec\")");
+  }
+  return 0;
+}

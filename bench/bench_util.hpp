@@ -1,0 +1,23 @@
+// Shared helpers for the figure/table reproduction binaries: every bench
+// prints the paper's reported values next to this reproduction's
+// measured analogs, with the relative deviation.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace hyades::bench {
+
+inline std::string pct(double measured, double paper) {
+  if (paper == 0.0) return "-";
+  const double d = 100.0 * (measured - paper) / paper;
+  return (d >= 0 ? "+" : "") + Table::fmt(d, 1) + "%";
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+}  // namespace hyades::bench

@@ -1,0 +1,52 @@
+#include "arctic/crc.hpp"
+
+#include <array>
+
+namespace hyades::arctic {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t prev) {
+  std::uint32_t c = prev ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table()[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_words(std::span<const std::uint32_t> words,
+                          std::uint32_t prev) {
+  std::uint32_t c = prev;
+  for (std::uint32_t w : words) {
+    const std::uint8_t bytes[4] = {
+        static_cast<std::uint8_t>(w & 0xFF),
+        static_cast<std::uint8_t>((w >> 8) & 0xFF),
+        static_cast<std::uint8_t>((w >> 16) & 0xFF),
+        static_cast<std::uint8_t>((w >> 24) & 0xFF),
+    };
+    c = crc32(bytes, c);
+  }
+  return c;
+}
+
+}  // namespace hyades::arctic

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to protect Arctic
+// packets.  The paper: "The correctness of the network messages is
+// verified at every router stage and at the network endpoints using CRC."
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hyades::arctic {
+
+// Incremental interface: crc32(data, prev) continues a previous
+// computation; start from kCrcInit (the conventional ~0 seed is handled
+// internally, callers just chain return values).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t prev = 0);
+
+// Convenience for 32-bit word streams (Arctic packets are word-oriented).
+std::uint32_t crc32_words(std::span<const std::uint32_t> words,
+                          std::uint32_t prev = 0);
+
+}  // namespace hyades::arctic

@@ -1,0 +1,161 @@
+#include "arctic/fabric.hpp"
+
+#include <stdexcept>
+
+namespace hyades::arctic {
+
+// A router stage: up to kRadix down-side outputs plus (below the top
+// level) kRadix up-side outputs.  Input handling lives in
+// Fabric::on_router_receive; the Router just owns its output ports.
+struct Fabric::Router {
+  std::vector<std::unique_ptr<OutputPort>> down;  // size kRadix
+  std::vector<std::unique_ptr<OutputPort>> up;    // empty at the top level
+};
+
+namespace {
+// Replace base-4 digit `pos` of `value` with `digit`.
+int with_digit(int value, int pos, int digit) {
+  const int mask = 3 << (2 * pos);
+  return (value & ~mask) | (digit << (2 * pos));
+}
+}  // namespace
+
+Fabric::Fabric(sim::Scheduler& sched, int endpoints, FabricConfig cfg)
+    : sched_(sched),
+      endpoints_(endpoints),
+      levels_(levels_for(endpoints)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  if (endpoints < 2) {
+    throw std::invalid_argument("Fabric: need at least 2 endpoints");
+  }
+  routers_per_level_ = 1;
+  for (int l = 0; l < levels_ - 1; ++l) routers_per_level_ *= kRadix;
+  wire_topology();
+}
+
+Fabric::~Fabric() = default;
+
+void Fabric::wire_topology() {
+  routers_.resize(static_cast<std::size_t>(levels_));
+  for (int l = 0; l < levels_; ++l) {
+    auto& level = routers_[static_cast<std::size_t>(l)];
+    level.reserve(static_cast<std::size_t>(routers_per_level_));
+    for (int r = 0; r < routers_per_level_; ++r) {
+      auto router = std::make_unique<Router>();
+      // Down ports.
+      for (int p = 0; p < kRadix; ++p) {
+        OutputPort::HeaderFn fn;
+        if (l == 0) {
+          const int node = (r << 2) | p;
+          fn = [this, node](Packet&& pkt) {
+            deliver_to_endpoint(node, std::move(pkt));
+          };
+        } else {
+          const int below = with_digit(r, l - 1, p);
+          fn = [this, l, below](Packet&& pkt) {
+            on_router_receive(l - 1, below, /*from_below=*/false,
+                              std::move(pkt));
+          };
+        }
+        router->down.push_back(
+            std::make_unique<OutputPort>(sched_, cfg_.link, std::move(fn)));
+      }
+      // Up ports (absent at the top level).
+      if (l < levels_ - 1) {
+        for (int u = 0; u < kRadix; ++u) {
+          const int above = with_digit(r, l, u);
+          auto fn = [this, l, above](Packet&& pkt) {
+            on_router_receive(l + 1, above, /*from_below=*/true,
+                              std::move(pkt));
+          };
+          router->up.push_back(
+              std::make_unique<OutputPort>(sched_, cfg_.link, std::move(fn)));
+        }
+      }
+      level.push_back(std::move(router));
+    }
+  }
+
+  // Endpoint injection links feed each node's leaf router.
+  injection_.reserve(static_cast<std::size_t>(endpoints_));
+  for (int node = 0; node < endpoints_; ++node) {
+    auto fn = [this, leaf = node >> 2](Packet&& pkt) {
+      on_router_receive(0, leaf, /*from_below=*/true, std::move(pkt));
+    };
+    injection_.push_back(
+        std::make_unique<OutputPort>(sched_, cfg_.link, std::move(fn)));
+  }
+}
+
+void Fabric::inject(int src, int dst, Packet p) {
+  if (src < 0 || src >= endpoints_ || dst < 0 || dst >= endpoints_) {
+    throw std::out_of_range("Fabric::inject: bad endpoint");
+  }
+  if (!p.valid_format()) {
+    throw std::invalid_argument("Fabric::inject: invalid packet format");
+  }
+  const Route route = compute_route(
+      src, dst, levels_, cfg_.random_uproute ? &rng_ : nullptr);
+  p.src = src;
+  p.dst = dst;
+  p.uproute = route.encode_uproute();
+  p.random_uproute = cfg_.random_uproute;
+  p.downroute = route.downroute;
+  p.serial = next_serial_++;
+  p.seal();
+  if (corrupt_next_) {
+    corrupt_next_ = false;
+    p.payload[0] ^= 0x1u;  // bit flip after sealing: CRC now mismatches
+  }
+  ++stats_.injected;
+  injection_[static_cast<std::size_t>(src)]->submit(std::move(p));
+}
+
+void Fabric::on_router_receive(int level, int index, bool from_below,
+                               Packet&& p) {
+  ++stats_.router_stages;
+  // Every stage verifies the CRC (Section 2.2); a failure is flagged, and
+  // the packet continues so the endpoint's status bit reports it.
+  if (!p.crc_ok()) p.crc_error = true;
+
+  Router& router = *routers_[static_cast<std::size_t>(level)]
+                            [static_cast<std::size_t>(index)];
+  const Route route = Route::decode(p.uproute, p.downroute);
+
+  // Routing decision: a packet arriving from below is still climbing iff
+  // its route demands more up levels than this stage.
+  OutputPort* port = nullptr;
+  if (from_below && route.up_levels > level) {
+    port = router.up[route.up_ports[static_cast<std::size_t>(level)]].get();
+  } else {
+    port = router.down[static_cast<std::size_t>(route.down_port(level))].get();
+  }
+
+  // The packet spends the router stage latency (< 0.15 us, Section 2.2)
+  // crossing the stage before contending for the output port.
+  sched_.schedule_after(sim::from_us(cfg_.link.stage_latency_us),
+                        [port, pkt = std::move(p)]() mutable {
+                          port->submit(std::move(pkt));
+                        });
+}
+
+void Fabric::deliver_to_endpoint(int node, Packet&& p) {
+  // Endpoint CRC check: the NIU verifies the trailer and exposes a 1-bit
+  // status to software.
+  if (!p.crc_ok()) p.crc_error = true;
+  ++stats_.delivered;
+  if (p.crc_error) ++stats_.crc_flagged;
+  if (deliver_) deliver_(node, std::move(p));
+}
+
+double Fabric::bisection_bandwidth_mbytes_per_sec() const {
+  return 2.0 * static_cast<double>(endpoints_) *
+         cfg_.link.bandwidth_mbytes_per_sec;
+}
+
+sim::SimTime Fabric::injection_free_at(int node) const {
+  return injection_[static_cast<std::size_t>(node)]->free_at();
+}
+
+}  // namespace hyades::arctic

@@ -1,0 +1,46 @@
+#include "arctic/packet.hpp"
+
+#include <span>
+
+namespace hyades::arctic {
+
+// word 0 layout: [31] priority | [30:15] downroute | [14:0] reserved
+std::uint32_t Packet::header_word0() const {
+  std::uint32_t w = 0;
+  w |= (priority == Priority::kHigh ? 1u : 0u) << 31;
+  w |= static_cast<std::uint32_t>(downroute) << 15;
+  return w;
+}
+
+// word 1 layout: [31:18] uproute | [17] random | [16:6] usr tag | [5:1] size
+// (bit 0 reserved)
+std::uint32_t Packet::header_word1() const {
+  std::uint32_t w = 0;
+  w |= (static_cast<std::uint32_t>(uproute) & 0x3FFFu) << 18;
+  w |= (random_uproute ? 1u : 0u) << 17;
+  w |= (static_cast<std::uint32_t>(usr_tag) & 0x7FFu) << 6;
+  w |= (static_cast<std::uint32_t>(payload_words()) & 0x1Fu) << 1;
+  return w;
+}
+
+DecodedHeader decode_header(std::uint32_t w0, std::uint32_t w1) {
+  DecodedHeader h{};
+  h.priority = (w0 >> 31) ? Priority::kHigh : Priority::kLow;
+  h.downroute = static_cast<std::uint16_t>((w0 >> 15) & 0xFFFFu);
+  h.uproute = static_cast<std::uint16_t>((w1 >> 18) & 0x3FFFu);
+  h.random_uproute = ((w1 >> 17) & 1u) != 0;
+  h.usr_tag = static_cast<std::uint16_t>((w1 >> 6) & 0x7FFu);
+  h.size_words = static_cast<int>((w1 >> 1) & 0x1Fu);
+  return h;
+}
+
+std::uint32_t Packet::compute_crc() const {
+  const std::uint32_t header[2] = {header_word0(), header_word1()};
+  std::uint32_t c = crc32_words(std::span<const std::uint32_t>(header, 2));
+  c = crc32_words(std::span<const std::uint32_t>(payload.data(),
+                                                 payload.size()),
+                  c);
+  return c;
+}
+
+}  // namespace hyades::arctic

@@ -1,0 +1,76 @@
+// Arctic packet, following Figure 1(b) of the paper:
+//
+//   word 0: priority | downroute(16) | reserved
+//   word 1: uproute(14) | random-uproute | usr tag(11) | size(5)
+//   payload[0..size-1], size in [2, 22] 32-bit words
+//
+// plus a link-level CRC-32 trailer.  Routers verify the CRC at every
+// stage; endpoints check a 1-bit status flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arctic/crc.hpp"
+
+namespace hyades::arctic {
+
+enum class Priority : std::uint8_t { kLow = 0, kHigh = 1 };
+
+inline constexpr int kMinPayloadWords = 2;
+inline constexpr int kMaxPayloadWords = 22;
+inline constexpr int kHeaderBytes = 8;   // two 32-bit header words
+inline constexpr int kCrcBytes = 4;      // link-level trailer
+
+struct Packet {
+  Priority priority = Priority::kLow;
+  std::uint16_t downroute = 0;  // 2 bits consumed per down level (MSB first)
+  std::uint16_t uproute = 0;    // 2 bits per up level + level count
+  bool random_uproute = false;  // let routers pick up-ports at random
+  std::uint16_t usr_tag = 0;    // 11-bit user tag
+  std::vector<std::uint32_t> payload;
+
+  // Bookkeeping for the simulator (not on the wire).
+  int src = -1;
+  int dst = -1;
+  std::uint32_t crc = 0;       // trailer as transmitted
+  bool crc_error = false;      // sticky: set if any stage saw a mismatch
+  std::uint64_t serial = 0;    // injection order, for FIFO assertions
+
+  [[nodiscard]] int payload_words() const {
+    return static_cast<int>(payload.size());
+  }
+  [[nodiscard]] int payload_bytes() const { return payload_words() * 4; }
+  // Total bytes on the wire (header + payload + CRC trailer).
+  [[nodiscard]] int wire_bytes() const {
+    return kHeaderBytes + payload_bytes() + kCrcBytes;
+  }
+
+  // Encode the two header words per Figure 1(b).
+  [[nodiscard]] std::uint32_t header_word0() const;
+  [[nodiscard]] std::uint32_t header_word1() const;
+
+  // CRC over header words + payload.
+  [[nodiscard]] std::uint32_t compute_crc() const;
+  void seal() { crc = compute_crc(); }
+  [[nodiscard]] bool crc_ok() const { return crc == compute_crc(); }
+
+  // Validity per the Figure 1(b) format limits.
+  [[nodiscard]] bool valid_format() const {
+    return payload_words() >= kMinPayloadWords &&
+           payload_words() <= kMaxPayloadWords && usr_tag < (1u << 11);
+  }
+};
+
+// Decode helpers (used by tests to verify the bit layout round-trips).
+struct DecodedHeader {
+  Priority priority;
+  std::uint16_t downroute;
+  std::uint16_t uproute;
+  bool random_uproute;
+  std::uint16_t usr_tag;
+  int size_words;
+};
+DecodedHeader decode_header(std::uint32_t w0, std::uint32_t w1);
+
+}  // namespace hyades::arctic

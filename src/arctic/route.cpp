@@ -1,0 +1,78 @@
+#include "arctic/route.hpp"
+
+#include <stdexcept>
+
+namespace hyades::arctic {
+
+int levels_for(int endpoints) {
+  if (endpoints < 1) throw std::invalid_argument("levels_for: endpoints < 1");
+  int n = 1;
+  int cap = kRadix;
+  while (cap < endpoints) {
+    cap *= kRadix;
+    ++n;
+  }
+  if (n > kMaxLevels + 1) {
+    throw std::invalid_argument("levels_for: too many endpoints");
+  }
+  return n;
+}
+
+std::uint16_t Route::encode_uproute() const {
+  std::uint16_t bits = static_cast<std::uint16_t>(up_levels & 0x7);
+  for (int l = 0; l < up_levels; ++l) {
+    bits = static_cast<std::uint16_t>(bits |
+                                      ((up_ports[l] & 0x3) << (3 + 2 * l)));
+  }
+  return bits;
+}
+
+Route Route::decode(std::uint16_t uproute, std::uint16_t downroute) {
+  Route r;
+  r.up_levels = uproute & 0x7;
+  for (int l = 0; l < r.up_levels && l < kMaxLevels; ++l) {
+    r.up_ports[l] = static_cast<std::uint8_t>((uproute >> (3 + 2 * l)) & 0x3);
+  }
+  r.downroute = downroute;
+  return r;
+}
+
+Route compute_route(int src, int dst, int n_levels, SplitMix64* rng) {
+  Route r;
+  // Highest digit position where src and dst differ determines how far up
+  // the packet must climb; same-leaf-router traffic (differs only in
+  // digit 0, or not at all) never leaves the level-0 router.
+  int p = 0;
+  for (int l = n_levels - 1; l >= 1; --l) {
+    if (digit(src, l) != digit(dst, l)) {
+      p = l;
+      break;
+    }
+  }
+  r.up_levels = p;
+  for (int l = 0; l < p; ++l) {
+    // Deterministic default: a pairwise hash of source and destination
+    // digits.  Any fixed function of (src, dst) preserves Arctic's FIFO
+    // guarantee; folding in several digits spreads distinct flows across
+    // the root routers far better than a destination-only choice.
+    const int port =
+        rng ? static_cast<int>(rng->next_below(kRadix))
+            : ((digit(src, 0) + digit(src, l + 1) + digit(dst, l + 1) +
+                digit(dst, 0)) &
+               (kRadix - 1));
+    r.up_ports[static_cast<std::size_t>(l)] = static_cast<std::uint8_t>(port);
+  }
+  // Down ports: the level-l router on the descent reads bits [2l+1:2l].
+  std::uint16_t down = 0;
+  for (int l = 0; l <= p; ++l) {
+    down = static_cast<std::uint16_t>(down | (digit(dst, l) << (2 * l)));
+  }
+  r.downroute = down;
+  return r;
+}
+
+int router_hops(int src, int dst, int n_levels) {
+  return compute_route(src, dst, n_levels).router_hops();
+}
+
+}  // namespace hyades::arctic

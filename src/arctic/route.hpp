@@ -1,0 +1,59 @@
+// Up/down routing for the Arctic fat-tree (a 4-ary n-tree).
+//
+// Endpoints are numbered 0..4^n-1 and viewed as n base-4 digits
+// d_{n-1}..d_0.  Level-0 (leaf) routers attach endpoints; each level has
+// 4^(n-1) routers.  Router (l, r) up-port u connects to router
+// (l+1, r with digit l := u); its inverse is the down wiring.  A packet
+// ascends `up_levels` stages (any up port works -- this is the fat tree's
+// path diversity, exploited by the "random uproute" header bit) and then
+// descends following the destination digits: the level-l router on the
+// down path uses down port d_l.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace hyades::arctic {
+
+inline constexpr int kRadix = 4;
+inline constexpr int kMaxLevels = 5;  // uproute field fits 5 up-port choices
+
+// Number of tree levels (n) needed for `endpoints` nodes; endpoints is
+// rounded up to the next power of 4.  At least 1.
+int levels_for(int endpoints);
+
+// Digit l (base 4) of endpoint address e.
+inline int digit(int e, int l) { return (e >> (2 * l)) & 3; }
+
+struct Route {
+  int up_levels = 0;                        // stages to ascend
+  std::array<std::uint8_t, kMaxLevels> up_ports{};  // chosen up port per level
+  std::uint16_t downroute = 0;              // bits [2l+1:2l] = down port at level l
+
+  [[nodiscard]] int down_port(int level) const {
+    return (downroute >> (2 * level)) & 3;
+  }
+  // Total router stages traversed: 2*up_levels + 1.
+  [[nodiscard]] int router_hops() const { return 2 * up_levels + 1; }
+  // Total link hops including endpoint links: router_hops() + 1.
+  [[nodiscard]] int link_hops() const { return router_hops() + 1; }
+
+  // Encode up_levels + up ports into the 14-bit uproute header field:
+  // bits [2:0] = up_levels, bits [3+2l+4 : 3+2l] = up port for level l.
+  [[nodiscard]] std::uint16_t encode_uproute() const;
+  static Route decode(std::uint16_t uproute, std::uint16_t downroute);
+};
+
+// Compute the route from src to dst in an n-level tree.  If rng is
+// non-null the up ports are chosen at random (the adaptive "random
+// uproute" mode); otherwise a deterministic choice (destination digits)
+// is made, which keeps every (src,dst) pair on a single path and hence
+// preserves Arctic's FIFO ordering guarantee.
+Route compute_route(int src, int dst, int n_levels, SplitMix64* rng = nullptr);
+
+// Router stages on the deterministic path between src and dst.
+int router_hops(int src, int dst, int n_levels);
+
+}  // namespace hyades::arctic

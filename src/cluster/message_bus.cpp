@@ -1,0 +1,48 @@
+#include "cluster/message_bus.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hyades::cluster {
+
+MessageBus::MessageBus(int nranks) {
+  if (nranks < 1) throw std::invalid_argument("MessageBus: nranks < 1");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void MessageBus::send(int to, Message m) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(to));
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{m.src, m.tag}].push_back(std::move(m));
+  }
+  box.cv.notify_all();
+}
+
+Message MessageBus::recv(int me, int from, int tag, int timeout_ms) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto& q = box.queues[{from, tag}];
+  if (!box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return !q.empty(); })) {
+    throw std::runtime_error("MessageBus::recv: timeout (rank " +
+                             std::to_string(me) + " waiting on " +
+                             std::to_string(from) + " tag " +
+                             std::to_string(tag) + ")");
+  }
+  Message m = std::move(q.front());
+  q.pop_front();
+  return m;
+}
+
+bool MessageBus::poll(int me, int from, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto it = box.queues.find({from, tag});
+  return it != box.queues.end() && !it->second.empty();
+}
+
+}  // namespace hyades::cluster

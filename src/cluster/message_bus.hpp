@@ -1,0 +1,50 @@
+// Functional transport between ranks: real data moves through in-memory
+// mailboxes; virtual-time semantics ride on the `stamp_us` field that the
+// comm library computes from the interconnect model.
+//
+// Matching is by (source, tag) with FIFO order per pair, mirroring
+// Arctic's FIFO guarantee for messages on the same path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hyades::cluster {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<double> data;
+  Microseconds stamp_us = 0;  // sender-computed arrival time
+};
+
+class MessageBus {
+ public:
+  explicit MessageBus(int nranks);
+
+  void send(int to, Message m);
+
+  // Block until a message from (from, tag) is available for `me`.
+  // Throws std::runtime_error after `timeout_ms` of real time (deadlock
+  // guard for tests).
+  Message recv(int me, int from, int tag, int timeout_ms = 30000);
+
+  // Non-blocking probe (for tests).
+  [[nodiscard]] bool poll(int me, int from, int tag);
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+  };
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace hyades::cluster

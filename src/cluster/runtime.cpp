@@ -1,0 +1,170 @@
+#include "cluster/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace hyades::cluster {
+
+void AbortableBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) throw std::runtime_error("SMP barrier aborted");
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == count_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+  if (generation_ == gen && aborted_) {
+    throw std::runtime_error("SMP barrier aborted");
+  }
+}
+
+void AbortableBarrier::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+void AbortableBarrier::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = false;
+  waiting_ = 0;
+}
+
+RankContext::RankContext(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+
+int RankContext::nranks() const { return rt_.config().nranks(); }
+int RankContext::smp() const { return rank_ / rt_.config().procs_per_smp; }
+int RankContext::local_rank() const {
+  return rank_ % rt_.config().procs_per_smp;
+}
+int RankContext::procs_per_smp() const { return rt_.config().procs_per_smp; }
+int RankContext::smp_of(int rank) const {
+  return rank / rt_.config().procs_per_smp;
+}
+
+const net::Interconnect& RankContext::net() const {
+  return *rt_.config().interconnect;
+}
+const MachineConfig& RankContext::config() const { return rt_.config(); }
+
+void RankContext::compute(double flops, double mflops) {
+  if (flops < 0 || mflops <= 0) {
+    throw std::invalid_argument("RankContext::compute: bad arguments");
+  }
+  const Microseconds dt = flops / mflops;  // MFlop/s == flops per us
+  clock_.advance(dt);
+  acct_.compute_us += dt;
+  acct_.flops += flops;
+}
+
+void RankContext::send_raw(int to, int tag, std::vector<double> data,
+                           Microseconds arrival_stamp) {
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.data = std::move(data);
+  m.stamp_us = arrival_stamp;
+  rt_.bus().send(to, std::move(m));
+}
+
+Message RankContext::recv_raw(int from, int tag) {
+  return rt_.bus().recv(rank_, from, tag);
+}
+
+void RankContext::smp_sync() {
+  if (procs_per_smp() == 1) return;
+  SmpShared& s = rt_.smp_shared(smp());
+  s.clock_slots[static_cast<std::size_t>(local_rank())] = clock_.now();
+  s.barrier.arrive_and_wait();
+  Microseconds mx = 0;
+  for (int lr = 0; lr < procs_per_smp(); ++lr) {
+    mx = std::max(mx, s.clock_slots[static_cast<std::size_t>(lr)]);
+  }
+  s.barrier.arrive_and_wait();
+  // Accounting is the caller's job (the comm primitives charge their
+  // whole window once, which includes these sync advances).
+  clock_.advance_to(mx);
+  clock_.advance(rt_.config().smp_barrier_us);
+}
+
+void RankContext::smp_publish(double v) {
+  rt_.smp_shared(smp()).slots_d[static_cast<std::size_t>(local_rank())] = v;
+}
+void RankContext::smp_publish_bytes(std::int64_t a, std::int64_t b) {
+  auto& slots = rt_.smp_shared(smp()).slots_i;
+  slots[static_cast<std::size_t>(local_rank()) * 2] = a;
+  slots[static_cast<std::size_t>(local_rank()) * 2 + 1] = b;
+}
+double RankContext::smp_peek(int local_rank) const {
+  return rt_.smp_shared(smp()).slots_d[static_cast<std::size_t>(local_rank)];
+}
+std::pair<std::int64_t, std::int64_t> RankContext::smp_peek_bytes(
+    int local_rank) const {
+  const auto& slots = rt_.smp_shared(smp()).slots_i;
+  return {slots[static_cast<std::size_t>(local_rank) * 2],
+          slots[static_cast<std::size_t>(local_rank) * 2 + 1]};
+}
+
+void RankContext::charge_comm(Microseconds start_us) {
+  acct_.comm_us += clock_.now() - start_us;
+}
+
+Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {
+  if (cfg_.interconnect == nullptr) {
+    throw std::invalid_argument("Runtime: interconnect model is required");
+  }
+  if (cfg_.smp_count < 1 || cfg_.procs_per_smp < 1) {
+    throw std::invalid_argument("Runtime: bad machine shape");
+  }
+  if ((cfg_.smp_count & (cfg_.smp_count - 1)) != 0) {
+    throw std::invalid_argument(
+        "Runtime: smp_count must be a power of two (butterfly global sum)");
+  }
+  smps_.reserve(static_cast<std::size_t>(cfg_.smp_count));
+  for (int i = 0; i < cfg_.smp_count; ++i) {
+    smps_.push_back(std::make_unique<SmpShared>(cfg_.procs_per_smp));
+  }
+}
+
+void Runtime::run(const std::function<void(RankContext&)>& body) {
+  const int n = cfg_.nranks();
+  for (auto& s : smps_) s->barrier.reset();
+  acct_.assign(static_cast<std::size_t>(n), Accounting{});
+  clocks_.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      RankContext ctx(*this, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Release any sibling blocked on the SMP barrier.
+        if (cfg_.procs_per_smp > 1) {
+          smp_shared(ctx.smp()).barrier.abort();
+        }
+      }
+      acct_[static_cast<std::size_t>(r)] = ctx.accounting();
+      clocks_[static_cast<std::size_t>(r)] = ctx.clock().now();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+Microseconds Runtime::max_clock() const {
+  Microseconds mx = 0;
+  for (Microseconds c : clocks_) mx = std::max(mx, c);
+  return mx;
+}
+
+}  // namespace hyades::cluster

@@ -1,0 +1,29 @@
+#include "cluster/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace hyades::cluster {
+
+Microseconds Tracer::total(const std::string& op) const {
+  Microseconds sum = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.op == op) sum += e.duration();
+  }
+  return sum;
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<const Tracer*>& per_rank) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_trace_csv: cannot open " + path);
+  os << "rank,op,begin_us,end_us\n";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (per_rank[r] == nullptr) continue;
+    for (const TraceEvent& e : per_rank[r]->events()) {
+      os << r << ',' << e.op << ',' << e.begin_us << ',' << e.end_us << '\n';
+    }
+  }
+}
+
+}  // namespace hyades::cluster

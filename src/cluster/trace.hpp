@@ -1,0 +1,48 @@
+// Per-rank operation tracing in virtual time.
+//
+// When a Tracer is attached to a RankContext, the comm primitives and
+// the GCM time-stepper record (operation, begin, end) intervals on the
+// rank's virtual clock.  Traces can be merged and written as a CSV
+// timeline -- the tool one reaches for when asking where a step's 108 ms
+// actually went (compute, exchange, global sums, or waiting for a
+// load-imbalanced neighbour).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hyades::cluster {
+
+struct TraceEvent {
+  std::string op;        // e.g. "gsum", "exchange", "ps", "ds"
+  Microseconds begin_us = 0;
+  Microseconds end_us = 0;
+
+  [[nodiscard]] Microseconds duration() const { return end_us - begin_us; }
+};
+
+class Tracer {
+ public:
+  void record(std::string op, Microseconds begin_us, Microseconds end_us) {
+    events_.push_back({std::move(op), begin_us, end_us});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  // Total virtual time spent in operations whose name matches `op`.
+  [[nodiscard]] Microseconds total(const std::string& op) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Write a merged timeline: one row per event, "rank,op,begin_us,end_us".
+void write_trace_csv(const std::string& path,
+                     const std::vector<const Tracer*>& per_rank);
+
+}  // namespace hyades::cluster

@@ -1,0 +1,32 @@
+// Per-rank virtual time.
+//
+// The cluster runtime executes ranks on real threads but accounts time in
+// simulated microseconds: compute advances the clock by flops divided by
+// the modeled processor rate, and communication advances it per the
+// interconnect timing model with Lamport-style max() synchronization on
+// message timestamps.  The result is deterministic, independent of host
+// scheduling, and calibrated to the paper's 1999 hardware.
+#pragma once
+
+#include <algorithm>
+
+#include "support/units.hpp"
+
+namespace hyades::cluster {
+
+class VirtualClock {
+ public:
+  [[nodiscard]] Microseconds now() const { return t_; }
+
+  void advance(Microseconds dt) { t_ += dt; }
+
+  // Jump forward to `t` if it is in the future (receive-side sync rule).
+  void advance_to(Microseconds t) { t_ = std::max(t_, t); }
+
+  void reset() { t_ = 0.0; }
+
+ private:
+  Microseconds t_ = 0.0;
+};
+
+}  // namespace hyades::cluster

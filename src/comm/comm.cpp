@@ -1,0 +1,209 @@
+#include "comm/comm.hpp"
+
+#include "cluster/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hyades::comm {
+
+namespace {
+constexpr int kTagGsumBase = 1000;   // + round
+constexpr int kTagGsumLocal = 1900;  // slave -> master, master -> slave
+constexpr int kTagXchgBase = 2000;   // + direction
+}  // namespace
+
+Comm::Comm(cluster::RankContext& ctx, int rank_base, int nranks)
+    : ctx_(ctx),
+      rank_base_(rank_base),
+      nranks_(nranks < 0 ? ctx.nranks() : nranks) {
+  const int ppp = ctx_.procs_per_smp();
+  if (rank_base_ % ppp != 0 || nranks_ % ppp != 0) {
+    throw std::invalid_argument("Comm: group must be SMP-aligned");
+  }
+  if (ctx_.rank() < rank_base_ || ctx_.rank() >= rank_base_ + nranks_) {
+    throw std::invalid_argument("Comm: rank outside group");
+  }
+  const int smps = group_smps();
+  if (smps < 1 || (smps & (smps - 1)) != 0) {
+    throw std::invalid_argument("Comm: group SMP count must be a power of 2");
+  }
+}
+
+bool Comm::remote(int group_rank) const {
+  return ctx_.smp_of(abs_rank(group_rank)) != ctx_.smp();
+}
+
+// Generic reduction: SMP-local combine, masters butterfly, local
+// distribution.  `combine` must be commutative so every rank obtains a
+// bitwise-identical result.
+namespace {
+template <typename Fn>
+void reduce_all(cluster::RankContext& ctx, int rank_base, int nranks,
+                std::vector<double>& v, int tag_salt, Fn combine) {
+  const int ppp = ctx.procs_per_smp();
+  const int gsmp = (ctx.rank() - rank_base) / ppp;
+  const int gsmps = nranks / ppp;
+  const int master_abs = rank_base + gsmp * ppp;
+
+  // SMP-local combine through shared memory (modeled via the message bus
+  // for transport; clocks synchronize through the SMP barrier).
+  ctx.smp_sync();
+  if (ppp > 1) {
+    if (!ctx.is_master()) {
+      ctx.send_raw(master_abs, kTagGsumLocal, v, ctx.clock().now());
+    } else {
+      for (int lr = 1; lr < ppp; ++lr) {
+        cluster::Message m = ctx.recv_raw(master_abs + lr, kTagGsumLocal);
+        if (m.data.size() != v.size()) {
+          throw std::logic_error("global reduce: local size mismatch");
+        }
+        for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], m.data[i]);
+      }
+    }
+  }
+
+  // Recursive-doubling butterfly across the group's SMPs (Section 4.2,
+  // Figure 8): log2(N) rounds, partner differs in bit `round`.
+  if (ctx.is_master()) {
+    int rounds = 0;
+    for (int n = gsmps; n > 1; n >>= 1) ++rounds;
+    for (int round = 0; round < rounds; ++round) {
+      const int partner_gsmp = gsmp ^ (1 << round);
+      const int partner_abs = rank_base + partner_gsmp * ppp;
+      ctx.send_raw(partner_abs, kTagGsumBase + tag_salt + round, v,
+                   ctx.clock().now());
+      cluster::Message m =
+          ctx.recv_raw(partner_abs, kTagGsumBase + tag_salt + round);
+      if (m.data.size() != v.size()) {
+        throw std::logic_error("global reduce: butterfly size mismatch");
+      }
+      for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], m.data[i]);
+      // Round timing: both partners proceed from the later of their
+      // clocks plus the modeled symmetric round cost.
+      ctx.clock().advance_to(m.stamp_us);
+      ctx.clock().advance(ctx.net().gsum_round_time(round));
+    }
+    // Local distribution.
+    if (ppp > 1) {
+      for (int lr = 1; lr < ppp; ++lr) {
+        ctx.send_raw(master_abs + lr, kTagGsumLocal, v, ctx.clock().now());
+      }
+    }
+  } else {
+    cluster::Message m = ctx.recv_raw(master_abs, kTagGsumLocal);
+    v = std::move(m.data);
+    ctx.clock().advance_to(m.stamp_us);
+  }
+  // Final sync pulls every local clock to the master's and applies the
+  // shared-memory distribution cost.
+  ctx.smp_sync();
+}
+}  // namespace
+
+double Comm::global_sum(double x) {
+  std::vector<double> v{x};
+  global_sum(v);
+  return v[0];
+}
+
+void Comm::global_sum(std::vector<double>& xs) {
+  const Microseconds t0 = ctx_.clock().now();
+  reduce_all(ctx_, rank_base_, nranks_, xs, 0,
+             [](double& a, double b) { a += b; });
+  ++gsum_seq_;
+  ctx_.charge_comm(t0);
+  if (ctx_.tracer()) ctx_.tracer()->record("gsum", t0, ctx_.clock().now());
+}
+
+double Comm::global_max(double x) {
+  const Microseconds t0 = ctx_.clock().now();
+  std::vector<double> v{x};
+  reduce_all(ctx_, rank_base_, nranks_, v, 16,
+             [](double& a, double b) { a = std::max(a, b); });
+  ++gsum_seq_;
+  ctx_.charge_comm(t0);
+  if (ctx_.tracer()) ctx_.tracer()->record("gmax", t0, ctx_.clock().now());
+  return v[0];
+}
+
+void Comm::exchange(const std::array<int, kDirections>& neighbors,
+                    Buffers& buf) {
+  const Microseconds t_begin = ctx_.clock().now();
+  const net::Interconnect& net = ctx_.net();
+  const int ppp = ctx_.procs_per_smp();
+
+  for (int d = 0; d < kDirections; ++d) {
+    const int nb_out = neighbors[static_cast<std::size_t>(d)];
+    const int opp = opposite(d);
+    const int nb_in = neighbors[static_cast<std::size_t>(opp)];
+    if (nb_out >= nranks_ || nb_in >= nranks_) {
+      throw std::out_of_range("Comm::exchange: neighbor outside group");
+    }
+
+    const bool out_remote = nb_out >= 0 && remote(nb_out);
+    const bool in_remote = nb_in >= 0 && remote(nb_in);
+    const auto bytes_of = [](const std::vector<double>& v) {
+      return static_cast<std::int64_t>(v.size() * sizeof(double));
+    };
+    const std::int64_t out_b = bytes_of(buf.out[static_cast<std::size_t>(d)]);
+    const std::int64_t in_b = bytes_of(buf.in[static_cast<std::size_t>(opp)]);
+
+    // Aggregate this phase's remote traffic across the SMP: the
+    // communication master batches all local tiles' strips into one VI
+    // transfer per phase (mix-mode, Section 4.1).
+    std::int64_t smp_out = out_remote ? out_b : 0;
+    std::int64_t smp_in = in_remote ? in_b : 0;
+    if (ppp > 1) {
+      ctx_.smp_publish_bytes(out_remote ? out_b : 0, in_remote ? in_b : 0);
+      ctx_.smp_sync();
+      smp_out = smp_in = 0;
+      for (int lr = 0; lr < ppp; ++lr) {
+        const auto [a, b] = ctx_.smp_peek_bytes(lr);
+        smp_out += a;
+        smp_in += b;
+      }
+      ctx_.smp_sync();
+    }
+
+    // Outbound: the SMP's batched transfer for this phase; intra-SMP
+    // strips move by shared-memory copy instead.
+    const Microseconds t0 = ctx_.clock().now();
+    Microseconds t = t0;
+    if (smp_out > 0) t += net.exchange_transfer_time(smp_out);
+    if (nb_out >= 0 && !out_remote) {
+      t += static_cast<double>(out_b) / kShmCopyMBs;
+    }
+    if (nb_out >= 0) {
+      ctx_.send_raw(abs_rank(nb_out), kTagXchgBase + d,
+                    buf.out[static_cast<std::size_t>(d)], t);
+    }
+
+    // Inbound: wait for the opposite neighbor's phase-d strip; the
+    // receive side's share of the transfer serializes behind the send
+    // (one transfer saturates the PCI bus, Section 4.1).
+    if (nb_in >= 0) {
+      cluster::Message m = ctx_.recv_raw(abs_rank(nb_in), kTagXchgBase + d);
+      auto& dst = buf.in[static_cast<std::size_t>(opp)];
+      if (m.data.size() != dst.size()) {
+        throw std::logic_error("Comm::exchange: halo strip size mismatch");
+      }
+      dst = std::move(m.data);
+      t = std::max(t, m.stamp_us);
+      if (in_remote) {
+        t += net.exchange_transfer_time(smp_in);
+      } else {
+        t += static_cast<double>(in_b) / kShmCopyMBs;
+      }
+    }
+    ctx_.clock().advance_to(t);
+  }
+  ++xchg_seq_;
+  ctx_.charge_comm(t_begin);
+  if (ctx_.tracer()) {
+    ctx_.tracer()->record("exchange", t_begin, ctx_.clock().now());
+  }
+}
+
+}  // namespace hyades::comm

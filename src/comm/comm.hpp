@@ -1,0 +1,96 @@
+// The application-specific communication library -- the paper's central
+// software contribution (Section 4): two primitives, `exchange` and
+// `global sum`, tuned to the GCM's needs and the hardware's strengths.
+//
+//   exchange (Section 4.1)
+//     Brings tile halo regions into a consistent state.  Four phases
+//     (send-East, send-West, send-North, send-South); in each phase a
+//     rank ships one edge strip to a neighbor and receives the matching
+//     strip from the opposite neighbor.  Remote traffic uses VI-mode bulk
+//     transfers; transfers from the ranks of one SMP are aggregated
+//     through the SMP's single NIU by the communication master (the
+//     mix-mode protocol), and an SMP's outbound/inbound transfers in a
+//     phase are serialized because one transfer saturates the PCI bus.
+//     Intra-SMP and self (periodic wrap onto the same rank) traffic moves
+//     by shared-memory copy.
+//
+//   global sum (Section 4.2)
+//     Minimizes latency at the expense of message count: an SMP-local
+//     shared-memory combine, then a recursive-doubling butterfly over the
+//     SMPs (N log2 N messages in log2 N rounds), then local distribution.
+//     Every rank obtains a bitwise-identical result (pairwise exchange +
+//     commutative combine), which the CG solver's convergence test
+//     requires.
+//
+// A Comm may span a contiguous sub-range of ranks so that coupled runs
+// can give each isomorph half the machine (Section 5.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/runtime.hpp"
+
+namespace hyades::comm {
+
+enum Direction : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+inline constexpr int kDirections = 4;
+[[nodiscard]] constexpr int opposite(int d) { return d ^ 1; }
+
+class Comm {
+ public:
+  // Communicator over ranks [rank_base, rank_base + nranks); nranks = -1
+  // means the whole machine.  The range must be SMP-aligned.
+  explicit Comm(cluster::RankContext& ctx, int rank_base = 0, int nranks = -1);
+
+  [[nodiscard]] int group_rank() const { return ctx_.rank() - rank_base_; }
+  [[nodiscard]] int group_size() const { return nranks_; }
+  [[nodiscard]] int group_smps() const { return nranks_ / ctx_.procs_per_smp(); }
+  [[nodiscard]] cluster::RankContext& ctx() { return ctx_; }
+
+  // ---- global sum ----------------------------------------------------
+  // Returns the sum of `x` across the group; bitwise identical everywhere.
+  double global_sum(double x);
+  // Element-wise sums of a small vector (one butterfly per the paper's
+  // cost model: the payload still fits a single small message per round,
+  // so it is costed as one global sum).
+  void global_sum(std::vector<double>& xs);
+  // Global max (same communication structure and cost as a sum).
+  double global_max(double x);
+  void barrier() { (void)global_sum(0.0); }
+
+  // ---- halo exchange ---------------------------------------------------
+  struct Buffers {
+    // out[d]: data for the neighbor in direction d; in[d]: storage for
+    // the strip arriving *from* direction d.  in[d] must be pre-sized to
+    // the expected length; out/in may be empty when there is no neighbor.
+    std::array<std::vector<double>, kDirections> out;
+    std::array<std::vector<double>, kDirections> in;
+  };
+  // neighbors[d]: group rank of the neighbor in direction d, or -1.
+  // Collective over the group (and over each SMP's ranks in lockstep).
+  void exchange(const std::array<int, kDirections>& neighbors, Buffers& buf);
+
+  // Number of exchange/global-sum calls completed (tag sequencing).
+  [[nodiscard]] std::uint64_t exchanges_done() const { return xchg_seq_; }
+  [[nodiscard]] std::uint64_t gsums_done() const { return gsum_seq_; }
+
+ private:
+  [[nodiscard]] int abs_rank(int group_rank) const {
+    return rank_base_ + group_rank;
+  }
+  [[nodiscard]] bool remote(int group_rank) const;
+  double butterfly(double x, int tag_salt);
+
+  cluster::RankContext& ctx_;
+  int rank_base_;
+  int nranks_;
+  std::uint64_t xchg_seq_ = 0;
+  std::uint64_t gsum_seq_ = 0;
+
+  // Shared-memory copy bandwidth for intra-SMP halo traffic.
+  static constexpr double kShmCopyMBs = 400.0;
+};
+
+}  // namespace hyades::comm

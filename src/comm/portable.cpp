@@ -1,0 +1,125 @@
+#include "comm/portable.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyades::comm {
+
+namespace {
+constexpr int kTagBase = 8000;  // clear of Comm's and the coupler's tags
+constexpr int kTagUser = 0;     // + user tag
+constexpr int kTagBcast = 4096;
+constexpr int kTagGather = 4097;
+constexpr int kTagReduce = 4098;
+}  // namespace
+
+Portable::Portable(cluster::RankContext& ctx, int rank_base, int nranks)
+    : ctx_(ctx),
+      rank_base_(rank_base),
+      nranks_(nranks < 0 ? ctx.nranks() : nranks) {
+  if (ctx_.rank() < rank_base_ || ctx_.rank() >= rank_base_ + nranks_) {
+    throw std::invalid_argument("Portable: rank outside group");
+  }
+}
+
+Microseconds Portable::msg_cost(std::size_t doubles) const {
+  const auto bytes = static_cast<std::int64_t>(doubles * sizeof(double));
+  // Small messages ride the small-message path; larger ones the bulk
+  // transfer path -- whichever the stack would pick.
+  const net::LogPParams small = ctx_.net().small_message(
+      static_cast<int>(std::min<std::int64_t>(bytes, 88)));
+  const Microseconds bulk = ctx_.net().transfer_time(bytes);
+  return bytes <= 88 ? small.half_rtt() : bulk;
+}
+
+void Portable::send(int dst, int tag, std::vector<double> data) {
+  if (dst < 0 || dst >= nranks_) {
+    throw std::out_of_range("Portable::send: bad destination");
+  }
+  if (tag < 0 || tag >= 4096) {
+    throw std::invalid_argument("Portable::send: tag must be in [0, 4096)");
+  }
+  const Microseconds stamp = ctx_.clock().now() + msg_cost(data.size());
+  ctx_.send_raw(abs(dst), kTagBase + kTagUser + tag, std::move(data), stamp);
+}
+
+std::vector<double> Portable::recv(int src, int tag) {
+  if (src < 0 || src >= nranks_) {
+    throw std::out_of_range("Portable::recv: bad source");
+  }
+  cluster::Message m = ctx_.recv_raw(abs(src), kTagBase + kTagUser + tag);
+  ctx_.clock().advance_to(m.stamp_us);
+  return std::move(m.data);
+}
+
+void Portable::bcast(std::vector<double>& data, int root) {
+  // The classic binomial broadcast on root-relative ranks: climb the
+  // masks until our set bit is found (that is the parent edge), then
+  // forward on every lower mask.
+  const int me = (rank() - root + nranks_) % nranks_;
+  auto to_abs = [&](int rel) { return abs((rel % nranks_ + root) % nranks_); };
+  int mask = 1;
+  while (mask < nranks_) {
+    if (me & mask) {
+      cluster::Message m =
+          ctx_.recv_raw(to_abs(me - mask), kTagBase + kTagBcast);
+      ctx_.clock().advance_to(m.stamp_us);
+      data = std::move(m.data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < nranks_) {
+      const Microseconds stamp = ctx_.clock().now() + msg_cost(data.size());
+      ctx_.send_raw(to_abs(me + mask), kTagBase + kTagBcast, data, stamp);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<double>> Portable::gather(
+    const std::vector<double>& mine, int root) {
+  std::vector<std::vector<double>> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(nranks_));
+    out[static_cast<std::size_t>(root)] = mine;
+    for (int r = 0; r < nranks_; ++r) {
+      if (r == root) continue;
+      cluster::Message m = ctx_.recv_raw(abs(r), kTagBase + kTagGather);
+      ctx_.clock().advance_to(m.stamp_us);
+      out[static_cast<std::size_t>(r)] = std::move(m.data);
+    }
+  } else {
+    const Microseconds stamp = ctx_.clock().now() + msg_cost(mine.size());
+    ctx_.send_raw(abs(root), kTagBase + kTagGather, mine, stamp);
+    // The flat gather serializes at the root; model the sender's own
+    // overhead only.
+    ctx_.clock().advance(ctx_.net().small_message(8).os);
+  }
+  return out;
+}
+
+double Portable::allreduce_sum(double x) {
+  // Reduce to rank 0 over a binomial tree, then broadcast back.
+  const int me = rank();
+  double v = x;
+  for (int bit = 1; bit < nranks_; bit <<= 1) {
+    if (me & bit) {
+      const Microseconds stamp = ctx_.clock().now() + msg_cost(1);
+      ctx_.send_raw(abs(me & ~bit), kTagBase + kTagReduce, {v}, stamp);
+      break;
+    }
+    if (me + bit < nranks_) {
+      cluster::Message m = ctx_.recv_raw(abs(me + bit), kTagBase + kTagReduce);
+      ctx_.clock().advance_to(m.stamp_us);
+      v += m.data[0];
+    }
+  }
+  std::vector<double> result{v};
+  bcast(result, 0);
+  return result[0];
+}
+
+}  // namespace hyades::comm

@@ -1,0 +1,55 @@
+// Portable, general-purpose message passing -- the counterpart of the
+// paper's remark that "non-critical communication is implemented in a
+// portable way using MPI or shared memory, but performance critical
+// communication, exchange and global sum, can be customized for the
+// specific hardware".
+//
+// This layer offers the familiar MPI-flavoured verbs (send/recv, bcast,
+// gather, allreduce) implemented generically over the interconnect's
+// LogP/transfer costs with binomial trees.  It is deliberately *not*
+// tuned: the ablation benches show how much the application-specific
+// primitives in comm.hpp buy over going through this layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/runtime.hpp"
+
+namespace hyades::comm {
+
+class Portable {
+ public:
+  explicit Portable(cluster::RankContext& ctx, int rank_base = 0,
+                    int nranks = -1);
+
+  [[nodiscard]] int rank() const { return ctx_.rank() - rank_base_; }
+  [[nodiscard]] int size() const { return nranks_; }
+
+  // Point to point (tags must stay below 4096; the implementation
+  // namespaces them away from the tuned primitives' tag space).
+  void send(int dst, int tag, std::vector<double> data);
+  std::vector<double> recv(int src, int tag);
+
+  // Broadcast `data` from `root` (binomial tree).
+  void bcast(std::vector<double>& data, int root);
+
+  // Gather every rank's vector at `root`; the result at root is indexed
+  // by group rank, other ranks get an empty vector.
+  std::vector<std::vector<double>> gather(const std::vector<double>& mine,
+                                          int root);
+
+  // Tree reduce + broadcast (contrast with Comm::global_sum's
+  // latency-optimized butterfly).
+  double allreduce_sum(double x);
+
+ private:
+  [[nodiscard]] int abs(int group_rank) const { return rank_base_ + group_rank; }
+  [[nodiscard]] Microseconds msg_cost(std::size_t doubles) const;
+
+  cluster::RankContext& ctx_;
+  int rank_base_;
+  int nranks_;
+};
+
+}  // namespace hyades::comm

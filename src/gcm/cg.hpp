@@ -1,0 +1,39 @@
+// Jacobi-preconditioned conjugate gradients with the paper's per-
+// iteration communication structure: one 2-D halo-1 exchange (on the
+// search direction) and two global sums (Section 4: "the iterative
+// solver requires an exchange to be applied to two fields at every
+// solver iteration ... Two global sum operations are required at every
+// solver iteration").
+//
+// All dot products are reduced through Comm::global_sum, so every rank
+// sees bitwise-identical convergence decisions.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "gcm/elliptic.hpp"
+
+namespace hyades::gcm {
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;       // sqrt(<r, M^-1 r>) at exit
+  double rhs_norm = 0.0;       // initial preconditioned norm
+  bool converged = false;
+  double flops = 0.0;          // local flops spent in the solve
+};
+
+enum class CgPrecond {
+  kZonalLine,  // tile-local tridiagonal-in-x (production default)
+  kJacobi,     // diagonal scaling (kept for the solver ablation)
+};
+
+// Solves L p = b in-place (p holds the initial guess, typically the
+// previous step's pressure).  b must satisfy the compatibility condition
+// (its global sum is ~0); the constant null-space component of p is left
+// untouched by CG.
+CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
+                  const EllipticOperator& op, const Array2D<double>& b,
+                  Array2D<double>& p, double tol, int max_iter,
+                  CgPrecond precond = CgPrecond::kZonalLine);
+
+}  // namespace hyades::gcm

@@ -1,0 +1,131 @@
+#include "gcm/cg3.hpp"
+
+#include <cmath>
+
+#include "gcm/halo.hpp"
+
+namespace hyades::gcm {
+
+namespace {
+double dot_interior(const Decomp& dec, int nz, const Array3D<double>& a,
+                    const Array3D<double>& b) {
+  double s = 0.0;
+  for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+    for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        s += a(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k)) *
+             b(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k));
+      }
+    }
+  }
+  return s;
+}
+
+void axpy_interior(const Decomp& dec, int nz, double alpha,
+                   const Array3D<double>& x, Array3D<double>& y) {
+  for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+    for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        y(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+          static_cast<std::size_t>(k)) +=
+            alpha * x(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(k));
+      }
+    }
+  }
+}
+
+void xpay_interior(const Decomp& dec, int nz, const Array3D<double>& x,
+                   double beta, Array3D<double>& y) {
+  for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+    for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        auto& yy = y(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k));
+        yy = x(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k)) +
+             beta * yy;
+      }
+    }
+  }
+}
+}  // namespace
+
+Cg3Result cg3_solve(comm::Comm& comm, const Decomp& dec,
+                    const EllipticOperator3& op, const Array3D<double>& b,
+                    Array3D<double>& p, double tol, int max_iter) {
+  Cg3Result res;
+  const auto ex = static_cast<std::size_t>(dec.ext_x());
+  const auto ey = static_cast<std::size_t>(dec.ext_y());
+  const auto ez = b.nz();
+  const int nz = static_cast<int>(ez);
+  const double cells = static_cast<double>(dec.snx) * dec.sny * nz;
+
+  Array3D<double> r(ex, ey, ez, 0.0), z(ex, ey, ez, 0.0), d(ex, ey, ez, 0.0),
+      q(ex, ey, ez, 0.0);
+
+  exchange3d(comm, dec, p, 1);
+  res.flops += op.apply(p, q);
+  for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+    for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        r(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+          static_cast<std::size_t>(k)) =
+            b(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k)) -
+            q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k));
+      }
+    }
+  }
+  res.flops += cells;
+
+  res.flops += op.precondition(r, z);
+  d = z;
+  double rz = comm.global_sum(dot_interior(dec, nz, r, z));
+  const double bb = comm.global_sum(dot_interior(dec, nz, b, b));
+  const double target = tol * std::sqrt(std::max(bb, 1e-300));
+  double rr = comm.global_sum(dot_interior(dec, nz, r, r));
+  res.flops += 6.0 * cells;
+  if (std::sqrt(rr) <= target) {
+    res.converged = true;
+    res.residual = std::sqrt(rr);
+    return res;
+  }
+
+  for (int it = 0; it < max_iter; ++it) {
+    exchange3d(comm, dec, d, 1);
+    res.flops += op.apply(d, q);
+    const double dq = comm.global_sum(dot_interior(dec, nz, d, q));
+    res.flops += 2.0 * cells;
+    if (dq <= 0.0) break;
+    const double alpha = rz / dq;
+    axpy_interior(dec, nz, alpha, d, p);
+    axpy_interior(dec, nz, -alpha, q, r);
+    res.flops += 4.0 * cells;
+
+    res.flops += op.precondition(r, z);
+    exchange3d(comm, dec, z, 1);
+    std::vector<double> sums{dot_interior(dec, nz, r, z),
+                             dot_interior(dec, nz, r, r)};
+    res.flops += 4.0 * cells;
+    comm.global_sum(sums);
+    const double rz_new = sums[0];
+    const double rr_new = sums[1];
+    res.iterations = it + 1;
+    res.residual = std::sqrt(rr_new);
+    if (res.residual <= target) {
+      res.converged = true;
+      return res;
+    }
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpay_interior(dec, nz, z, beta, d);
+    res.flops += 2.0 * cells;
+  }
+  return res;
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,25 @@
+// Preconditioned conjugate gradients for the non-hydrostatic 3-D
+// pressure (the 3-D counterpart of cg.hpp).  Per iteration: two 3-D
+// halo-1 exchanges and two global sums -- the same communication shape
+// as the 2-D solver but with level-deep strips, which is exactly why the
+// paper's climate runs stay in the hydrostatic limit (see
+// bench_ablation_nonhydro).
+#pragma once
+
+#include "comm/comm.hpp"
+#include "gcm/elliptic3.hpp"
+
+namespace hyades::gcm {
+
+struct Cg3Result {
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+  double flops = 0.0;
+};
+
+Cg3Result cg3_solve(comm::Comm& comm, const Decomp& dec,
+                    const EllipticOperator3& op, const Array3D<double>& b,
+                    Array3D<double>& p, double tol, int max_iter);
+
+}  // namespace hyades::gcm

@@ -1,0 +1,26 @@
+#include "gcm/decomp.hpp"
+
+#include <stdexcept>
+
+namespace hyades::gcm {
+
+Decomp::Decomp(const ModelConfig& cfg, int group_rank)
+    : px(cfg.px),
+      py(cfg.py),
+      tx(group_rank % cfg.px),
+      ty(group_rank / cfg.px),
+      snx(cfg.snx()),
+      sny(cfg.sny()),
+      halo(cfg.halo),
+      i0(tx * cfg.snx()),
+      j0(ty * cfg.sny()) {
+  if (group_rank < 0 || group_rank >= cfg.tiles()) {
+    throw std::invalid_argument("Decomp: rank outside tile grid");
+  }
+  neighbors[comm::kEast] = rank_of(tx + 1, ty);
+  neighbors[comm::kWest] = rank_of(tx - 1, ty);
+  neighbors[comm::kNorth] = ty + 1 < py ? rank_of(tx, ty + 1) : -1;
+  neighbors[comm::kSouth] = ty - 1 >= 0 ? rank_of(tx, ty - 1) : -1;
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,37 @@
+// Tiled domain decomposition (Section 4, Figure 5): the global lateral
+// grid is carved into px x py tiles, each extending over the full depth.
+// Tiles carry a halo in which neighbouring tiles' data are duplicated.
+#pragma once
+
+#include <array>
+
+#include "comm/comm.hpp"
+#include "gcm/config.hpp"
+
+namespace hyades::gcm {
+
+struct Decomp {
+  Decomp(const ModelConfig& cfg, int group_rank);
+
+  int px, py;     // tile grid shape
+  int tx, ty;     // this tile's coordinates
+  int snx, sny;   // interior tile size
+  int halo;       // halo width
+  int i0, j0;     // global index of the tile's first interior cell
+
+  // Group ranks of the four neighbours (periodic in x, closed in y);
+  // -1 where the domain ends.
+  std::array<int, comm::kDirections> neighbors;
+
+  [[nodiscard]] int rank_of(int tile_x, int tile_y) const {
+    return tile_y * px + ((tile_x % px) + px) % px;
+  }
+  // Total allocated extent including halos.
+  [[nodiscard]] int ext_x() const { return snx + 2 * halo; }
+  [[nodiscard]] int ext_y() const { return sny + 2 * halo; }
+  // Global j for a local (halo-offset) j index.
+  [[nodiscard]] int global_j(int j_local) const { return j0 + j_local - halo; }
+  [[nodiscard]] int global_i(int i_local) const { return i0 + i_local - halo; }
+};
+
+}  // namespace hyades::gcm

@@ -1,0 +1,27 @@
+// Equation of state.
+//
+// Both isomorphs use the same linear form (Section 3: the isomorphism
+// lets one kernel serve ocean and atmosphere):
+//
+//   b = g * (alpha * (theta - theta0) - beta * (salt - salt0))
+//
+// Ocean: alpha/beta are the thermal-expansion and haline-contraction
+// coefficients.  Atmosphere: alpha = 1/theta_ref turns b into the dry
+// potential-temperature buoyancy g*theta'/theta_ref and beta = 0 (the
+// `salt` array then carries a passive moisture proxy).
+#pragma once
+
+#include "gcm/config.hpp"
+
+namespace hyades::gcm {
+
+// Buoyancy (m/s^2), positive upward for light fluid.
+inline double buoyancy(const ModelConfig& cfg, double theta, double salt) {
+  return cfg.gravity * (cfg.eos_alpha * (theta - cfg.theta0) -
+                        cfg.eos_beta * (salt - cfg.salt0));
+}
+
+// Flops per buoyancy evaluation (for the performance accounting).
+inline constexpr double kEosFlops = 6.0;
+
+}  // namespace hyades::gcm

@@ -1,0 +1,171 @@
+#include "gcm/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyades::gcm {
+
+namespace {
+constexpr double kHFacMin = 0.2;   // smallest allowed partial cell
+constexpr double kHFacCut = 0.05;  // below this a cell is closed
+}  // namespace
+
+double TileGrid::column_depth(const ModelConfig& cfg, double lon, double lat) {
+  const double D = cfg.total_depth;
+  switch (cfg.topography) {
+    case ModelConfig::Topography::kFlat:
+      return D;
+    case ModelConfig::Topography::kRidge: {
+      // A meridional mid-basin ridge rising to 60% of the column.
+      const double x = std::fmod(lon, 2.0 * M_PI) - M_PI;
+      return D * (1.0 - 0.6 * std::exp(-(x * x) / (2.0 * 0.3 * 0.3)));
+    }
+    case ModelConfig::Topography::kContinents: {
+      // Two idealized rectangular land masses with shelf edges.
+      const double l = std::fmod(lon + 2.0 * M_PI, 2.0 * M_PI);
+      const double lat_deg = lat * 180.0 / M_PI;
+      auto in_block = [&](double lo, double hi) {
+        return l > lo * M_PI && l < hi * M_PI && std::abs(lat_deg) < 60.0;
+      };
+      if (in_block(0.30, 0.60) || in_block(1.20, 1.50)) return 0.0;
+      // Shelves along the block edges.
+      auto near_block = [&](double lo, double hi) {
+        return l > (lo - 0.06) * M_PI && l < (hi + 0.06) * M_PI &&
+               std::abs(lat_deg) < 63.0;
+      };
+      if (near_block(0.30, 0.60) || near_block(1.20, 1.50)) return 0.35 * D;
+      return D;
+    }
+    case ModelConfig::Topography::kBasin: {
+      // A meridional land strip closes the periodic channel into a basin.
+      const double l = std::fmod(lon + 2.0 * M_PI, 2.0 * M_PI);
+      if (l < 0.12 * M_PI || l > 1.88 * M_PI) return 0.0;
+      return D;
+    }
+  }
+  return D;
+}
+
+TileGrid::TileGrid(const ModelConfig& cfg, const Decomp& dec) {
+  const int ex = dec.ext_x();
+  const int ey = dec.ext_y();
+  const int nz = cfg.nz;
+  const double R = cfg.radius;
+  const double dlat = cfg.dlat_rad();
+  const double dlon = cfg.dlon_rad();
+
+  dyC = R * dlat;
+  latC.resize(static_cast<std::size_t>(ey));
+  dxC.resize(static_cast<std::size_t>(ey));
+  dxS.resize(static_cast<std::size_t>(ey));
+  fC.resize(static_cast<std::size_t>(ey));
+  rAc.resize(static_cast<std::size_t>(ey));
+  for (int j = 0; j < ey; ++j) {
+    const int gj = dec.global_j(j);
+    // Clamp halo rows beyond the wall to the wall latitude; they are land
+    // anyway, but their metrics must stay finite.
+    const int cj = std::clamp(gj, 0, cfg.ny - 1);
+    const double lat = cfg.lat0_rad() + (cj + 0.5) * dlat;
+    const double lat_s = cfg.lat0_rad() + cj * dlat;
+    latC[static_cast<std::size_t>(j)] = lat;
+    dxC[static_cast<std::size_t>(j)] = R * std::cos(lat) * dlon;
+    dxS[static_cast<std::size_t>(j)] = R * std::cos(lat_s) * dlon;
+    fC[static_cast<std::size_t>(j)] = 2.0 * cfg.omega * std::sin(lat);
+    rAc[static_cast<std::size_t>(j)] = dxC[static_cast<std::size_t>(j)] * dyC;
+  }
+
+  dzf = cfg.level_thicknesses();
+  zC.resize(static_cast<std::size_t>(nz));
+  double z = 0.0;
+  for (int k = 0; k < nz; ++k) {
+    zC[static_cast<std::size_t>(k)] = z + 0.5 * dzf[static_cast<std::size_t>(k)];
+    z += dzf[static_cast<std::size_t>(k)];
+  }
+
+  hFacC = Array3D<double>(static_cast<std::size_t>(ex),
+                          static_cast<std::size_t>(ey),
+                          static_cast<std::size_t>(nz), 0.0);
+  depth = Array2D<double>(static_cast<std::size_t>(ex),
+                          static_cast<std::size_t>(ey), 0.0);
+
+  for (int i = 0; i < ex; ++i) {
+    for (int j = 0; j < ey; ++j) {
+      const int gj = dec.global_j(j);
+      if (gj < 0 || gj >= cfg.ny) continue;  // beyond the y walls: land
+      const int gi = ((dec.global_i(i) % cfg.nx) + cfg.nx) % cfg.nx;
+      const double lon = (gi + 0.5) * dlon;
+      const double D = column_depth(cfg, lon, latC[static_cast<std::size_t>(j)]);
+      double top = 0.0;
+      double h_total = 0.0;
+      for (int k = 0; k < nz; ++k) {
+        const double dz = dzf[static_cast<std::size_t>(k)];
+        double h = std::clamp((D - top) / dz, 0.0, 1.0);
+        if (h < kHFacCut) {
+          h = 0.0;
+        } else if (h < kHFacMin) {
+          h = kHFacMin;
+        }
+        hFacC(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k)) = h;
+        h_total += h * dz;
+        top += dz;
+      }
+      depth(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          h_total;
+    }
+  }
+
+  // Face fractions: the open fraction of a face is the smaller of the two
+  // adjacent cells' fractions (the finite-volume "shaved cell" rule).
+  hFacW = Array3D<double>(static_cast<std::size_t>(ex),
+                          static_cast<std::size_t>(ey),
+                          static_cast<std::size_t>(nz), 0.0);
+  hFacS = Array3D<double>(static_cast<std::size_t>(ex),
+                          static_cast<std::size_t>(ey),
+                          static_cast<std::size_t>(nz), 0.0);
+  for (int i = 1; i < ex; ++i) {
+    for (int j = 0; j < ey; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        hFacW(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k)) =
+            std::min(hFacC(static_cast<std::size_t>(i - 1),
+                           static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(k)),
+                     hFacC(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(k)));
+      }
+    }
+  }
+  for (int i = 0; i < ex; ++i) {
+    for (int j = 1; j < ey; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        hFacS(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k)) =
+            std::min(hFacC(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j - 1),
+                           static_cast<std::size_t>(k)),
+                     hFacC(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(k)));
+      }
+    }
+  }
+
+  // Interior wet-cell census.
+  for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+    for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+      bool any = false;
+      for (int k = 0; k < nz; ++k) {
+        if (hFacC(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  static_cast<std::size_t>(k)) > 0) {
+          ++wet_cells_;
+          any = true;
+        }
+      }
+      if (any) ++wet_columns_;
+    }
+  }
+}
+
+}  // namespace hyades::gcm

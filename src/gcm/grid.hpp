@@ -1,0 +1,66 @@
+// Per-tile finite-volume grid: spherical-polar metrics, vertical levels,
+// and the volume/face open fractions ("shaved cells", Figure 4) that let
+// the discrete domain fit irregular geometry.
+//
+// Staggering is the Arakawa C grid:
+//   tracers, pressure      at cell centers   (i, j, k)
+//   u                      at west  faces    u(i,j) between cells i-1, i
+//   v                      at south faces    v(i,j) between cells j-1, j
+//   w                      at top   faces    w(i,j,k) above cell k
+// k = 0 is the surface and k increases downward; level thicknesses dz[k].
+//
+// Indices are local tile indices including the halo offset: the interior
+// is [halo, halo + snx) x [halo, halo + sny).  Rows beyond the global y
+// extent are marked land, which closes the domain at the north and south
+// walls through the same mask machinery that represents continents.
+#pragma once
+
+#include <vector>
+
+#include "gcm/config.hpp"
+#include "gcm/decomp.hpp"
+#include "support/array.hpp"
+
+namespace hyades::gcm {
+
+class TileGrid {
+ public:
+  TileGrid(const ModelConfig& cfg, const Decomp& dec);
+
+  // Horizontal metrics, indexed by local j (0 .. ext_y).
+  std::vector<double> latC;  // cell-center latitude (rad)
+  std::vector<double> dxC;   // R cos(lat) dlon: cell width / center spacing
+  std::vector<double> dxS;   // width of the south face of row j
+  std::vector<double> fC;    // Coriolis parameter 2*Omega*sin(lat)
+  std::vector<double> rAc;   // cell plan area dxC * dyC
+  double dyC = 0;            // R dlat (uniform)
+
+  // Vertical grid.
+  std::vector<double> dzf;  // level thickness
+  std::vector<double> zC;   // depth of level center (positive downward)
+
+  // Open fractions (0 = closed/land, 1 = fully open).
+  Array3D<double> hFacC;  // cell volume fraction
+  Array3D<double> hFacW;  // west-face fraction (u points)
+  Array3D<double> hFacS;  // south-face fraction (v points)
+  Array2D<double> depth;  // total fluid depth H = sum dz * hFacC
+
+  [[nodiscard]] bool wet(std::size_t i, std::size_t j, std::size_t k) const {
+    return hFacC(i, j, k) > 0.0;
+  }
+
+  // Counts of wet interior cells / columns on this tile (for flop and
+  // conservation accounting).
+  [[nodiscard]] std::int64_t wet_cells() const { return wet_cells_; }
+  [[nodiscard]] std::int64_t wet_columns() const { return wet_columns_; }
+
+ private:
+  // Fluid depth at a global (i, j) cell from the configured topography.
+  [[nodiscard]] static double column_depth(const ModelConfig& cfg,
+                                           double lon, double lat);
+
+  std::int64_t wet_cells_ = 0;
+  std::int64_t wet_columns_ = 0;
+};
+
+}  // namespace hyades::gcm

@@ -1,0 +1,131 @@
+#include "gcm/halo.hpp"
+
+#include <stdexcept>
+
+namespace hyades::gcm {
+
+namespace {
+
+// Generic packer over a rectangular (i, j) window and nz levels.
+template <typename FieldT>
+void pack(const FieldT& f, int i0, int i1, int j0, int j1, int nz,
+          std::vector<double>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>((i1 - i0) * (j1 - j0) * nz));
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        out.push_back(f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k)));
+      }
+    }
+  }
+}
+
+template <typename FieldT>
+void unpack(FieldT& f, int i0, int i1, int j0, int j1, int nz,
+            const std::vector<double>& in) {
+  std::size_t n = 0;
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+          static_cast<std::size_t>(k)) = in[n++];
+      }
+    }
+  }
+}
+
+// Array2D adaptor so the same pack/unpack handles both ranks.
+struct Flat2D {
+  Array2D<double>& a;
+  double operator()(std::size_t i, std::size_t j, std::size_t) const {
+    return a(i, j);
+  }
+  double& operator()(std::size_t i, std::size_t j, std::size_t) {
+    return a(i, j);
+  }
+};
+struct ConstFlat2D {
+  const Array2D<double>& a;
+  double operator()(std::size_t i, std::size_t j, std::size_t) const {
+    return a(i, j);
+  }
+};
+
+template <typename ConstF, typename MutF>
+void exchange_impl(comm::Comm& comm, const Decomp& dec, const ConstF& cf,
+                   MutF& mf, int nz, int width) {
+  if (width < 1 || width > dec.halo) {
+    throw std::invalid_argument("exchange: width must be in [1, halo]");
+  }
+  const int h = dec.halo;
+  const int ie = h + dec.snx;  // one past the interior in x
+  const int je = h + dec.sny;
+
+  using comm::kEast;
+  using comm::kNorth;
+  using comm::kSouth;
+  using comm::kWest;
+
+  // Stage 1: east/west strips over interior rows.
+  {
+    std::array<int, comm::kDirections> nb{dec.neighbors[kEast],
+                                          dec.neighbors[kWest], -1, -1};
+    comm::Comm::Buffers buf;
+    if (nb[kEast] >= 0) {
+      pack(cf, ie - width, ie, h, je, nz, buf.out[kEast]);
+      buf.in[kEast].resize(static_cast<std::size_t>(width * dec.sny * nz));
+    }
+    if (nb[kWest] >= 0) {
+      pack(cf, h, h + width, h, je, nz, buf.out[kWest]);
+      buf.in[kWest].resize(static_cast<std::size_t>(width * dec.sny * nz));
+    }
+    comm.exchange(nb, buf);
+    if (nb[kEast] >= 0) unpack(mf, ie, ie + width, h, je, nz, buf.in[kEast]);
+    if (nb[kWest] >= 0) unpack(mf, h - width, h, h, je, nz, buf.in[kWest]);
+  }
+
+  // Stage 2: north/south strips over the x-extended rows, so corners are
+  // carried along.
+  {
+    const int xi0 = h - width;
+    const int xi1 = ie + width;
+    std::array<int, comm::kDirections> nb{-1, -1, dec.neighbors[kNorth],
+                                          dec.neighbors[kSouth]};
+    comm::Comm::Buffers buf;
+    const auto strip =
+        static_cast<std::size_t>((xi1 - xi0) * width * nz);
+    if (nb[kNorth] >= 0) {
+      pack(cf, xi0, xi1, je - width, je, nz, buf.out[kNorth]);
+      buf.in[kNorth].resize(strip);
+    }
+    if (nb[kSouth] >= 0) {
+      pack(cf, xi0, xi1, h, h + width, nz, buf.out[kSouth]);
+      buf.in[kSouth].resize(strip);
+    }
+    comm.exchange(nb, buf);
+    if (nb[kNorth] >= 0) {
+      unpack(mf, xi0, xi1, je, je + width, nz, buf.in[kNorth]);
+    }
+    if (nb[kSouth] >= 0) {
+      unpack(mf, xi0, xi1, h - width, h, nz, buf.in[kSouth]);
+    }
+  }
+}
+
+}  // namespace
+
+void exchange3d(comm::Comm& comm, const Decomp& dec, Array3D<double>& f,
+                int width) {
+  exchange_impl(comm, dec, f, f, static_cast<int>(f.nz()), width);
+}
+
+void exchange2d(comm::Comm& comm, const Decomp& dec, Array2D<double>& f,
+                int width) {
+  const ConstFlat2D cf{f};
+  Flat2D mf{f};
+  exchange_impl(comm, dec, cf, mf, 1, width);
+}
+
+}  // namespace hyades::gcm

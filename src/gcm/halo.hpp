@@ -1,0 +1,25 @@
+// Halo exchange adapters: pack tile edge strips into the comm library's
+// exchange buffers and unpack the neighbours' strips into the halo.
+//
+// A 3-D (or 2-D) field exchange runs in two stages -- east/west first,
+// then north/south over the x-extended rows -- so halo corners are
+// filled without explicit diagonal communication.  This is the standard
+// realization of the paper's `exchange` primitive, and each stage maps
+// onto one call of comm::Comm::exchange.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "gcm/decomp.hpp"
+#include "support/array.hpp"
+
+namespace hyades::gcm {
+
+// Exchange `width` halo cells of a 3-D field (width <= dec.halo).
+void exchange3d(comm::Comm& comm, const Decomp& dec, Array3D<double>& f,
+                int width);
+
+// Exchange `width` halo cells of a 2-D field.
+void exchange2d(comm::Comm& comm, const Decomp& dec, Array2D<double>& f,
+                int width);
+
+}  // namespace hyades::gcm

@@ -1,0 +1,705 @@
+#include "gcm/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gcm/eos.hpp"
+
+namespace hyades::gcm::kernels {
+
+namespace {
+// Terse local accessors (indices are validated by the Array asserts in
+// debug builds).
+inline double at(const Array3D<double>& f, int i, int j, int k) {
+  return f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+           static_cast<std::size_t>(k));
+}
+inline double& at(Array3D<double>& f, int i, int j, int k) {
+  return f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+           static_cast<std::size_t>(k));
+}
+inline double at(const Array2D<double>& f, int i, int j) {
+  return f(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+}
+inline double& at(Array2D<double>& f, int i, int j) {
+  return f(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+}
+inline double m1(const std::vector<double>& v, int j) {
+  return v[static_cast<std::size_t>(j)];
+}
+}  // namespace
+
+Range extended(const Decomp& dec, int e) {
+  return Range{dec.halo - e, dec.halo + dec.snx + e, dec.halo - e,
+               dec.halo + dec.sny + e};
+}
+
+double hydrostatic(const ModelConfig& cfg, const TileGrid& grid,
+                   const Array3D<double>& theta, const Array3D<double>& salt,
+                   Array3D<double>& phi, const Range& r) {
+  const int nz = cfg.nz;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      double p = 0.0;        // phi at the current cell center
+      double b_above = 0.0;  // buoyancy of the cell above
+      for (int k = 0; k < nz; ++k) {
+        if (grid.hFacC(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       static_cast<std::size_t>(k)) <= 0) {
+          at(phi, i, j, k) = p;  // keep land columns finite
+          continue;
+        }
+        const double b = buoyancy(cfg, at(theta, i, j, k), at(salt, i, j, k));
+        // d(phi)/d(depth) = -b; integrate center to center.
+        if (k == 0) {
+          p = -b * 0.5 * grid.dzf[0];
+        } else {
+          p -= 0.5 * (b_above * grid.dzf[static_cast<std::size_t>(k - 1)] +
+                      b * grid.dzf[static_cast<std::size_t>(k)]);
+        }
+        at(phi, i, j, k) = p;
+        b_above = b;
+        flops += kEosFlops + 5.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double momentum_tendencies(const ModelConfig& cfg, const TileGrid& grid,
+                           const Array3D<double>& u, const Array3D<double>& v,
+                           const Array3D<double>& w,
+                           const Array3D<double>& phi, Array3D<double>& gu,
+                           Array3D<double>& gv, double visc_v,
+                           const Range& r) {
+  const int nz = cfg.nz;
+  const double dy = grid.dyC;
+  double flops = 0;
+
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dx = m1(grid.dxC, j);
+      const double dxs = m1(grid.dxS, j);
+      const double f_u = m1(grid.fC, j);
+      const double f_v = 0.5 * (m1(grid.fC, j - 1) + m1(grid.fC, j));
+      for (int k = 0; k < nz; ++k) {
+        const double dz = grid.dzf[static_cast<std::size_t>(k)];
+
+        // ---- Gu at the u point (west face of cell (i,j)) -------------
+        if (at(grid.hFacW, i, j, k) > 0) {
+          const double uc = at(u, i, j, k);
+          const double vbar = 0.25 * (at(v, i - 1, j, k) + at(v, i, j, k) +
+                                      at(v, i - 1, j + 1, k) +
+                                      at(v, i, j + 1, k));
+          const double dudx = (at(u, i + 1, j, k) - at(u, i - 1, j, k)) /
+                              (2.0 * dx);
+          const double dudy = (at(u, i, j + 1, k) - at(u, i, j - 1, k)) /
+                              (2.0 * dy);
+          // Vertical advection: w is the downward velocity at cell tops.
+          double vert = 0.0;
+          if (k > 0) {
+            const double wt = 0.5 * (at(w, i - 1, j, k) + at(w, i, j, k));
+            vert += 0.5 * wt * (at(u, i, j, k - 1) - uc) /
+                    (grid.zC[static_cast<std::size_t>(k)] -
+                     grid.zC[static_cast<std::size_t>(k - 1)]) * -1.0;
+          }
+          if (k + 1 < nz && at(grid.hFacW, i, j, k + 1) > 0) {
+            const double wb =
+                0.5 * (at(w, i - 1, j, k + 1) + at(w, i, j, k + 1));
+            vert += 0.5 * wb * (uc - at(u, i, j, k + 1)) /
+                    (grid.zC[static_cast<std::size_t>(k + 1)] -
+                     grid.zC[static_cast<std::size_t>(k)]) * -1.0;
+          }
+          const double adv = uc * dudx + vbar * dudy + vert;
+          const double dpdx = (at(phi, i, j, k) - at(phi, i - 1, j, k)) / dx;
+          const double visc_h =
+              cfg.visc_h *
+              ((at(u, i + 1, j, k) - 2.0 * uc + at(u, i - 1, j, k)) / (dx * dx) +
+               (at(u, i, j + 1, k) - 2.0 * uc + at(u, i, j - 1, k)) / (dy * dy));
+          double visc_v_term = 0.0;
+          if (k > 0) {
+            visc_v_term += visc_v * (at(u, i, j, k - 1) - uc) / (dz * dz);
+          }
+          if (k + 1 < nz && at(grid.hFacW, i, j, k + 1) > 0) {
+            visc_v_term += visc_v * (at(u, i, j, k + 1) - uc) / (dz * dz);
+          }
+          at(gu, i, j, k) = -adv + f_u * vbar - dpdx + visc_h + visc_v_term;
+          flops += 44.0;
+        } else {
+          at(gu, i, j, k) = 0.0;
+        }
+
+        // ---- Gv at the v point (south face of cell (i,j)) ------------
+        if (at(grid.hFacS, i, j, k) > 0) {
+          const double vc = at(v, i, j, k);
+          const double ubar = 0.25 * (at(u, i, j - 1, k) + at(u, i + 1, j - 1, k) +
+                                      at(u, i, j, k) + at(u, i + 1, j, k));
+          const double dvdx =
+              (at(v, i + 1, j, k) - at(v, i - 1, j, k)) / (2.0 * dxs);
+          const double dvdy =
+              (at(v, i, j + 1, k) - at(v, i, j - 1, k)) / (2.0 * dy);
+          double vert = 0.0;
+          if (k > 0) {
+            const double wt = 0.5 * (at(w, i, j - 1, k) + at(w, i, j, k));
+            vert += 0.5 * wt * (at(v, i, j, k - 1) - vc) /
+                    (grid.zC[static_cast<std::size_t>(k)] -
+                     grid.zC[static_cast<std::size_t>(k - 1)]) * -1.0;
+          }
+          if (k + 1 < nz && at(grid.hFacS, i, j, k + 1) > 0) {
+            const double wb = 0.5 * (at(w, i, j - 1, k + 1) + at(w, i, j, k + 1));
+            vert += 0.5 * wb * (vc - at(v, i, j, k + 1)) /
+                    (grid.zC[static_cast<std::size_t>(k + 1)] -
+                     grid.zC[static_cast<std::size_t>(k)]) * -1.0;
+          }
+          const double adv = ubar * dvdx + vc * dvdy + vert;
+          const double dpdy = (at(phi, i, j, k) - at(phi, i, j - 1, k)) / dy;
+          const double visc_h =
+              cfg.visc_h *
+              ((at(v, i + 1, j, k) - 2.0 * vc + at(v, i - 1, j, k)) /
+                   (dxs * dxs) +
+               (at(v, i, j + 1, k) - 2.0 * vc + at(v, i, j - 1, k)) / (dy * dy));
+          double visc_v_term = 0.0;
+          if (k > 0) {
+            visc_v_term += visc_v * (at(v, i, j, k - 1) - vc) / (dz * dz);
+          }
+          if (k + 1 < nz && at(grid.hFacS, i, j, k + 1) > 0) {
+            visc_v_term += visc_v * (at(v, i, j, k + 1) - vc) / (dz * dz);
+          }
+          at(gv, i, j, k) = -adv - f_v * ubar - dpdy + visc_h + visc_v_term;
+          flops += 44.0;
+        } else {
+          at(gv, i, j, k) = 0.0;
+        }
+      }
+    }
+  }
+  return flops;
+}
+
+namespace {
+// Downward volume flux through the top face of cell (i,j,k) implied by
+// advective transport of `tr`, plus vertical diffusion.
+inline double vertical_tracer_flux(const TileGrid& grid,
+                                   const Array3D<double>& w,
+                                   const Array3D<double>& tr, double kappa_v,
+                                   int i, int j, int k) {
+  if (k == 0) return 0.0;  // no flux through the surface
+  if (at(grid.hFacC, i, j, k) <= 0 || at(grid.hFacC, i, j, k - 1) <= 0) {
+    return 0.0;
+  }
+  const double area = m1(grid.rAc, j);
+  const double adv =
+      at(w, i, j, k) * area * 0.5 * (at(tr, i, j, k - 1) + at(tr, i, j, k));
+  const double dzc = grid.zC[static_cast<std::size_t>(k)] -
+                     grid.zC[static_cast<std::size_t>(k - 1)];
+  // Downward diffusive flux: F = -kv * d(tr)/d(depth) * area.
+  const double diff =
+      -kappa_v * area * (at(tr, i, j, k) - at(tr, i, j, k - 1)) / dzc;
+  return adv + diff;
+}
+
+// 3rd-order direct space-time face value (MITgcm's DST-3 scheme):
+// upwind-biased, with the Courant number folded into the weights.  The
+// slope differences are masked so the stencil degrades gracefully to
+// first order beside land.
+inline double dst3_face_value(double vel, double cfl, double t_m2,
+                              double t_m1, double t_0, double t_p1,
+                              bool have_m2, bool have_p1) {
+  const double c = std::abs(cfl);
+  const double d0 = (2.0 - c) * (1.0 - c) / 6.0;
+  const double d1 = (1.0 - c * c) / 6.0;
+  const double rj = t_0 - t_m1;
+  if (vel >= 0.0) {
+    const double rjm = have_m2 ? (t_m1 - t_m2) : 0.0;
+    return t_m1 + d0 * rj + d1 * rjm;
+  }
+  const double rjp = have_p1 ? (t_p1 - t_0) : 0.0;
+  return t_0 - (d0 * rj + d1 * rjp);
+}
+
+// Eastward tracer flux (advection + diffusion) through the west face of
+// cell (i,j,k).
+inline double zonal_tracer_flux(const ModelConfig& cfg, const TileGrid& grid,
+                                const Array3D<double>& u,
+                                const Array3D<double>& tr, double kappa_h,
+                                int i, int j, int k, double dz) {
+  const double open = at(grid.hFacW, i, j, k);
+  if (open <= 0) return 0.0;
+  const double area = open * grid.dyC * dz;
+  const double vel = at(u, i, j, k);
+  double face;
+  if (cfg.advection == ModelConfig::Advection::kDst3) {
+    const double cfl = vel * cfg.dt / m1(grid.dxC, j);
+    face = dst3_face_value(vel, cfl, at(tr, i - 2, j, k), at(tr, i - 1, j, k),
+                           at(tr, i, j, k), at(tr, i + 1, j, k),
+                           at(grid.hFacC, i - 2, j, k) > 0,
+                           at(grid.hFacC, i + 1, j, k) > 0);
+  } else {
+    face = 0.5 * (at(tr, i - 1, j, k) + at(tr, i, j, k));
+  }
+  const double adv = vel * area * face;
+  const double diff = -kappa_h * area *
+                      (at(tr, i, j, k) - at(tr, i - 1, j, k)) / m1(grid.dxC, j);
+  return adv + diff;
+}
+
+// Northward tracer flux through the south face of cell (i,j,k).
+inline double merid_tracer_flux(const ModelConfig& cfg, const TileGrid& grid,
+                                const Array3D<double>& v,
+                                const Array3D<double>& tr, double kappa_h,
+                                int i, int j, int k, double dz) {
+  const double open = at(grid.hFacS, i, j, k);
+  if (open <= 0) return 0.0;
+  const double area = open * m1(grid.dxS, j) * dz;
+  const double vel = at(v, i, j, k);
+  double face;
+  if (cfg.advection == ModelConfig::Advection::kDst3) {
+    const double cfl = vel * cfg.dt / grid.dyC;
+    face = dst3_face_value(vel, cfl, at(tr, i, j - 2, k), at(tr, i, j - 1, k),
+                           at(tr, i, j, k), at(tr, i, j + 1, k),
+                           at(grid.hFacC, i, j - 2, k) > 0,
+                           at(grid.hFacC, i, j + 1, k) > 0);
+  } else {
+    face = 0.5 * (at(tr, i, j - 1, k) + at(tr, i, j, k));
+  }
+  const double adv = vel * area * face;
+  const double diff =
+      -kappa_h * area * (at(tr, i, j, k) - at(tr, i, j - 1, k)) / grid.dyC;
+  return adv + diff;
+}
+}  // namespace
+
+double tracer_tendency(const ModelConfig& cfg, const TileGrid& grid,
+                       const Array3D<double>& u, const Array3D<double>& v,
+                       const Array3D<double>& w, const Array3D<double>& tr,
+                       Array3D<double>& gtr, double kappa_h, double kappa_v,
+                       const Range& r) {
+  const int nz = cfg.nz;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        const double hfac = at(grid.hFacC, i, j, k);
+        if (hfac <= 0) {
+          at(gtr, i, j, k) = 0.0;
+          continue;
+        }
+        const double dz = grid.dzf[static_cast<std::size_t>(k)];
+        const double fw =
+            zonal_tracer_flux(cfg, grid, u, tr, kappa_h, i, j, k, dz);
+        const double fe =
+            zonal_tracer_flux(cfg, grid, u, tr, kappa_h, i + 1, j, k, dz);
+        const double fs =
+            merid_tracer_flux(cfg, grid, v, tr, kappa_h, i, j, k, dz);
+        const double fn =
+            merid_tracer_flux(cfg, grid, v, tr, kappa_h, i, j + 1, k, dz);
+        const double ftop =
+            vertical_tracer_flux(grid, w, tr, kappa_v, i, j, k);
+        const double fbot = (k + 1 < nz)
+                                ? vertical_tracer_flux(grid, w, tr, kappa_v,
+                                                       i, j, k + 1)
+                                : 0.0;
+        const double vol = m1(grid.rAc, j) * dz * hfac;
+        at(gtr, i, j, k) = -((fe - fw) + (fn - fs) + (fbot - ftop)) / vol;
+        flops += cfg.advection == ModelConfig::Advection::kDst3 ? 102.0 : 54.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double masked_laplacian(const ModelConfig& cfg, const TileGrid& grid,
+                        const Array3D<double>& f, const Array3D<double>& mask,
+                        Array3D<double>& out, const Range& r) {
+  const int nz = cfg.nz;
+  const double dy = grid.dyC;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dx = m1(grid.dxC, j);
+      for (int k = 0; k < nz; ++k) {
+        const double mc = at(mask, i, j, k);
+        if (mc <= 0) {
+          at(out, i, j, k) = 0.0;
+          continue;
+        }
+        const double dz = grid.dzf[static_cast<std::size_t>(k)];
+        const double vol = m1(grid.rAc, j) * dz * mc;
+        double acc = 0.0;
+        // East/west faces.
+        const double mw = std::min(mc, at(mask, i - 1, j, k));
+        const double me = std::min(mc, at(mask, i + 1, j, k));
+        acc += mw * dy * dz / dx * (at(f, i - 1, j, k) - at(f, i, j, k));
+        acc += me * dy * dz / dx * (at(f, i + 1, j, k) - at(f, i, j, k));
+        // North/south faces.
+        const double ms = std::min(mc, at(mask, i, j - 1, k));
+        const double mn = std::min(mc, at(mask, i, j + 1, k));
+        acc += ms * m1(grid.dxS, j) * dz / dy *
+               (at(f, i, j - 1, k) - at(f, i, j, k));
+        acc += mn * m1(grid.dxS, j + 1) * dz / dy *
+               (at(f, i, j + 1, k) - at(f, i, j, k));
+        at(out, i, j, k) = acc / vol;
+        flops += 26.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double biharmonic_tendency(const ModelConfig& cfg, const TileGrid& grid,
+                           const Array3D<double>& f,
+                           const Array3D<double>& mask,
+                           Array3D<double>& scratch, Array3D<double>& g,
+                           double a4, const Range& r) {
+  if (a4 <= 0) return 0.0;
+  double flops = 0;
+  // First pass one ring wider, so the second pass's stencil is covered.
+  const Range r1{r.i0 - 1, r.i1 + 1, r.j0 - 1, r.j1 + 1};
+  flops += masked_laplacian(cfg, grid, f, mask, scratch, r1);
+  const int nz = cfg.nz;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dx = m1(grid.dxC, j);
+      const double dy = grid.dyC;
+      for (int k = 0; k < nz; ++k) {
+        const double mc = at(mask, i, j, k);
+        if (mc <= 0) continue;
+        const double dz = grid.dzf[static_cast<std::size_t>(k)];
+        const double vol = m1(grid.rAc, j) * dz * mc;
+        double acc = 0.0;
+        const double mw = std::min(mc, at(mask, i - 1, j, k));
+        const double me = std::min(mc, at(mask, i + 1, j, k));
+        acc += mw * dy * dz / dx *
+               (at(scratch, i - 1, j, k) - at(scratch, i, j, k));
+        acc += me * dy * dz / dx *
+               (at(scratch, i + 1, j, k) - at(scratch, i, j, k));
+        const double ms = std::min(mc, at(mask, i, j - 1, k));
+        const double mn = std::min(mc, at(mask, i, j + 1, k));
+        acc += ms * m1(grid.dxS, j) * dz / dy *
+               (at(scratch, i, j - 1, k) - at(scratch, i, j, k));
+        acc += mn * m1(grid.dxS, j + 1) * dz / dy *
+               (at(scratch, i, j + 1, k) - at(scratch, i, j, k));
+        at(g, i, j, k) -= a4 * acc / vol;
+        flops += 28.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double ab2_update(const ModelConfig& cfg, const Array3D<double>& mask,
+                  Array3D<double>& f, const Array3D<double>& g,
+                  const Array3D<double>& g_nm1, bool first_step,
+                  const Range& r) {
+  const double c1 = first_step ? 1.0 : 1.5 + cfg.ab_eps;
+  const double c0 = first_step ? 0.0 : 0.5 + cfg.ab_eps;
+  const int nz = static_cast<int>(f.nz());
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        if (at(mask, i, j, k) <= 0) continue;
+        at(f, i, j, k) += cfg.dt * (c1 * at(g, i, j, k) -
+                                    c0 * at(g_nm1, i, j, k));
+        flops += 5.0;
+      }
+    }
+  }
+  return flops;
+}
+
+namespace {
+// A w point (top face of cell k) is open iff both adjacent cells are wet
+// (and k > 0: the surface face belongs to the free surface / rigid lid).
+inline bool w_open(const TileGrid& grid, int i, int j, int k) {
+  return k > 0 &&
+         at(grid.hFacC, i, j, k) > 0 && at(grid.hFacC, i, j, k - 1) > 0;
+}
+}  // namespace
+
+double w_tendencies(const ModelConfig& cfg, const TileGrid& grid,
+                    const Array3D<double>& u, const Array3D<double>& v,
+                    const Array3D<double>& w, Array3D<double>& gw,
+                    double visc_v, const Range& r) {
+  const int nz = cfg.nz;
+  const double dy = grid.dyC;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dx = m1(grid.dxC, j);
+      for (int k = 0; k < nz; ++k) {
+        if (!w_open(grid, i, j, k)) {
+          at(gw, i, j, k) = 0.0;
+          continue;
+        }
+        const double wc = at(w, i, j, k);
+        // Horizontal velocity averaged to the w point (4 u's, 4 v's over
+        // the two adjacent levels).
+        const double uc = 0.25 * (at(u, i, j, k - 1) + at(u, i + 1, j, k - 1) +
+                                  at(u, i, j, k) + at(u, i + 1, j, k));
+        const double vc = 0.25 * (at(v, i, j, k - 1) + at(v, i, j + 1, k - 1) +
+                                  at(v, i, j, k) + at(v, i, j + 1, k));
+        const double dwdx = (at(w, i + 1, j, k) - at(w, i - 1, j, k)) /
+                            (2.0 * dx);
+        const double dwdy = (at(w, i, j + 1, k) - at(w, i, j - 1, k)) /
+                            (2.0 * dy);
+        // Vertical self-advection across the adjacent faces.
+        double dwdz = 0.0;
+        if (w_open(grid, i, j, k - 1) || w_open(grid, i, j, k + 1 < nz ? k + 1 : k)) {
+          const double w_up = (k - 1 > 0) ? at(w, i, j, k - 1) : 0.0;
+          const double w_dn = (k + 1 < nz) ? at(w, i, j, k + 1) : 0.0;
+          const double dzc = grid.dzf[static_cast<std::size_t>(k - 1)] +
+                             grid.dzf[static_cast<std::size_t>(k)];
+          dwdz = (w_dn - w_up) / dzc;
+        }
+        const double adv = uc * dwdx + vc * dwdy + wc * dwdz;
+        const double visc_h =
+            cfg.visc_h *
+            ((at(w, i + 1, j, k) - 2.0 * wc + at(w, i - 1, j, k)) / (dx * dx) +
+             (at(w, i, j + 1, k) - 2.0 * wc + at(w, i, j - 1, k)) / (dy * dy));
+        double visc_vt = 0.0;
+        const double dzk = grid.dzf[static_cast<std::size_t>(k)];
+        if (w_open(grid, i, j, k - 1)) {
+          visc_vt += visc_v * (at(w, i, j, k - 1) - wc) / (dzk * dzk);
+        }
+        if (k + 1 < nz && w_open(grid, i, j, k + 1)) {
+          visc_vt += visc_v * (at(w, i, j, k + 1) - wc) / (dzk * dzk);
+        }
+        at(gw, i, j, k) = -adv + visc_h + visc_vt;
+        flops += 38.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double nh_rhs(const ModelConfig& cfg, const TileGrid& grid,
+              const Array3D<double>& u, const Array3D<double>& v,
+              const Array3D<double>& w, Array3D<double>& rhs,
+              const Range& r) {
+  const int nz = cfg.nz;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double area = m1(grid.rAc, j);
+      for (int k = 0; k < nz; ++k) {
+        if (at(grid.hFacC, i, j, k) <= 0) {
+          at(rhs, i, j, k) = 0.0;
+          continue;
+        }
+        const double hdiv = column_flux_divergence(grid, u, v, i, j, k);
+        const double wtop = w_open(grid, i, j, k) ? at(w, i, j, k) * area : 0.0;
+        const double wbot = (k + 1 < nz && w_open(grid, i, j, k + 1))
+                                ? at(w, i, j, k + 1) * area
+                                : 0.0;
+        at(rhs, i, j, k) = (hdiv + wbot - wtop) / cfg.dt;
+        flops += 14.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double correct_velocity_nh(const ModelConfig& cfg, const TileGrid& grid,
+                           const Array3D<double>& phi_nh, Array3D<double>& u,
+                           Array3D<double>& v, Array3D<double>& w,
+                           const Range& r) {
+  const int nz = cfg.nz;
+  const double dt = cfg.dt;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dx = m1(grid.dxC, j);
+      for (int k = 0; k < nz; ++k) {
+        if (at(grid.hFacW, i, j, k) > 0) {
+          at(u, i, j, k) -=
+              dt * (at(phi_nh, i, j, k) - at(phi_nh, i - 1, j, k)) / dx;
+          flops += 4.0;
+        }
+        if (at(grid.hFacS, i, j, k) > 0) {
+          at(v, i, j, k) -=
+              dt * (at(phi_nh, i, j, k) - at(phi_nh, i, j - 1, k)) / grid.dyC;
+          flops += 4.0;
+        }
+        if (w_open(grid, i, j, k)) {
+          const double dzc = grid.zC[static_cast<std::size_t>(k)] -
+                             grid.zC[static_cast<std::size_t>(k - 1)];
+          at(w, i, j, k) -=
+              dt * (at(phi_nh, i, j, k) - at(phi_nh, i, j, k - 1)) / dzc;
+          flops += 4.0;
+        }
+      }
+    }
+  }
+  return flops;
+}
+
+double column_flux_divergence(const TileGrid& grid, const Array3D<double>& u,
+                              const Array3D<double>& v, int i, int j, int k) {
+  const double dz = grid.dzf[static_cast<std::size_t>(k)];
+  const double uw = at(u, i, j, k) * at(grid.hFacW, i, j, k) * grid.dyC * dz;
+  const double ue =
+      at(u, i + 1, j, k) * at(grid.hFacW, i + 1, j, k) * grid.dyC * dz;
+  const double vs =
+      at(v, i, j, k) * at(grid.hFacS, i, j, k) * m1(grid.dxS, j) * dz;
+  const double vn = at(v, i, j + 1, k) * at(grid.hFacS, i, j + 1, k) *
+                    m1(grid.dxS, j + 1) * dz;
+  return (ue - uw) + (vn - vs);
+}
+
+double diagnose_w(const ModelConfig& cfg, const TileGrid& grid,
+                  const Array3D<double>& u, const Array3D<double>& v,
+                  Array3D<double>& w, const Range& r) {
+  const int nz = cfg.nz;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      double wf = 0.0;  // downward volume flux at the face below level k
+      for (int k = nz - 1; k >= 0; --k) {
+        if (at(grid.hFacC, i, j, k) <= 0) {
+          at(w, i, j, k) = 0.0;
+          continue;
+        }
+        wf += column_flux_divergence(grid, u, v, i, j, k);
+        at(w, i, j, k) = wf / m1(grid.rAc, j);
+        flops += 12.0;
+      }
+    }
+  }
+  return flops;
+}
+
+double ps_rhs(const ModelConfig& cfg, const TileGrid& grid,
+              const Array3D<double>& u, const Array3D<double>& v,
+              Array2D<double>& rhs, const Range& r) {
+  const int nz = cfg.nz;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      double div = 0.0;
+      for (int k = 0; k < nz; ++k) {
+        if (at(grid.hFacC, i, j, k) <= 0) continue;
+        div += column_flux_divergence(grid, u, v, i, j, k);
+        flops += 11.0;
+      }
+      at(rhs, i, j) = div / cfg.dt;
+      flops += 1.0;
+    }
+  }
+  return flops;
+}
+
+double correct_velocity(const ModelConfig& cfg, const TileGrid& grid,
+                        const Array2D<double>& ps, Array3D<double>& u,
+                        Array3D<double>& v, const Range& r) {
+  const int nz = cfg.nz;
+  const double dt = cfg.dt;
+  double flops = 0;
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      const double dpdx = (at(ps, i, j) - at(ps, i - 1, j)) / m1(grid.dxC, j);
+      const double dpdy = (at(ps, i, j) - at(ps, i, j - 1)) / grid.dyC;
+      for (int k = 0; k < nz; ++k) {
+        if (at(grid.hFacW, i, j, k) > 0) {
+          at(u, i, j, k) -= dt * dpdx;
+          flops += 2.0;
+        }
+        if (at(grid.hFacS, i, j, k) > 0) {
+          at(v, i, j, k) -= dt * dpdy;
+          flops += 2.0;
+        }
+      }
+      flops += 6.0;
+    }
+  }
+  return flops;
+}
+
+double implicit_vertical_diffusion(const ModelConfig& cfg,
+                                   const TileGrid& grid, Array3D<double>& f,
+                                   const Array3D<double>& mask, double kv,
+                                   const Range& r) {
+  if (kv <= 0) return 0.0;
+  const int nz = cfg.nz;
+  if (nz < 2) return 0.0;
+  const double dt = cfg.dt;
+  double flops = 0;
+  // Thomas-solve workspaces.
+  std::vector<double> cp(static_cast<std::size_t>(nz));
+  std::vector<double> rhs(static_cast<std::size_t>(nz));
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      // Interface conductances g_k (between cells k-1 and k), open only
+      // where both cells are wet.
+      // Row k: (hfac_k dz_k + dt(g_k + g_{k+1})) f_k - dt g_k f_{k-1}
+      //        - dt g_{k+1} f_{k+1} = hfac_k dz_k f*_k   (flux form,
+      // multiplied through by the open thickness -> symmetric & conservative).
+      double prev_cp = 0.0;
+      bool have_prev = false;
+      for (int k = 0; k < nz; ++k) {
+        const double hfac = at(mask, i, j, k);
+        if (hfac <= 0) {
+          cp[static_cast<std::size_t>(k)] = 0.0;
+          rhs[static_cast<std::size_t>(k)] = 0.0;
+          have_prev = false;
+          continue;
+        }
+        const double vol = hfac * grid.dzf[static_cast<std::size_t>(k)];
+        double g_up = 0.0, g_dn = 0.0;
+        if (k > 0 && at(mask, i, j, k - 1) > 0) {
+          g_up = kv / (grid.zC[static_cast<std::size_t>(k)] -
+                       grid.zC[static_cast<std::size_t>(k - 1)]);
+        }
+        if (k + 1 < nz && at(mask, i, j, k + 1) > 0) {
+          g_dn = kv / (grid.zC[static_cast<std::size_t>(k + 1)] -
+                       grid.zC[static_cast<std::size_t>(k)]);
+        }
+        const double a = have_prev ? -dt * g_up : 0.0;
+        const double b = vol + dt * (g_up + g_dn);
+        const double c = -dt * g_dn;
+        const double denom = b - a * prev_cp;
+        cp[static_cast<std::size_t>(k)] = c / denom;
+        rhs[static_cast<std::size_t>(k)] =
+            (vol * at(f, i, j, k) -
+             a * (have_prev ? rhs[static_cast<std::size_t>(k - 1)] : 0.0)) /
+            denom;
+        prev_cp = cp[static_cast<std::size_t>(k)];
+        have_prev = true;
+        flops += 14.0;
+      }
+      // Back substitution.
+      bool have_next = false;
+      double next_f = 0.0;
+      for (int k = nz - 1; k >= 0; --k) {
+        if (at(mask, i, j, k) <= 0) {
+          have_next = false;
+          continue;
+        }
+        double fk = rhs[static_cast<std::size_t>(k)];
+        if (have_next) {
+          fk -= cp[static_cast<std::size_t>(k)] * next_f;
+          flops += 2.0;
+        }
+        at(f, i, j, k) = fk;
+        next_f = fk;
+        have_next = true;
+      }
+    }
+  }
+  return flops;
+}
+
+void apply_velocity_masks(const TileGrid& grid, Array3D<double>& u,
+                          Array3D<double>& v, const Range& r) {
+  const int nz = static_cast<int>(u.nz());
+  for (int i = r.i0; i < r.i1; ++i) {
+    for (int j = r.j0; j < r.j1; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        if (at(grid.hFacW, i, j, k) <= 0) at(u, i, j, k) = 0.0;
+        if (at(grid.hFacS, i, j, k) <= 0) at(v, i, j, k) = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace hyades::gcm::kernels

@@ -1,0 +1,74 @@
+#include "gcm/output.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace hyades::gcm {
+
+namespace {
+std::pair<double, double> field_range(const Array2D<double>& f) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : f) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+  return {lo, hi};
+}
+}  // namespace
+
+void write_pgm(const std::string& path, const Array2D<double>& field,
+               double lo, double hi) {
+  if (field.empty()) throw std::invalid_argument("write_pgm: empty field");
+  if (lo == hi) std::tie(lo, hi) = field_range(field);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
+  const auto nx = field.nx();
+  const auto ny = field.ny();
+  os << "P5\n" << nx << ' ' << ny << "\n255\n";
+  for (std::size_t jr = 0; jr < ny; ++jr) {
+    const std::size_t j = ny - 1 - jr;  // north at the top
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double t = std::clamp((field(i, j) - lo) / (hi - lo), 0.0, 1.0);
+      os.put(static_cast<char>(static_cast<unsigned char>(t * 255.0)));
+    }
+  }
+}
+
+void write_csv(const std::string& path, const Array2D<double>& field) {
+  if (field.empty()) throw std::invalid_argument("write_csv: empty field");
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  for (std::size_t j = 0; j < field.ny(); ++j) {
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      os << field(i, j);
+      os << (i + 1 < field.nx() ? ',' : '\n');
+    }
+  }
+}
+
+std::string ascii_map(const Array2D<double>& field, int width, int height) {
+  if (field.empty()) return "(empty field)\n";
+  static const char kShades[] = " .:-=+*#%@";
+  const auto [lo, hi] = field_range(field);
+  std::ostringstream os;
+  for (int r = height - 1; r >= 0; --r) {
+    const auto j = static_cast<std::size_t>(
+        r * static_cast<long>(field.ny()) / height);
+    for (int c = 0; c < width; ++c) {
+      const auto i = static_cast<std::size_t>(
+          c * static_cast<long>(field.nx()) / width);
+      const double t = std::clamp((field(i, j) - lo) / (hi - lo), 0.0, 1.0);
+      os << kShades[static_cast<int>(t * 9.0)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,26 @@
+// Field output: portable graymap (PGM) images and CSV tables for gathered
+// 2-D fields -- the Figure 9 analog outputs of the example programs.
+#pragma once
+
+#include <string>
+
+#include "support/array.hpp"
+
+namespace hyades::gcm {
+
+// Write an 8-bit PGM; values are linearly mapped from [lo, hi] (values
+// outside clamp).  Pass lo == hi to auto-scale to the field's range.
+// The image is nx wide (longitude) and ny tall with row 0 at the bottom
+// (southernmost latitude last in file order, as PGM rows go top-down).
+void write_pgm(const std::string& path, const Array2D<double>& field,
+               double lo = 0.0, double hi = 0.0);
+
+// Write a CSV with one row per j (latitude), columns over i (longitude).
+void write_csv(const std::string& path, const Array2D<double>& field);
+
+// Render a coarse ASCII contour map to a string (for quick terminal
+// inspection in the examples).
+std::string ascii_map(const Array2D<double>& field, int width = 64,
+                      int height = 24);
+
+}  // namespace hyades::gcm

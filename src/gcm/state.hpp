@@ -1,0 +1,39 @@
+// Prognostic and diagnostic model state for one tile.
+//
+// All 3-D arrays are allocated over the tile's extended (halo-included)
+// region; w is held at cell-top faces (w(k) = downward volume-flux
+// velocity through the top of level k).  Tendency arrays at time levels
+// n and n-1 support the Adams-Bashforth-2 stepping of Figure 6's PS
+// block.
+#pragma once
+
+#include "gcm/decomp.hpp"
+#include "support/array.hpp"
+
+namespace hyades::gcm {
+
+struct State {
+  Array3D<double> u, v, w;       // velocities (m/s); w positive downward
+  Array3D<double> theta, salt;   // tracers
+  Array3D<double> gu, gv, gt, gs, gw;              // tendencies at step n
+  Array3D<double> gu_nm1, gv_nm1, gt_nm1, gs_nm1, gw_nm1;  // at n-1
+  Array3D<double> phi;           // hydrostatic pressure anomaly / rho0
+  Array3D<double> phi_nh;        // non-hydrostatic pressure / rho0
+  Array2D<double> ps;            // surface pressure / rho0 (m^2/s^2)
+  long step = 0;
+
+  void allocate(const Decomp& dec, int nz) {
+    const auto ex = static_cast<std::size_t>(dec.ext_x());
+    const auto ey = static_cast<std::size_t>(dec.ext_y());
+    const auto zk = static_cast<std::size_t>(nz);
+    for (Array3D<double>* f :
+         {&u, &v, &w, &theta, &salt, &gu, &gv, &gt, &gs, &gw, &gu_nm1,
+          &gv_nm1, &gt_nm1, &gs_nm1, &gw_nm1, &phi, &phi_nh}) {
+      *f = Array3D<double>(ex, ey, zk, 0.0);
+    }
+    ps = Array2D<double>(ex, ey, 0.0);
+    step = 0;
+  }
+};
+
+}  // namespace hyades::gcm

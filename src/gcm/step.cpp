@@ -1,0 +1,238 @@
+#include "gcm/step.hpp"
+
+#include "cluster/trace.hpp"
+
+#include "gcm/halo.hpp"
+#include "gcm/kernels.hpp"
+
+namespace hyades::gcm {
+
+Timestepper::Timestepper(const ModelConfig& cfg, comm::Comm& comm,
+                         const Decomp& dec, const TileGrid& grid,
+                         State& state)
+    : cfg_(cfg),
+      comm_(comm),
+      dec_(dec),
+      grid_(grid),
+      state_(state),
+      op_(cfg, dec, grid),
+      rhs_(static_cast<std::size_t>(dec.ext_x()),
+           static_cast<std::size_t>(dec.ext_y()), 0.0),
+      scratch_(static_cast<std::size_t>(dec.ext_x()),
+               static_cast<std::size_t>(dec.ext_y()),
+               static_cast<std::size_t>(cfg.nz), 0.0) {
+  if (cfg.halo < 2) {
+    throw std::invalid_argument(
+        "Timestepper: halo >= 2 required for PS overcomputation");
+  }
+  if ((cfg.visc_4 > 0 || cfg.diff_4 > 0) && cfg.halo < 3) {
+    throw std::invalid_argument(
+        "Timestepper: biharmonic mixing needs halo >= 3");
+  }
+  if (cfg.advection == ModelConfig::Advection::kDst3 && cfg.halo < 3) {
+    throw std::invalid_argument("Timestepper: DST-3 advection needs halo >= 3");
+  }
+  if (cfg.nonhydrostatic) {
+    op3_ = std::make_unique<EllipticOperator3>(cfg, dec, grid);
+    rhs3_ = Array3D<double>(static_cast<std::size_t>(dec.ext_x()),
+                            static_cast<std::size_t>(dec.ext_y()),
+                            static_cast<std::size_t>(cfg.nz), 0.0);
+    wmask_ = rhs3_;
+    for (int i = 0; i < dec.ext_x(); ++i) {
+      for (int j = 0; j < dec.ext_y(); ++j) {
+        for (int k = 1; k < cfg.nz; ++k) {
+          const bool open =
+              grid.hFacC(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(j),
+                         static_cast<std::size_t>(k)) > 0 &&
+              grid.hFacC(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(j),
+                         static_cast<std::size_t>(k - 1)) > 0;
+          wmask_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                 static_cast<std::size_t>(k)) = open ? 1.0 : 0.0;
+        }
+      }
+    }
+  }
+}
+
+StepStats Timestepper::step(const SurfaceForcing* forcing) {
+  auto& ctx = comm_.ctx();
+  StepStats st;
+  const int h = dec_.halo;
+  const SurfaceForcing& f = forcing ? *forcing : no_forcing_;
+
+  // ======================= PS: prognostic step =======================
+  const Microseconds t_ps = ctx.clock().now();
+
+  // One exchange per 3-D state field per step (Section 4): u, v, w,
+  // theta, salt -- the paper's five texchxyz applications.
+  exchange3d(comm_, dec_, state_.u, h);
+  exchange3d(comm_, dec_, state_.v, h);
+  exchange3d(comm_, dec_, state_.w, h);
+  exchange3d(comm_, dec_, state_.theta, h);
+  exchange3d(comm_, dec_, state_.salt, h);
+  st.tps_exch_us = ctx.clock().now() - t_ps;
+
+  // Overcomputed windows: with the halos fresh, every PS term for this
+  // tile comes from tile-local data.
+  const kernels::Range r2 = kernels::extended(dec_, 2);
+  const kernels::Range r1 = kernels::extended(dec_, 1);
+  const kernels::Range ri = kernels::extended(dec_, 0);
+
+  double ps_flops = 0;
+  ps_flops += kernels::hydrostatic(cfg_, grid_, state_.theta, state_.salt,
+                                   state_.phi, r2);
+  // With implicit vertical mixing the explicit vertical coefficients are
+  // zeroed here and the column solves run after the state update.
+  const double kv_exp = cfg_.implicit_vertical_mixing ? 0.0 : cfg_.diff_v;
+  const double av_exp = cfg_.implicit_vertical_mixing ? 0.0 : cfg_.visc_v;
+  ps_flops += kernels::momentum_tendencies(cfg_, grid_, state_.u, state_.v,
+                                           state_.w, state_.phi, state_.gu,
+                                           state_.gv, av_exp, r1);
+  ps_flops += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
+                                       state_.w, state_.theta, state_.gt,
+                                       cfg_.diff_h, kv_exp, r1);
+  ps_flops += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
+                                       state_.w, state_.salt, state_.gs,
+                                       cfg_.diff_h, kv_exp, r1);
+  // Biharmonic horizontal mixing (scale-selective dissipation).
+  if (cfg_.visc_4 > 0) {
+    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.u,
+                                             grid_.hFacW, scratch_, state_.gu,
+                                             cfg_.visc_4, r1);
+    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.v,
+                                             grid_.hFacS, scratch_, state_.gv,
+                                             cfg_.visc_4, r1);
+  }
+  if (cfg_.diff_4 > 0) {
+    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.theta,
+                                             grid_.hFacC, scratch_, state_.gt,
+                                             cfg_.diff_4, r1);
+    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.salt,
+                                             grid_.hFacC, scratch_, state_.gs,
+                                             cfg_.diff_4, r1);
+  }
+  ps_flops += apply_physics(cfg_, grid_, dec_, state_, f, r1);
+  if (cfg_.nonhydrostatic) {
+    ps_flops += kernels::w_tendencies(cfg_, grid_, state_.u, state_.v,
+                                      state_.w, state_.gw, av_exp, r1);
+  }
+
+  const bool first = (state_.step == 0);
+  ps_flops += kernels::ab2_update(cfg_, grid_.hFacW, state_.u, state_.gu,
+                                  state_.gu_nm1, first, r1);
+  ps_flops += kernels::ab2_update(cfg_, grid_.hFacS, state_.v, state_.gv,
+                                  state_.gv_nm1, first, r1);
+  ps_flops += kernels::ab2_update(cfg_, grid_.hFacC, state_.theta, state_.gt,
+                                  state_.gt_nm1, first, r1);
+  ps_flops += kernels::ab2_update(cfg_, grid_.hFacC, state_.salt, state_.gs,
+                                  state_.gs_nm1, first, r1);
+  if (cfg_.nonhydrostatic) {
+    ps_flops += kernels::ab2_update(cfg_, wmask_, state_.w, state_.gw,
+                                    state_.gw_nm1, first, r1);
+  }
+  if (cfg_.implicit_vertical_mixing) {
+    ps_flops += kernels::implicit_vertical_diffusion(
+        cfg_, grid_, state_.theta, grid_.hFacC, cfg_.diff_v, r1);
+    ps_flops += kernels::implicit_vertical_diffusion(
+        cfg_, grid_, state_.salt, grid_.hFacC, cfg_.diff_v, r1);
+    ps_flops += kernels::implicit_vertical_diffusion(
+        cfg_, grid_, state_.u, grid_.hFacW, cfg_.visc_v, r1);
+    ps_flops += kernels::implicit_vertical_diffusion(
+        cfg_, grid_, state_.v, grid_.hFacS, cfg_.visc_v, r1);
+  }
+  ps_flops += convective_adjustment(cfg_, grid_, state_.theta, r1);
+
+  std::swap(state_.gu, state_.gu_nm1);
+  std::swap(state_.gv, state_.gv_nm1);
+  std::swap(state_.gt, state_.gt_nm1);
+  std::swap(state_.gs, state_.gs_nm1);
+  if (cfg_.nonhydrostatic) std::swap(state_.gw, state_.gw_nm1);
+
+  ctx.compute(ps_flops, cfg_.fps_mflops);
+  st.ps_flops = ps_flops;
+  st.tps_us = ctx.clock().now() - t_ps;
+  if (ctx.tracer()) ctx.tracer()->record("ps", t_ps, ctx.clock().now());
+
+  // ======================= DS: diagnostic step =======================
+  const Microseconds t_ds = ctx.clock().now();
+  double ds_flops = 0;
+
+  // rhs of eq. (3); the solver works with L = -A, so b = -rhs.
+  ds_flops += kernels::ps_rhs(cfg_, grid_, state_.u, state_.v, rhs_, ri);
+  for (int i = ri.i0; i < ri.i1; ++i) {
+    for (int j = ri.j0; j < ri.j1; ++j) {
+      auto& x = rhs_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      x = -x;
+    }
+  }
+
+  const CgResult cg =
+      cg_solve(comm_, dec_, op_, rhs_, state_.ps, cfg_.cg_tol,
+               cfg_.cg_max_iter,
+               cfg_.cg_jacobi ? CgPrecond::kJacobi : CgPrecond::kZonalLine);
+  ds_flops += cg.flops;
+  st.cg_iterations = cg.iterations;
+  st.cg_residual = cg.residual;
+  st.cg_converged = cg.converged;
+
+  // Refresh the pressure halo, then project the velocities (including the
+  // shared faces on the interior's high edge, which both neighbouring
+  // tiles compute identically).
+  exchange2d(comm_, dec_, state_.ps, 1);
+  const kernels::Range rc{h, h + dec_.snx + 1, h, h + dec_.sny + 1};
+  ds_flops += kernels::correct_velocity(cfg_, grid_, state_.ps, state_.u,
+                                        state_.v, rc);
+  kernels::apply_velocity_masks(grid_, state_.u, state_.v, r1);
+
+  if (!cfg_.nonhydrostatic) {
+    // Hydrostatic limit: w is diagnostic (eq. (2) vertically integrated).
+    ds_flops += kernels::diagnose_w(cfg_, grid_, state_.u, state_.v,
+                                    state_.w, ri);
+  } else {
+    // Non-hydrostatic pressure: a 3-D elliptic solve removes the
+    // remaining 3-D divergence from (u, v, w*).
+    ds_flops += kernels::nh_rhs(cfg_, grid_, state_.u, state_.v, state_.w,
+                                rhs3_, ri);
+    for (int i = ri.i0; i < ri.i1; ++i) {
+      for (int j = ri.j0; j < ri.j1; ++j) {
+        for (int k = 0; k < cfg_.nz; ++k) {
+          auto& x = rhs3_(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(j),
+                          static_cast<std::size_t>(k));
+          x = -x;
+        }
+      }
+    }
+    const Cg3Result cg3 = cg3_solve(comm_, dec_, *op3_, rhs3_,
+                                    state_.phi_nh, cfg_.cg3_tol,
+                                    cfg_.cg3_max_iter);
+    ds_flops += cg3.flops;
+    st.cg3_iterations = cg3.iterations;
+    st.cg3_converged = cg3.converged;
+    exchange3d(comm_, dec_, state_.phi_nh, 1);
+    const kernels::Range rc3{h, h + dec_.snx + 1, h, h + dec_.sny + 1};
+    ds_flops += kernels::correct_velocity_nh(cfg_, grid_, state_.phi_nh,
+                                             state_.u, state_.v, state_.w,
+                                             rc3);
+    kernels::apply_velocity_masks(grid_, state_.u, state_.v, r1);
+  }
+
+  ctx.compute(ds_flops, cfg_.fds_mflops);
+  st.ds_flops = ds_flops;
+  st.tds_us = ctx.clock().now() - t_ds;
+  if (ctx.tracer()) ctx.tracer()->record("ds", t_ds, ctx.clock().now());
+
+  ++state_.step;
+  ++obs_.steps;
+  obs_.ps_flops += st.ps_flops;
+  obs_.ds_flops += st.ds_flops;
+  obs_.cg_iterations += st.cg_iterations;
+  obs_.tps_us += st.tps_us;
+  obs_.tps_exch_us += st.tps_exch_us;
+  obs_.tds_us += st.tds_us;
+  return st;
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,83 @@
+#include "net/arctic_model.hpp"
+
+#include <cmath>
+
+#include "arctic/route.hpp"
+
+namespace hyades::net {
+
+ArcticModel::ArcticModel(int endpoints, startx::StartXConfig niu,
+                         arctic::LinkConfig link)
+    : endpoints_(endpoints), niu_(niu), link_(link) {}
+
+Microseconds ArcticModel::path_latency(int up_levels) const {
+  // NIU tx latency, then per the cut-through model each of the 2p+2 links
+  // forwards the header chunk and each of the 2p+1 router stages adds its
+  // stage latency, then NIU rx processing.
+  const int links = 2 * up_levels + 2;
+  const int stages = 2 * up_levels + 1;
+  const Microseconds per_link =
+      static_cast<double>(link_.forward_bytes) / link_.bandwidth_mbytes_per_sec +
+      link_.prop_delay_us;
+  return niu_.tx_latency_us + links * per_link +
+         stages * link_.stage_latency_us + niu_.rx_latency_us;
+}
+
+int ArcticModel::up_levels_for_round(int round) const {
+  // Node ids differing in bits 0..1 share a radix-4 leaf router (0 up
+  // levels); each further pair of id bits adds one tree level.
+  return round / 2;
+}
+
+LogPParams ArcticModel::small_message(int payload_bytes) const {
+  LogPParams p;
+  p.os = startx::pio_accesses(payload_bytes) * niu_.mmap_write_us;
+  p.orr = startx::pio_accesses(payload_bytes) * niu_.mmap_read_us;
+  // Cross-tree distance (the common case on a 16-node machine).
+  const int max_up = arctic::levels_for(endpoints_) - 1;
+  p.L = path_latency(max_up);
+  return p;
+}
+
+Microseconds ArcticModel::transfer_overhead() const {
+  // One-time negotiation for a VI transfer between two nodes (Section
+  // 4.1): a PIO request/ack round trip, the DMA doorbell stores, and the
+  // copy of the first chunk into the VI region (later chunk copies
+  // overlap the DMA).
+  const LogPParams small = small_message(8);
+  return 2.0 * small.half_rtt() + 2.0 * niu_.mmap_write_us +
+         static_cast<double>(niu_.vi_chunk_bytes) / niu_.copy_mbytes_per_sec;
+}
+
+Microseconds ArcticModel::transfer_time(std::int64_t bytes) const {
+  return transfer_overhead() +
+         static_cast<double>(bytes) / niu_.vi_payload_mbytes_per_sec;
+}
+
+double ArcticModel::exchange_bandwidth_mbytes() const {
+  // copy into VI region + DMA + copy out, serialized: in the exchange the
+  // reversal rule and per-tile scatter/gather defeat the overlap the
+  // standalone benchmark achieves.
+  return 1.0 / (1.0 / niu_.vi_payload_mbytes_per_sec +
+                2.0 / niu_.copy_mbytes_per_sec);
+}
+
+Microseconds ArcticModel::exchange_transfer_time(std::int64_t bytes) const {
+  return transfer_overhead() +
+         static_cast<double>(bytes) / exchange_bandwidth_mbytes();
+}
+
+Microseconds ArcticModel::gsum_round_time(int round) const {
+  // Symmetric butterfly round: each CPU stores its message (Os), then
+  // polls the NIU with uncached reads until the partner's message is
+  // seen.  Polls are quantized at the mmap read cost, so the effective
+  // wait is ceil(L / read) reads; the detection read is followed by the
+  // payload read, then the FP combine.
+  const Microseconds os = startx::pio_accesses(8) * niu_.mmap_write_us;
+  const Microseconds read = niu_.mmap_read_us;
+  const Microseconds L = path_latency(up_levels_for_round(round));
+  const double polls = std::ceil(L / read);
+  return os + polls * read + 2.0 * read + gsum_cpu_add_us_;
+}
+
+}  // namespace hyades::net

@@ -1,0 +1,55 @@
+// Timing model of the Arctic Switch Fabric + StarT-X NIU stack, derived
+// from the same constants as the detailed DES (startx/config.hpp,
+// arctic/router.hpp).  tests/net verify this closed-form model against
+// the packet-level simulator.
+#pragma once
+
+#include "arctic/router.hpp"
+#include "net/interconnect.hpp"
+#include "startx/config.hpp"
+
+namespace hyades::net {
+
+class ArcticModel final : public Interconnect {
+ public:
+  explicit ArcticModel(int endpoints = 16,
+                       startx::StartXConfig niu = {},
+                       arctic::LinkConfig link = {});
+
+  [[nodiscard]] std::string name() const override { return "Arctic"; }
+
+  // One-way latency of a message whose route climbs `up_levels` stages
+  // (0 = same leaf router).  Exposed for the global-sum round model and
+  // for cross-checking against the DES.
+  [[nodiscard]] Microseconds path_latency(int up_levels) const;
+
+  // Up levels needed between butterfly partners that differ in bit
+  // `round` of their node id (radix-4 leaves hold 4 consecutive ids).
+  [[nodiscard]] int up_levels_for_round(int round) const;
+
+  [[nodiscard]] LogPParams small_message(int payload_bytes) const override;
+  [[nodiscard]] Microseconds transfer_time(std::int64_t bytes) const override;
+  [[nodiscard]] Microseconds exchange_transfer_time(
+      std::int64_t bytes) const override;
+  [[nodiscard]] Microseconds transfer_overhead() const override;
+  [[nodiscard]] double bandwidth_mbytes() const override {
+    return niu_.vi_payload_mbytes_per_sec;
+  }
+  [[nodiscard]] Microseconds gsum_round_time(int round) const override;
+
+  // Exchange-path effective bandwidth: copy-in + DMA + copy-out without
+  // the standalone benchmark's overlap (see Interconnect doc).
+  [[nodiscard]] double exchange_bandwidth_mbytes() const;
+
+  // CPU cost (loop + FP add) charged per global-sum round; calibrated so
+  // the measured 2/4/8/16-way latencies of Section 4.2 are reproduced.
+  [[nodiscard]] Microseconds gsum_cpu_add() const { return gsum_cpu_add_us_; }
+
+ private:
+  int endpoints_;
+  startx::StartXConfig niu_;
+  arctic::LinkConfig link_;
+  Microseconds gsum_cpu_add_us_ = 0.93;
+};
+
+}  // namespace hyades::net

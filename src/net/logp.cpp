@@ -1,0 +1,145 @@
+#include "net/logp.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "arctic/fabric.hpp"
+#include "sim/scheduler.hpp"
+#include "startx/niu.hpp"
+
+namespace hyades::net {
+
+namespace {
+// Cross-tree node pair on an `endpoints`-node machine: node 0 and the
+// last node differ in their top base-4 digit, so the route climbs to the
+// root -- the common case the paper characterizes.
+constexpr int kNodeA = 0;
+}  // namespace
+
+PioLogPResult measure_pio_logp(int payload_bytes, int endpoints,
+                               int iterations) {
+  if (payload_bytes < 8 || payload_bytes % 4 != 0 || payload_bytes > 88) {
+    throw std::invalid_argument("measure_pio_logp: payload must be 8..88 B");
+  }
+  sim::Scheduler sched;
+  arctic::Fabric fabric(sched, endpoints);
+  auto nius = startx::attach_all(sched, fabric);
+  startx::StartXNiu& a = *nius[kNodeA];
+  startx::StartXNiu& b = *nius[static_cast<std::size_t>(endpoints - 1)];
+
+  const auto words = static_cast<std::size_t>(payload_bytes / 4);
+  const Microseconds os = a.pio_send_overhead(payload_bytes);
+  const Microseconds orr = a.pio_recv_overhead(payload_bytes);
+
+  struct State {
+    double total_rtt_us = 0;
+    int completed = 0;
+    sim::SimTime iter_start = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  // Responder: consume (receive overhead), then bounce the message back.
+  b.set_pio_notify([&, st](const startx::PioMessage& m) {
+    (void)m;
+    const sim::SimTime consumed = sched.now() + sim::from_us(orr);
+    std::vector<std::uint32_t> payload(words, 0xB0B0B0B0u);
+    b.pio_inject_at(consumed + sim::from_us(os), kNodeA, 1,
+                    std::move(payload));
+    // Drain the queue so depth stays bounded.
+    while (b.pio_available()) (void)b.pio_pop();
+  });
+
+  // Originator: on reply, complete the iteration and start the next.
+  a.set_pio_notify([&, st, iterations](const startx::PioMessage& m) {
+    (void)m;
+    const sim::SimTime consumed = sched.now() + sim::from_us(orr);
+    st->total_rtt_us += sim::to_us(consumed - st->iter_start);
+    ++st->completed;
+    while (a.pio_available()) (void)a.pio_pop();
+    if (st->completed < iterations) {
+      st->iter_start = consumed;
+      std::vector<std::uint32_t> payload(words, 0xA0A0A0A0u);
+      a.pio_inject_at(consumed + sim::from_us(os), fabric.endpoints() - 1, 1,
+                      std::move(payload));
+    }
+  });
+
+  // Kick off the first iteration.
+  st->iter_start = 0;
+  {
+    std::vector<std::uint32_t> payload(words, 0xA0A0A0A0u);
+    a.pio_inject_at(sim::from_us(os), endpoints - 1, 1, std::move(payload));
+  }
+  sched.run();
+
+  PioLogPResult r;
+  r.payload_bytes = payload_bytes;
+  r.os = os;
+  r.orr = orr;
+  r.half_rtt = st->completed > 0
+                   ? st->total_rtt_us / (2.0 * st->completed)
+                   : 0.0;
+  r.L = r.half_rtt - os - orr;
+  return r;
+}
+
+ViTransferResult measure_vi_transfer(std::int64_t bytes, int endpoints) {
+  if (bytes < 4) {
+    throw std::invalid_argument("measure_vi_transfer: bytes must be >= 4");
+  }
+  sim::Scheduler sched;
+  arctic::Fabric fabric(sched, endpoints);
+  auto nius = startx::attach_all(sched, fabric);
+  startx::StartXNiu& tx = *nius[kNodeA];
+  startx::StartXNiu& rx = *nius[static_cast<std::size_t>(endpoints - 1)];
+  const startx::StartXConfig& cfg = tx.config();
+
+  const Microseconds os = tx.pio_send_overhead(8);
+  const Microseconds orr = tx.pio_recv_overhead(8);
+  const Microseconds doorbell = 2.0 * cfg.mmap_write_us;
+  const std::int64_t chunk =
+      std::min<std::int64_t>(bytes, cfg.vi_chunk_bytes);
+  const Microseconds first_copy = tx.copy_time(chunk);
+  const Microseconds last_copy = rx.copy_time(chunk);
+
+  auto done_at = std::make_shared<sim::SimTime>(-1);
+
+  // Receiver side: on the transfer request, post the VI buffer and ack.
+  rx.set_pio_notify([&](const startx::PioMessage& m) {
+    if (m.tag != 7) return;
+    const sim::SimTime consumed = sched.now() + sim::from_us(orr);
+    rx.vi_expect(3, bytes, [&, last_copy](sim::SimTime t_last) {
+      // The receiver copies the final chunk out of the VI region.
+      *done_at = t_last + sim::from_us(last_copy);
+    });
+    rx.pio_inject_at(consumed + sim::from_us(os), kNodeA, 8, {0u, 0u});
+    while (rx.pio_available()) (void)rx.pio_pop();
+  });
+
+  // Sender side: on the ack, ring the doorbell, copy the first chunk into
+  // the VI region, and start the paced stream.
+  tx.set_pio_notify([&](const startx::PioMessage& m) {
+    if (m.tag != 8) return;
+    const sim::SimTime consumed = sched.now() + sim::from_us(orr);
+    const sim::SimTime start =
+        consumed + sim::from_us(doorbell + first_copy);
+    tx.vi_send_at(start, endpoints - 1, 3, bytes);
+    while (tx.pio_available()) (void)tx.pio_pop();
+  });
+
+  // t = 0: the sender posts the transfer request.
+  tx.pio_inject_at(sim::from_us(os), endpoints - 1, 7, {0u, 0u});
+  sched.run();
+
+  if (*done_at < 0) {
+    throw std::logic_error("measure_vi_transfer: transfer did not complete");
+  }
+  ViTransferResult r;
+  r.bytes = bytes;
+  r.elapsed = sim::to_us(*done_at);
+  r.mbytes_per_sec = static_cast<double>(bytes) / r.elapsed;
+  return r;
+}
+
+}  // namespace hyades::net

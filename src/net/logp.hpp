@@ -1,0 +1,37 @@
+// Packet-level measurement harnesses.
+//
+// These drive the detailed DES (Arctic fabric + StarT-X NIUs) the way the
+// paper's own microbenchmarks drove the hardware:
+//
+//   * measure_pio_logp  -- a PIO ping-pong between two cross-tree nodes,
+//     reproducing the LogP table of Figure 2;
+//   * measure_vi_transfer -- a negotiated VI-mode block transfer,
+//     reproducing the perceived-bandwidth curve of Figure 7.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace hyades::net {
+
+struct PioLogPResult {
+  int payload_bytes = 0;
+  Microseconds os = 0;        // send overhead (mmap store cost)
+  Microseconds orr = 0;       // receive overhead (mmap load cost)
+  Microseconds half_rtt = 0;  // measured round trip / 2
+  Microseconds L = 0;         // derived: half_rtt - os - orr
+};
+
+PioLogPResult measure_pio_logp(int payload_bytes, int endpoints = 16,
+                               int iterations = 64);
+
+struct ViTransferResult {
+  std::int64_t bytes = 0;
+  Microseconds elapsed = 0;       // negotiation + stream + completion
+  double mbytes_per_sec = 0;      // perceived transfer bandwidth
+};
+
+ViTransferResult measure_vi_transfer(std::int64_t bytes, int endpoints = 16);
+
+}  // namespace hyades::net

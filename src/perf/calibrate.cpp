@@ -1,0 +1,146 @@
+#include "perf/calibrate.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "gcm/halo.hpp"
+#include "gcm/model.hpp"
+
+namespace hyades::perf {
+
+namespace {
+
+cluster::MachineConfig machine(const net::Interconnect& net,
+                               const MachineShape& shape) {
+  cluster::MachineConfig mc;
+  mc.smp_count = shape.smps;
+  mc.procs_per_smp = shape.procs_per_smp;
+  mc.interconnect = &net;
+  return mc;
+}
+
+// Tile shape for a 16-rank 2.8125-degree run: 4x4 tiles of 32x16.
+gcm::ModelConfig exchange_config(int nranks, int nz) {
+  gcm::ModelConfig cfg = gcm::ocean_preset(1, 1);
+  cfg.nz = nz;
+  // Choose a near-square tile grid.
+  int px = 1;
+  while (px * px < nranks) px *= 2;
+  cfg.px = px;
+  cfg.py = nranks / px;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+PrimitiveCosts measure_primitives(const net::Interconnect& net,
+                                  MachineShape shape, int repetitions) {
+  PrimitiveCosts costs;
+
+  // ---- global sum --------------------------------------------------------
+  {
+    cluster::Runtime rt(machine(net, shape));
+    rt.run([&](cluster::RankContext& ctx) {
+      comm::Comm comm(ctx);
+      for (int i = 0; i < repetitions; ++i) (void)comm.global_sum(1.0);
+    });
+    costs.tgsum = rt.max_clock() / repetitions;
+  }
+
+  // ---- exchanges -----------------------------------------------------------
+  auto exchange_cost = [&](int nz, int width) {
+    const gcm::ModelConfig cfg = exchange_config(shape.nranks(), nz);
+    cluster::Runtime rt(machine(net, shape));
+    rt.run([&](cluster::RankContext& ctx) {
+      comm::Comm comm(ctx);
+      const gcm::Decomp dec(cfg, comm.group_rank());
+      Array3D<double> f(static_cast<std::size_t>(dec.ext_x()),
+                        static_cast<std::size_t>(dec.ext_y()),
+                        static_cast<std::size_t>(nz), 1.0);
+      for (int i = 0; i < repetitions; ++i) {
+        gcm::exchange3d(comm, dec, f, width);
+      }
+    });
+    return rt.max_clock() / repetitions;
+  };
+
+  costs.texchxy = exchange_cost(/*nz=*/1, /*width=*/1);
+  costs.texchxyz_atmos = exchange_cost(10, 3);
+  costs.texchxyz_ocean = exchange_cost(30, 3);
+  return costs;
+}
+
+ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
+                               const net::Interconnect& net,
+                               MachineShape shape, int steps, int warmup) {
+  if (cfg.tiles() != shape.nranks()) {
+    throw std::invalid_argument("measure_model: tiles != ranks");
+  }
+  ModelMeasurement m;
+  m.steps = steps;
+
+  cluster::Runtime rt(machine(net, shape));
+  std::mutex mu;
+  double total_flops = 0;
+  Microseconds window_us = 0;
+  double busiest = 0;
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    gcm::Model model(cfg, comm);
+    model.initialize();
+    for (int s = 0; s < warmup; ++s) (void)model.step();
+    const gcm::PerfObservables obs0 = model.stepper().observables();
+    const double flops0 = ctx.accounting().flops;
+    const Microseconds clock0 = ctx.clock().now();
+    for (int s = 0; s < steps; ++s) (void)model.step();
+    const gcm::PerfObservables& obs = model.stepper().observables();
+    const double rank_flops = ctx.accounting().flops - flops0;
+    const Microseconds rank_us = ctx.clock().now() - clock0;
+
+    std::lock_guard<std::mutex> lock(mu);
+    total_flops += rank_flops;
+    window_us = std::max(window_us, rank_us);
+    busiest = std::max(busiest, rank_us > 0 ? rank_flops / rank_us : 0.0);
+    if (comm.group_rank() == 0) {
+      // Figure 11 normalizes by the full per-processor cell count.
+      const double cells =
+          static_cast<double>(model.decomp().snx) * model.decomp().sny *
+          cfg.nz;
+      const double cols =
+          static_cast<double>(model.decomp().snx) * model.decomp().sny;
+      const long iters = obs.cg_iterations - obs0.cg_iterations;
+      m.wet_cells = model.grid().wet_cells();
+      m.wet_columns = model.grid().wet_columns();
+      m.ni = static_cast<double>(iters) / steps;
+      m.tps_us = (obs.tps_us - obs0.tps_us) / steps;
+      m.tps_exch_us = (obs.tps_exch_us - obs0.tps_exch_us) / steps;
+      m.tds_us = (obs.tds_us - obs0.tds_us) / steps;
+      m.params.ps.nps = (obs.ps_flops - obs0.ps_flops) / steps / cells;
+      m.params.ps.nxyz = cells;
+      m.params.ps.texchxyz = m.tps_exch_us / 5.0;
+      m.params.ps.fps_mflops = cfg.fps_mflops;
+      m.params.ds.nds =
+          iters > 0 ? (obs.ds_flops - obs0.ds_flops) / iters / cols : 0.0;
+      m.params.ds.nxy = cols;
+      m.params.ds.fds_mflops = cfg.fds_mflops;
+    }
+  });
+
+  // Fold in the stand-alone primitive costs for the DS column (as the
+  // paper does: "the exchange and global sum cost is determined using
+  // stand-alone benchmarks").
+  const PrimitiveCosts prims = measure_primitives(net, shape, 8);
+  m.params.ds.tgsum = prims.tgsum;
+  m.params.ds.texchxy = prims.texchxy;
+
+  m.step_us = window_us / steps;
+  m.per_proc_mflops = busiest;
+  m.aggregate_gflops = window_us > 0 ? total_flops / window_us / 1.0e3 : 0.0;
+  return m;
+}
+
+}  // namespace hyades::perf

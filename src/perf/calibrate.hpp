@@ -1,0 +1,62 @@
+// Calibration drivers: the "stand-alone benchmarks" of Section 5.3.
+//
+// measure_primitives runs the comm library's exchange / global-sum
+// primitives with production-sized payloads on the simulated cluster and
+// reports their virtual-time costs -- the measured analogs of Figure
+// 11's tgsum / texchxy / texchxyz columns.
+//
+// measure_model runs the real GCM for a few steps and extracts the
+// remaining Figure-11 parameters (Nps, nxyz, Nds, nxy, Ni) from the
+// kernel flop counters, plus sustained Flop rates for the Figure 10
+// analog.
+#pragma once
+
+#include <cstdint>
+
+#include "gcm/config.hpp"
+#include "net/interconnect.hpp"
+#include "perf/params.hpp"
+
+namespace hyades::perf {
+
+struct MachineShape {
+  int smps = 8;
+  int procs_per_smp = 2;
+  [[nodiscard]] int nranks() const { return smps * procs_per_smp; }
+};
+
+struct PrimitiveCosts {
+  Microseconds tgsum = 0;          // one global sum
+  Microseconds texchxy = 0;        // 2-D halo-1 exchange, one field
+  Microseconds texchxyz_atmos = 0; // 3-D halo-3 exchange, 10 levels
+  Microseconds texchxyz_ocean = 0; // 3-D halo-3 exchange, 30 levels
+};
+
+PrimitiveCosts measure_primitives(const net::Interconnect& net,
+                                  MachineShape shape = {},
+                                  int repetitions = 16);
+
+struct ModelMeasurement {
+  PerfParams params;        // measured Figure-11 analog
+  double ni = 0;            // mean CG iterations per step
+  Microseconds step_us = 0; // mean virtual time per model step
+  Microseconds tps_us = 0, tps_exch_us = 0, tds_us = 0;  // per step
+  double per_proc_mflops = 0;   // sustained, busiest rank
+  double aggregate_gflops = 0;  // whole machine
+  long steps = 0;
+  std::int64_t wet_cells = 0;    // per processor (rank 0's tile)
+  std::int64_t wet_columns = 0;
+};
+
+// Runs cfg (whose px*py must equal shape.nranks()) on the given
+// interconnect: `warmup` steps to pass the Adams-Bashforth start-up and
+// the initial pressure adjustment (which inflate the CG iteration
+// count), then `steps` measured steps.  Nps/nxyz are normalized by the
+// full tile cell count, as in Figure 11 (the paper's nxyz = grid/procs,
+// land included).
+ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
+                               const net::Interconnect& net,
+                               MachineShape shape, int steps,
+                               int warmup = 2);
+
+}  // namespace hyades::perf

@@ -1,0 +1,67 @@
+// Performance-model parameters (Figure 11) and paper-reported reference
+// values.
+#pragma once
+
+#include "support/units.hpp"
+
+namespace hyades::perf {
+
+// PS-phase parameters: tps = Nps*nxyz/Fps + 5*texchxyz  (Eqs. 4-6).
+struct PhaseParams {
+  double nps = 0;             // flops per grid cell per PS phase
+  double nxyz = 0;            // 3-D grid cells per processor
+  Microseconds texchxyz = 0;  // 3-D exchange, one field
+  double fps_mflops = 0;      // sustained PS kernel rate
+};
+
+// DS-phase parameters: tds = Nds*nxy/Fds + 2*texchxy + 2*tgsum (Eqs. 7-10).
+struct DsParams {
+  double nds = 0;            // flops per column per solver iteration
+  double nxy = 0;            // columns per processor
+  Microseconds tgsum = 0;    // one global sum
+  Microseconds texchxy = 0;  // 2-D exchange, one field
+  double fds_mflops = 0;     // sustained DS kernel rate
+};
+
+struct PerfParams {
+  PhaseParams ps;
+  DsParams ds;
+};
+
+// Figure 11, verbatim: coupled ocean-atmosphere simulation at 2.8125
+// degrees, each isomorph on sixteen processors over eight SMPs.
+PerfParams paper_atmosphere();
+PerfParams paper_ocean();
+
+// Section 5.3's validation run: a one-year atmospheric simulation.
+inline constexpr long kPaperNt = 77760;   // steps per simulated year
+inline constexpr double kPaperNi = 60.0;  // mean CG iterations per step
+
+// Figure 12's alternative-interconnect primitive costs (measured values
+// the paper reports for MPI on Ethernet).
+struct InterconnectCosts {
+  Microseconds tgsum, texchxy, texchxyz;
+};
+InterconnectCosts paper_fast_ethernet();
+InterconnectCosts paper_gigabit_ethernet();
+InterconnectCosts paper_arctic();
+
+// Figure 10's reference rows: sustained GFlop/s of the ocean isomorph on
+// contemporary vector machines (paper-reported, not measured here).
+struct ReferenceMachine {
+  const char* name;
+  int processors;
+  double sustained_gflops;
+};
+inline constexpr ReferenceMachine kVectorMachines[] = {
+    {"Cray Y-MP", 1, 0.4}, {"Cray Y-MP", 4, 1.5}, {"Cray C90", 1, 0.6},
+    {"Cray C90", 4, 2.2},  {"NEC SX-4", 1, 0.7},  {"NEC SX-4", 4, 2.7},
+};
+inline constexpr double kPaperHyades1 = 0.054;   // GFlop/s, 1 processor
+inline constexpr double kPaperHyades16 = 0.8;    // GFlop/s, 16 processors
+
+// Section 6's HPVM/Myrinet comparison points.
+inline constexpr Microseconds kHpvmBarrier16 = 50.0;  // ">50 usec"
+inline constexpr double kHpvm1KBandwidth = 42.0;      // MByte/s @ 1 KB
+
+}  // namespace hyades::perf

@@ -1,0 +1,41 @@
+// The analytic performance model of Section 5.2 (Eqs. 4-13) and the
+// Potential Floating-Point Performance metric of Section 5.4
+// (Eqs. 14-15).
+#pragma once
+
+#include "perf/params.hpp"
+
+namespace hyades::perf {
+
+// ---- Eqs. 4-6: PS phase -------------------------------------------------
+Microseconds tps_compute(const PhaseParams& p);  // Nps*nxyz / Fps
+Microseconds tps_exch(const PhaseParams& p);     // 5 * texchxyz
+Microseconds tps(const PhaseParams& p);
+
+// ---- Eqs. 7-10: DS phase (per solver iteration) ---------------------------
+Microseconds tds_compute(const DsParams& p);  // Nds*nxy / Fds
+Microseconds tds_exch(const DsParams& p);     // 2 * texchxy
+Microseconds tds_gsum(const DsParams& p);     // 2 * tgsum
+Microseconds tds(const DsParams& p);
+
+// ---- Eq. 11: total runtime ------------------------------------------------
+Microseconds trun(const PerfParams& p, long nt, double ni);
+
+// ---- Eqs. 12-13: communication / computation split -------------------------
+Microseconds tcomm(const PerfParams& p, long nt, double ni);
+Microseconds tcomp(const PerfParams& p, long nt, double ni);
+
+// ---- Eqs. 14-15: Potential Floating-Point Performance ----------------------
+// Per-processor MFlop/s if computation took zero time.
+double pfpp_ps(const PhaseParams& p);
+double pfpp_ds(const DsParams& p);
+
+// Sustained per-processor MFlop/s over a full model step with mean
+// solver iteration count ni (used for the Figure 10 analog).
+double sustained_mflops(const PerfParams& p, double ni);
+
+// Substitute alternative-interconnect primitive costs into a parameter
+// set (how Figure 12's rows are built).
+PerfParams with_interconnect(PerfParams p, const InterconnectCosts& costs);
+
+}  // namespace hyades::perf

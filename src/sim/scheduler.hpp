@@ -1,0 +1,80 @@
+// Event-driven simulation core.
+//
+// A Scheduler owns a priority queue of (time, sequence, callback) events.
+// Ties in time are broken by insertion order, which makes runs
+// deterministic.  Entities (routers, links, NIUs, DMA engines) schedule
+// callbacks against the shared Scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hyades::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  // Schedule `fn` to run at absolute time `when` (must be >= now()).
+  // Returns an id usable with cancel().
+  EventId schedule_at(SimTime when, EventFn fn);
+
+  // Schedule `fn` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, EventFn fn);
+
+  // Cancel a pending event.  Returns false if it already ran, was already
+  // cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  // Run one event; returns false if the queue is empty.
+  bool step();
+
+  // Run until the queue drains or `limit` events have executed.
+  // Returns the number of events executed by this call.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  // Run until simulated time would exceed `until` (events at exactly
+  // `until` are executed).  Advances now() to `until` if the queue drains
+  // earlier.
+  void run_until(SimTime until);
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+
+    // min-heap on (when, seq)
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<EventId> cancelled_;  // ids cancelled but still in the heap
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hyades::sim

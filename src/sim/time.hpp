@@ -1,0 +1,34 @@
+// Simulated time for the discrete-event core.
+//
+// Time is an integer count of picoseconds.  Integer time makes event
+// ordering exact and the simulation bit-reproducible; picosecond
+// resolution is fine enough that the paper's smallest constant
+// (0.15 us per router stage) is represented without rounding.
+#pragma once
+
+#include <cstdint>
+
+namespace hyades::sim {
+
+using SimTime = std::int64_t;  // picoseconds
+
+constexpr SimTime kPsPerNs = 1'000;
+constexpr SimTime kPsPerUs = 1'000'000;
+
+constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kPsPerUs) + 0.5);
+}
+constexpr SimTime from_ns(double ns) {
+  return static_cast<SimTime>(ns * static_cast<double>(kPsPerNs) + 0.5);
+}
+constexpr double to_us(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerUs);
+}
+
+// Time to serialize `bytes` onto a channel of `mbytes_per_sec` bandwidth.
+// (1 MByte/sec == 1 byte/us.)
+constexpr SimTime transfer_time(std::int64_t bytes, double mbytes_per_sec) {
+  return from_us(static_cast<double>(bytes) / mbytes_per_sec);
+}
+
+}  // namespace hyades::sim

@@ -1,0 +1,45 @@
+// Calibration constants for the StarT-X NIU and its PCI host environment.
+//
+// All values trace to Sections 2.1-2.3 and 4.1 of the paper:
+//   * 0.93 us latency for an 8-byte read of an uncached memory-mapped PCI
+//     register; 0.18 us minimum between back-to-back 8-byte writes;
+//   * >120 MByte/sec sustained PCI DMA;
+//   * 110 MByte/sec peak VI-mode payload bandwidth;
+//   * PIO overhead estimates Os/Or follow directly from counting mmap
+//     accesses (the paper derives Figure 2 the same way);
+//   * NIU tx/rx processing latencies are calibrated so the one-way
+//     8-byte-message latency L through a 16-endpoint fabric matches the
+//     paper's 1.3 us.
+#pragma once
+
+#include "support/units.hpp"
+
+namespace hyades::startx {
+
+struct StartXConfig {
+  // PCI programmed-I/O costs (Section 2.1).
+  Microseconds mmap_read_us = 0.93;
+  Microseconds mmap_write_us = 0.18;
+
+  // Host PCI DMA capability (Section 2.1).
+  double pci_dma_mbytes_per_sec = 120.0;
+
+  // NIU-internal processing latencies (calibrated, see header comment).
+  Microseconds tx_latency_us = 0.15;
+  Microseconds rx_latency_us = 0.23;
+
+  // VI mode (Sections 2.3, 4.1).
+  double vi_payload_mbytes_per_sec = 110.0;  // measured peak payload rate
+  int vi_chunk_bytes = 512;                  // sender copy/DMA chunk
+  double copy_mbytes_per_sec = 400.0;        // cached memcpy on the host
+
+  // Bytes of user payload carried per Arctic packet in a VI stream
+  // (the maximum 22-word payload).
+  int vi_packet_payload_bytes = 88;
+};
+
+// Number of 8-byte mmap accesses needed to move a PIO message (two header
+// words = one 8-byte access, then the payload in 8-byte accesses).
+int pio_accesses(int payload_bytes);
+
+}  // namespace hyades::startx

@@ -1,0 +1,170 @@
+#include "startx/niu.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace hyades::startx {
+
+namespace {
+// usr_tag bit layout: bit 10 distinguishes VI stream packets from PIO
+// messages; bits [9:0] are the user/VI tag.
+constexpr std::uint16_t kViFlag = 1u << 10;
+constexpr std::uint16_t kTagMask = 0x3FF;
+
+// A VI packet dedicates payload[0] to the chunk's byte count, leaving 21
+// words (84 bytes) of data per maximum-size Arctic packet.
+constexpr int kViDataBytesPerPacket = (arctic::kMaxPayloadWords - 1) * 4;
+}  // namespace
+
+int pio_accesses(int payload_bytes) {
+  return 1 + (payload_bytes + 7) / 8;  // one 8-byte store/load pair of header words, then payload
+}
+
+StartXNiu::StartXNiu(sim::Scheduler& sched, arctic::Fabric& fabric, int node,
+                     StartXConfig cfg)
+    : sched_(sched), fabric_(fabric), node_(node), cfg_(cfg) {}
+
+Microseconds StartXNiu::pio_send_overhead(int payload_bytes) const {
+  return pio_accesses(payload_bytes) * cfg_.mmap_write_us;
+}
+
+Microseconds StartXNiu::pio_recv_overhead(int payload_bytes) const {
+  return pio_accesses(payload_bytes) * cfg_.mmap_read_us;
+}
+
+void StartXNiu::pio_inject_at(sim::SimTime cpu_done, int dst,
+                              std::uint16_t tag,
+                              std::vector<std::uint32_t> payload,
+                              arctic::Priority pri) {
+  if (payload.size() < arctic::kMinPayloadWords ||
+      payload.size() > arctic::kMaxPayloadWords) {
+    throw std::invalid_argument("pio_inject_at: payload must be 2..22 words");
+  }
+  if (tag > kTagMask) {
+    throw std::invalid_argument("pio_inject_at: tag exceeds 10 bits");
+  }
+  arctic::Packet p;
+  p.priority = pri;
+  p.usr_tag = tag;
+  p.payload = std::move(payload);
+  const sim::SimTime inject_at =
+      std::max(cpu_done, sched_.now()) + sim::from_us(cfg_.tx_latency_us);
+  sched_.schedule_at(inject_at, [this, dst, pkt = std::move(p)]() mutable {
+    fabric_.inject(node_, dst, std::move(pkt));
+  });
+}
+
+PioMessage StartXNiu::pio_pop() {
+  if (pio_rx_.empty()) {
+    throw std::logic_error("pio_pop: rx queue empty");
+  }
+  PioMessage m = std::move(pio_rx_.front());
+  pio_rx_.pop_front();
+  return m;
+}
+
+void StartXNiu::vi_send_at(sim::SimTime start, int dst, std::uint16_t tag,
+                           std::int64_t bytes,
+                           std::function<void()> on_sent) {
+  if (tag > kTagMask) {
+    throw std::invalid_argument("vi_send_at: tag exceeds 10 bits");
+  }
+  const sim::SimTime begin = std::max({start, sched_.now(), vi_tx_free_at_});
+  if (bytes <= 0) {
+    if (on_sent) sched_.schedule_at(begin, std::move(on_sent));
+    return;
+  }
+
+  // Pace packets so payload streams at the configured VI peak rate.
+  const double rate = cfg_.vi_payload_mbytes_per_sec;  // bytes per us
+  std::int64_t sent = 0;
+  sim::SimTime t = begin;
+  while (sent < bytes) {
+    const int chunk = static_cast<int>(
+        std::min<std::int64_t>(bytes - sent, kViDataBytesPerPacket));
+    arctic::Packet p;
+    p.priority = arctic::Priority::kLow;
+    p.usr_tag = static_cast<std::uint16_t>(kViFlag | tag);
+    const int data_words = (chunk + 3) / 4;
+    p.payload.resize(static_cast<std::size_t>(1 + std::max(data_words, 1)));
+    p.payload[0] = static_cast<std::uint32_t>(chunk);
+    sched_.schedule_at(t, [this, dst, pkt = std::move(p)]() mutable {
+      fabric_.inject(node_, dst, std::move(pkt));
+    });
+    sent += chunk;
+    t += sim::from_us(static_cast<double>(chunk) / rate);
+  }
+  vi_tx_free_at_ = t;
+  if (on_sent) sched_.schedule_at(t, std::move(on_sent));
+}
+
+void StartXNiu::vi_expect(std::uint16_t tag, std::int64_t bytes,
+                          std::function<void(sim::SimTime)> on_done) {
+  ViStream& s = vi_[tag];
+  s.expected = bytes;
+  s.on_done = std::move(on_done);
+  vi_check_done(tag);
+}
+
+std::int64_t StartXNiu::vi_received(std::uint16_t tag) const {
+  auto it = vi_.find(tag);
+  return it == vi_.end() ? 0 : it->second.received;
+}
+
+Microseconds StartXNiu::copy_time(std::int64_t bytes) const {
+  return static_cast<double>(bytes) / cfg_.copy_mbytes_per_sec;
+}
+
+void StartXNiu::on_delivery(arctic::Packet&& p) {
+  // The Rx side spends its processing latency before the message becomes
+  // visible to software (PIO queue) or is deposited in the VI region.
+  sched_.schedule_after(
+      sim::from_us(cfg_.rx_latency_us), [this, pkt = std::move(p)]() mutable {
+        if (pkt.usr_tag & kViFlag) {
+          const auto tag = static_cast<std::uint16_t>(pkt.usr_tag & kTagMask);
+          ViStream& s = vi_[tag];
+          s.received += static_cast<std::int64_t>(pkt.payload[0]);
+          s.last_arrival = sched_.now();
+          vi_check_done(tag);
+        } else {
+          PioMessage m;
+          m.src = pkt.src;
+          m.tag = static_cast<std::uint16_t>(pkt.usr_tag & kTagMask);
+          m.payload = std::move(pkt.payload);
+          m.arrival = sched_.now();
+          m.crc_error = pkt.crc_error;
+          pio_rx_.push_back(std::move(m));
+          if (pio_notify_) pio_notify_(pio_rx_.back());
+        }
+      });
+}
+
+void StartXNiu::vi_check_done(std::uint16_t tag) {
+  auto it = vi_.find(tag);
+  if (it == vi_.end()) return;
+  ViStream& s = it->second;
+  if (s.expected < 0 || s.received < s.expected || !s.on_done) return;
+  auto done = std::move(s.on_done);
+  const sim::SimTime t = s.expected == 0 ? sched_.now() : s.last_arrival;
+  vi_.erase(it);
+  sched_.schedule_at(std::max(t, sched_.now()),
+                     [done = std::move(done), t] { done(t); });
+}
+
+std::vector<std::unique_ptr<StartXNiu>> attach_all(sim::Scheduler& sched,
+                                                   arctic::Fabric& fabric,
+                                                   StartXConfig cfg) {
+  std::vector<std::unique_ptr<StartXNiu>> nius;
+  nius.reserve(static_cast<std::size_t>(fabric.endpoints()));
+  for (int n = 0; n < fabric.endpoints(); ++n) {
+    nius.push_back(std::make_unique<StartXNiu>(sched, fabric, n, cfg));
+  }
+  fabric.set_delivery_handler(
+      [raw = nius.data()](int node, arctic::Packet&& p) {
+        raw[node]->on_delivery(std::move(p));
+      });
+  return nius;
+}
+
+}  // namespace hyades::startx

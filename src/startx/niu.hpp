@@ -1,0 +1,133 @@
+// The StarT-X network interface unit (Section 2.3).
+//
+// Two message-passing mechanisms are modeled, the two the GCM code uses:
+//
+//   PIO mode -- a FIFO-based network abstraction.  The CPU writes a
+//   message (two header words + 2..22 payload words) into NIU registers
+//   with uncached mmap stores, and reads received messages with uncached
+//   mmap loads.  Overheads are therefore pure functions of the mmap
+//   access counts, which is exactly how the paper estimates (and then
+//   measures, Figure 2) Os and Or.
+//
+//   VI mode -- DMA extends the physical queues into cacheable host
+//   memory.  A send streams the payload through the Tx DMA engine as a
+//   train of maximum-size Arctic packets paced at the measured 110
+//   MByte/sec payload rate; the Rx DMA engine deposits arriving packets
+//   into a pre-specified buffer in the receiver's VI region and
+//   completion is observable by polling.
+//
+// This class models *timing and semantics*; the actual payload words flow
+// through the Arctic fabric simulator so that ordering, priorities and
+// CRC behaviour are exercised for real.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "arctic/fabric.hpp"
+#include "sim/scheduler.hpp"
+#include "startx/config.hpp"
+
+namespace hyades::startx {
+
+// A PIO message as seen by the receiving CPU.
+struct PioMessage {
+  int src = -1;
+  std::uint16_t tag = 0;
+  std::vector<std::uint32_t> payload;
+  sim::SimTime arrival = 0;  // when it became visible in the rx queue
+  bool crc_error = false;    // the 1-bit status software must check
+};
+
+class StartXNiu {
+ public:
+  StartXNiu(sim::Scheduler& sched, arctic::Fabric& fabric, int node,
+            StartXConfig cfg = {});
+
+  StartXNiu(const StartXNiu&) = delete;
+  StartXNiu& operator=(const StartXNiu&) = delete;
+
+  [[nodiscard]] int node() const { return node_; }
+  [[nodiscard]] const StartXConfig& config() const { return cfg_; }
+
+  // ---- PIO mode ------------------------------------------------------
+  // CPU overhead of composing/consuming a PIO message with `payload_bytes`
+  // of payload: the mmap access count times the access cost.
+  [[nodiscard]] Microseconds pio_send_overhead(int payload_bytes) const;
+  [[nodiscard]] Microseconds pio_recv_overhead(int payload_bytes) const;
+
+  // Inject a PIO message whose mmap stores complete at absolute sim time
+  // `cpu_done`.  The NIU adds its tx latency before the packet enters the
+  // fabric.  payload.size() must be in [2, 22] words.
+  void pio_inject_at(sim::SimTime cpu_done, int dst, std::uint16_t tag,
+                     std::vector<std::uint32_t> payload,
+                     arctic::Priority pri = arctic::Priority::kLow);
+
+  [[nodiscard]] bool pio_available() const { return !pio_rx_.empty(); }
+  [[nodiscard]] std::size_t pio_rx_depth() const { return pio_rx_.size(); }
+  PioMessage pio_pop();
+
+  // Hook invoked (at message-visible time) whenever a PIO message lands.
+  void set_pio_notify(std::function<void(const PioMessage&)> fn) {
+    pio_notify_ = std::move(fn);
+  }
+
+  // ---- VI mode ---------------------------------------------------------
+  // Stream `bytes` of payload to `dst` under VI tag `tag`, beginning at
+  // absolute sim time `start` (the caller accounts for negotiation and
+  // doorbell costs before `start`).  Packets are paced so the payload
+  // rate equals the configured VI peak.  `on_sent` (optional) fires when
+  // the last packet has left this NIU.
+  void vi_send_at(sim::SimTime start, int dst, std::uint16_t tag,
+                  std::int64_t bytes, std::function<void()> on_sent = {});
+
+  // Register interest in an inbound VI stream: `on_done(t)` fires when
+  // `bytes` of payload under `tag` have fully arrived (t = arrival of the
+  // final packet).  Streams may begin arriving before vi_expect is
+  // called; early bytes are counted.
+  void vi_expect(std::uint16_t tag, std::int64_t bytes,
+                 std::function<void(sim::SimTime)> on_done);
+
+  // Bytes received so far for a tag (for tests).
+  [[nodiscard]] std::int64_t vi_received(std::uint16_t tag) const;
+
+  // ---- misc ------------------------------------------------------------
+  // Time to memcpy `bytes` on the host (cached copy), used by the VI
+  // chunking protocol.
+  [[nodiscard]] Microseconds copy_time(std::int64_t bytes) const;
+
+  // Fabric delivery entry point (wired up by attach_all).
+  void on_delivery(arctic::Packet&& p);
+
+ private:
+  sim::Scheduler& sched_;
+  arctic::Fabric& fabric_;
+  int node_;
+  StartXConfig cfg_;
+
+  std::deque<PioMessage> pio_rx_;
+  std::function<void(const PioMessage&)> pio_notify_;
+
+  struct ViStream {
+    std::int64_t expected = -1;  // unknown until vi_expect
+    std::int64_t received = 0;
+    sim::SimTime last_arrival = 0;
+    std::function<void(sim::SimTime)> on_done;
+  };
+  std::map<std::uint16_t, ViStream> vi_;
+  sim::SimTime vi_tx_free_at_ = 0;  // Tx DMA engine availability
+
+  void vi_check_done(std::uint16_t tag);
+};
+
+// Construct one NIU per fabric endpoint and wire the fabric's delivery
+// handler to them.  The returned vector owns the NIUs.
+std::vector<std::unique_ptr<StartXNiu>> attach_all(sim::Scheduler& sched,
+                                                   arctic::Fabric& fabric,
+                                                   StartXConfig cfg = {});
+
+}  // namespace hyades::startx

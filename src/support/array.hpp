@@ -1,0 +1,108 @@
+// Dense 2-D / 3-D array containers used throughout the GCM and the
+// hardware models.
+//
+// Layout conventions:
+//   Array2D<T>(nx, ny)      -- index (i, j), row-major in j (j fastest).
+//   Array3D<T>(nx, ny, nz)  -- index (i, j, k), k fastest.
+//
+// The GCM's hot loops iterate k innermost (vertical columns are
+// contiguous), which matches the paper's column-oriented decomposition:
+// "the vertical dimension stays within a single node".
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hyades {
+
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+  Array2D(std::size_t nx, std::size_t ny, T init = T{})
+      : nx_(nx), ny_(ny), data_(nx * ny, init) {}
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < nx_ && j < ny_);
+    return data_[i * ny_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < nx_ && j < ny_);
+    return data_[i * ny_ + j];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+  Array3D(std::size_t nx, std::size_t ny, std::size_t nz, T init = T{})
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, init) {}
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    assert(i < nx_ && j < ny_ && k < nz_);
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    assert(i < nx_ && j < ny_ && k < nz_);
+    return data_[(i * ny_ + j) * nz_ + k];
+  }
+
+  // Pointer to the contiguous vertical column at (i, j).
+  T* column(std::size_t i, std::size_t j) { return &data_[(i * ny_ + j) * nz_]; }
+  const T* column(std::size_t i, std::size_t j) const {
+    return &data_[(i * ny_ + j) * nz_];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Array3D& a, const Array3D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace hyades

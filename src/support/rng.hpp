@@ -1,0 +1,40 @@
+// Small deterministic RNG (SplitMix64) used for reproducible test data,
+// synthetic workloads and the fat-tree's "random uproute" load balancing.
+// We avoid <random> engines in simulation paths so that results are
+// bit-identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace hyades {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hyades

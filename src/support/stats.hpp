@@ -1,0 +1,38 @@
+// Small statistics helpers: summary statistics and least-squares linear
+// fits.  The paper fits tgsum = C*log2(N) + b by least squares (Section
+// 4.2); bench_sec42_gsum reproduces that fit with LinearFit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hyades {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+
+  double operator()(double x) const { return slope * x + intercept; }
+};
+
+// Ordinary least-squares fit y = slope*x + intercept.  Requires
+// xs.size() == ys.size() and at least two distinct x values.
+LinearFit least_squares(std::span<const double> xs, std::span<const double> ys);
+
+// Relative error |a-b| / max(|b|, eps); used pervasively by tests that
+// compare measured values against the paper's tables.
+double relative_error(double a, double b, double eps = 1e-300);
+
+}  // namespace hyades

@@ -1,0 +1,32 @@
+// ASCII table printer used by the bench harness to emit paper-style
+// tables (Figures 2, 10, 11, 12 and the Section 4.2 latency list).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hyades {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; it must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  // Render with column alignment; title is printed above if nonempty.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyades

@@ -1,0 +1,32 @@
+// Unit conventions shared across the hardware models and the performance
+// model.
+//
+// All simulated time is carried either as integer picoseconds (SimTime in
+// sim/time.hpp, for the discrete-event core where exact ordering matters)
+// or as double microseconds (for the coarse virtual-clock runtime and the
+// analytic model, matching the paper's units).
+#pragma once
+
+#include <cstdint>
+
+namespace hyades {
+
+// Double microseconds: the unit of the paper's tables (Os, Or, L, tgsum...).
+using Microseconds = double;
+
+// Convenience conversions.
+constexpr double kUsPerSecond = 1.0e6;
+constexpr double kUsPerMinute = 60.0e6;
+
+constexpr Microseconds seconds_to_us(double s) { return s * kUsPerSecond; }
+constexpr double us_to_seconds(Microseconds us) { return us / kUsPerSecond; }
+constexpr double us_to_minutes(Microseconds us) { return us / kUsPerMinute; }
+
+// Bandwidths are expressed as MByte/sec in the paper; internally we often
+// need bytes/us which is numerically identical to MByte/sec.
+constexpr double mbytes_per_sec_to_bytes_per_us(double mbps) { return mbps; }
+
+// MFlop/sec == flops per microsecond.
+constexpr double mflops_to_flops_per_us(double mflops) { return mflops; }
+
+}  // namespace hyades

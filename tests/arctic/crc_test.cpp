@@ -1,0 +1,51 @@
+#include "arctic/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace hyades::arctic {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  std::vector<std::uint8_t> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32, KnownVector) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto all = bytes_of("the quick brown fox");
+  const auto head = bytes_of("the quick ");
+  const auto tail = bytes_of("brown fox");
+  EXPECT_EQ(crc32(tail, crc32(head)), crc32(all));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = bytes_of("arctic switch fabric");
+  const std::uint32_t good = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      data[i] ^= static_cast<std::uint8_t>(1u << b);
+      EXPECT_NE(crc32(data), good) << "undetected flip at " << i << ":" << b;
+      data[i] ^= static_cast<std::uint8_t>(1u << b);
+    }
+  }
+}
+
+TEST(Crc32, WordInterfaceMatchesByteInterface) {
+  const std::vector<std::uint32_t> words = {0xDEADBEEFu, 0x12345678u};
+  std::vector<std::uint8_t> bytes(8);
+  std::memcpy(bytes.data(), words.data(), 8);  // little-endian host
+  EXPECT_EQ(crc32_words(words), crc32(bytes));
+}
+
+}  // namespace
+}  // namespace hyades::arctic

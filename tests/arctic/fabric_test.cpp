@@ -1,0 +1,213 @@
+#include "arctic/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hyades::arctic {
+namespace {
+
+Packet small_packet(std::uint16_t tag = 0, Priority pri = Priority::kLow) {
+  Packet p;
+  p.priority = pri;
+  p.usr_tag = tag;
+  p.payload = {0x11111111u, 0x22222222u};
+  return p;
+}
+
+struct Delivery {
+  int node;
+  Packet packet;
+  sim::SimTime at;
+};
+
+struct Rig {
+  sim::Scheduler sched;
+  Fabric fabric;
+  std::vector<Delivery> deliveries;
+
+  explicit Rig(int endpoints, FabricConfig cfg = {})
+      : fabric(sched, endpoints, cfg) {
+    fabric.set_delivery_handler([this](int node, Packet&& p) {
+      deliveries.push_back({node, std::move(p), sched.now()});
+    });
+  }
+};
+
+TEST(Fabric, AllPairsDeliver) {
+  Rig rig(16);
+  int sent = 0;
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      rig.fabric.inject(s, d, small_packet(static_cast<std::uint16_t>(s)));
+      ++sent;
+    }
+  }
+  rig.sched.run();
+  ASSERT_EQ(static_cast<int>(rig.deliveries.size()), sent);
+  // Each delivery arrives at the addressed node with intact payload.
+  for (const auto& del : rig.deliveries) {
+    EXPECT_EQ(del.node, del.packet.dst);
+    EXPECT_EQ(del.packet.usr_tag, del.packet.src);
+    EXPECT_FALSE(del.packet.crc_error);
+  }
+}
+
+TEST(Fabric, AllPairsDeliver64Nodes) {
+  Rig rig(64);
+  int sent = 0;
+  for (int s = 0; s < 64; s += 7) {
+    for (int d = 0; d < 64; ++d) {
+      if (s == d) continue;
+      rig.fabric.inject(s, d, small_packet());
+      ++sent;
+    }
+  }
+  rig.sched.run();
+  EXPECT_EQ(static_cast<int>(rig.deliveries.size()), sent);
+  EXPECT_EQ(rig.fabric.stats().crc_flagged, 0u);
+}
+
+TEST(Fabric, SameLeafFasterThanCrossTree) {
+  Rig near_rig(16);
+  near_rig.fabric.inject(0, 1, small_packet());
+  near_rig.sched.run();
+  const sim::SimTime near_t = near_rig.deliveries.at(0).at;
+
+  Rig far_rig(16);
+  far_rig.fabric.inject(0, 15, small_packet());
+  far_rig.sched.run();
+  const sim::SimTime far_t = far_rig.deliveries.at(0).at;
+
+  EXPECT_LT(near_t, far_t);
+  // Two extra links + two extra stages: expect roughly 0.15*2 + hdr*2 more.
+  EXPECT_GT(far_t - near_t, sim::from_us(0.3));
+}
+
+TEST(Fabric, FifoOrderingSamePath) {
+  Rig rig(16);
+  constexpr int kCount = 50;
+  for (int i = 0; i < kCount; ++i) {
+    rig.fabric.inject(2, 14, small_packet(static_cast<std::uint16_t>(i)));
+  }
+  rig.sched.run();
+  ASSERT_EQ(static_cast<int>(rig.deliveries.size()), kCount);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(rig.deliveries[static_cast<std::size_t>(i)].packet.usr_tag, i)
+        << "FIFO ordering violated at " << i;
+  }
+}
+
+TEST(Fabric, HighPriorityOvertakesQueuedLow) {
+  Rig rig(16);
+  // Saturate the path 0->15 with low-priority packets, then inject one
+  // high-priority packet; it must not be blocked behind the queued lows.
+  rig.sched.schedule_at(0, [&] {
+    for (int i = 0; i < 30; ++i) {
+      Packet p;
+      p.priority = Priority::kLow;
+      p.usr_tag = 1;
+      p.payload.assign(22, 0u);  // max-size packets queue up
+      rig.fabric.inject(0, 15, std::move(p));
+    }
+    rig.fabric.inject(0, 15, small_packet(2, Priority::kHigh));
+  });
+  rig.sched.run();
+  ASSERT_EQ(rig.deliveries.size(), 31u);
+  // The high packet should arrive well before the last low packet.
+  std::size_t high_pos = 99;
+  for (std::size_t i = 0; i < rig.deliveries.size(); ++i) {
+    if (rig.deliveries[i].packet.usr_tag == 2) high_pos = i;
+  }
+  ASSERT_NE(high_pos, 99u);
+  EXPECT_LT(high_pos, 5u);  // overtook nearly the whole low queue
+}
+
+TEST(Fabric, CrcCorruptionFlaggedNotDropped) {
+  Rig rig(16);
+  rig.fabric.corrupt_next_injection();
+  rig.fabric.inject(0, 15, small_packet());
+  rig.fabric.inject(0, 15, small_packet());
+  rig.sched.run();
+  ASSERT_EQ(rig.deliveries.size(), 2u);
+  EXPECT_TRUE(rig.deliveries[0].packet.crc_error);
+  EXPECT_FALSE(rig.deliveries[1].packet.crc_error);
+  EXPECT_EQ(rig.fabric.stats().crc_flagged, 1u);
+}
+
+TEST(Fabric, RandomUprouteStillDelivers) {
+  FabricConfig cfg;
+  cfg.random_uproute = true;
+  cfg.seed = 99;
+  Rig rig(16, cfg);
+  for (int i = 0; i < 100; ++i) {
+    rig.fabric.inject(0, 15, small_packet(static_cast<std::uint16_t>(i % 16)));
+  }
+  rig.sched.run();
+  EXPECT_EQ(rig.deliveries.size(), 100u);
+  for (const auto& del : rig.deliveries) EXPECT_EQ(del.node, 15);
+}
+
+TEST(Fabric, BisectionBandwidthFormula) {
+  Rig rig(16);
+  // Paper Section 2.2: 2 * N * 150 MByte/sec.
+  EXPECT_DOUBLE_EQ(rig.fabric.bisection_bandwidth_mbytes_per_sec(),
+                   2.0 * 16 * 150.0);
+}
+
+TEST(Fabric, DisjointPairsDoNotContend) {
+  // "Arctic's fat-tree interconnect can handle multiple simultaneous
+  // transfers with undiminished pair-wise bandwidth" (Section 4.1).
+  auto run_pairs = [](std::vector<std::pair<int, int>> pairs) {
+    Rig rig(16);
+    for (int i = 0; i < 20; ++i) {
+      for (auto [s, d] : pairs) {
+        Packet p;
+        p.payload.assign(22, 0u);
+        rig.fabric.inject(s, d, std::move(p));
+      }
+    }
+    rig.sched.run();
+    return rig.sched.now();
+  };
+  // 8 disjoint same-leaf pairs take no longer than a single pair.
+  const sim::SimTime single = run_pairs({{0, 1}});
+  const sim::SimTime many =
+      run_pairs({{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13},
+                 {14, 15}});
+  EXPECT_EQ(single, many);
+}
+
+TEST(Fabric, StatsCountStages) {
+  Rig rig(16);
+  rig.fabric.inject(0, 1, small_packet());   // 1 stage
+  rig.fabric.inject(0, 15, small_packet());  // 3 stages
+  rig.sched.run();
+  EXPECT_EQ(rig.fabric.stats().injected, 2u);
+  EXPECT_EQ(rig.fabric.stats().delivered, 2u);
+  EXPECT_EQ(rig.fabric.stats().router_stages, 4u);
+}
+
+TEST(Fabric, RejectsBadEndpointsAndFormat) {
+  Rig rig(16);
+  EXPECT_THROW(rig.fabric.inject(-1, 3, small_packet()), std::out_of_range);
+  EXPECT_THROW(rig.fabric.inject(0, 16, small_packet()), std::out_of_range);
+  Packet bad;
+  bad.payload = {1u};  // below the 2-word minimum
+  EXPECT_THROW(rig.fabric.inject(0, 3, std::move(bad)), std::invalid_argument);
+}
+
+TEST(Fabric, TwoEndpointDegenerateTree) {
+  Rig rig(2);
+  rig.fabric.inject(0, 1, small_packet());
+  rig.fabric.inject(1, 0, small_packet());
+  rig.sched.run();
+  EXPECT_EQ(rig.deliveries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hyades::arctic

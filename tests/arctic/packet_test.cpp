@@ -1,0 +1,69 @@
+#include "arctic/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyades::arctic {
+namespace {
+
+Packet make_packet(int words = 4) {
+  Packet p;
+  p.priority = Priority::kHigh;
+  p.downroute = 0x1234;
+  p.uproute = 0x0ABC;
+  p.random_uproute = true;
+  p.usr_tag = 0x5F3;
+  p.payload.assign(static_cast<std::size_t>(words), 0xCAFEF00Du);
+  return p;
+}
+
+TEST(Packet, HeaderRoundTrips) {
+  const Packet p = make_packet(7);
+  const DecodedHeader h = decode_header(p.header_word0(), p.header_word1());
+  EXPECT_EQ(h.priority, Priority::kHigh);
+  EXPECT_EQ(h.downroute, 0x1234);
+  EXPECT_EQ(h.uproute, 0x0ABC);
+  EXPECT_TRUE(h.random_uproute);
+  EXPECT_EQ(h.usr_tag, 0x5F3);
+  EXPECT_EQ(h.size_words, 7);
+}
+
+TEST(Packet, WireSizeIncludesHeaderAndCrc) {
+  const Packet p = make_packet(4);
+  // 8 header bytes + 16 payload bytes + 4 CRC bytes (Figure 1b format).
+  EXPECT_EQ(p.wire_bytes(), 28);
+  EXPECT_EQ(p.payload_bytes(), 16);
+}
+
+TEST(Packet, FormatLimits) {
+  EXPECT_TRUE(make_packet(kMinPayloadWords).valid_format());
+  EXPECT_TRUE(make_packet(kMaxPayloadWords).valid_format());
+  EXPECT_FALSE(make_packet(1).valid_format());
+  EXPECT_FALSE(make_packet(23).valid_format());
+  Packet p = make_packet();
+  p.usr_tag = 1u << 11;  // exceeds the 11-bit field
+  EXPECT_FALSE(p.valid_format());
+}
+
+TEST(Packet, SealAndVerify) {
+  Packet p = make_packet();
+  p.seal();
+  EXPECT_TRUE(p.crc_ok());
+  p.payload[2] ^= 1u;
+  EXPECT_FALSE(p.crc_ok());
+}
+
+TEST(Packet, CrcCoversHeader) {
+  Packet p = make_packet();
+  p.seal();
+  p.usr_tag ^= 1u;
+  EXPECT_FALSE(p.crc_ok());
+}
+
+TEST(Packet, LowPriorityHeaderBitClear) {
+  Packet p = make_packet();
+  p.priority = Priority::kLow;
+  EXPECT_EQ(p.header_word0() >> 31, 0u);
+}
+
+}  // namespace
+}  // namespace hyades::arctic

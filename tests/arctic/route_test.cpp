@@ -1,0 +1,84 @@
+#include "arctic/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyades::arctic {
+namespace {
+
+TEST(Route, LevelsFor) {
+  EXPECT_EQ(levels_for(2), 1);
+  EXPECT_EQ(levels_for(4), 1);
+  EXPECT_EQ(levels_for(5), 2);
+  EXPECT_EQ(levels_for(16), 2);
+  EXPECT_EQ(levels_for(17), 3);
+  EXPECT_EQ(levels_for(64), 3);
+  EXPECT_THROW(levels_for(0), std::invalid_argument);
+}
+
+TEST(Route, SameLeafStaysLow) {
+  // Nodes 0..3 share the level-0 router in a 16-node tree.
+  const Route r = compute_route(1, 2, 2);
+  EXPECT_EQ(r.up_levels, 0);
+  EXPECT_EQ(r.router_hops(), 1);
+  EXPECT_EQ(r.down_port(0), 2);
+}
+
+TEST(Route, CrossTreeClimbs) {
+  const Route r = compute_route(0, 15, 2);
+  EXPECT_EQ(r.up_levels, 1);
+  EXPECT_EQ(r.router_hops(), 3);
+  EXPECT_EQ(r.down_port(1), 3);  // digit 1 of 15
+  EXPECT_EQ(r.down_port(0), 3);  // digit 0 of 15
+}
+
+TEST(Route, EncodingRoundTrips) {
+  const Route r = compute_route(3, 60, 3);
+  const Route d = Route::decode(r.encode_uproute(), r.downroute);
+  EXPECT_EQ(d.up_levels, r.up_levels);
+  EXPECT_EQ(d.downroute, r.downroute);
+  for (int l = 0; l < r.up_levels; ++l) {
+    EXPECT_EQ(d.up_ports[static_cast<std::size_t>(l)],
+              r.up_ports[static_cast<std::size_t>(l)]);
+  }
+}
+
+TEST(Route, DeterministicIsStable) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const Route a = compute_route(5, 11, 2);
+    const Route b = compute_route(5, 11, 2);
+    EXPECT_EQ(a.encode_uproute(), b.encode_uproute());
+    EXPECT_EQ(a.downroute, b.downroute);
+  }
+}
+
+TEST(Route, RandomModeChoosesValidPorts) {
+  SplitMix64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Route r = compute_route(0, 63, 3, &rng);
+    EXPECT_EQ(r.up_levels, 2);
+    for (int l = 0; l < r.up_levels; ++l) {
+      EXPECT_LT(r.up_ports[static_cast<std::size_t>(l)], kRadix);
+    }
+  }
+}
+
+TEST(Route, HopCountSymmetry) {
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      EXPECT_EQ(router_hops(src, dst, 2), router_hops(dst, src, 2));
+    }
+  }
+}
+
+TEST(Route, HopCountStructure16Nodes) {
+  // Same-leaf pairs cross 1 stage; all others cross 3.
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      const int expected = (src / 4 == dst / 4) ? 1 : 3;
+      EXPECT_EQ(router_hops(src, dst, 2), expected) << src << "->" << dst;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyades::arctic

@@ -1,0 +1,168 @@
+#include "comm/portable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "net/arctic_model.hpp"
+
+namespace hyades::comm {
+namespace {
+
+using cluster::MachineConfig;
+using cluster::RankContext;
+using cluster::Runtime;
+
+MachineConfig machine(const net::Interconnect& net, int smps, int ppp = 1) {
+  MachineConfig cfg;
+  cfg.smp_count = smps;
+  cfg.procs_per_smp = ppp;
+  cfg.interconnect = &net;
+  return cfg;
+}
+
+TEST(Portable, SendRecvAdvancesReceiverClock) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 2));
+  rt.run([&](RankContext& ctx) {
+    Portable mpi(ctx);
+    if (mpi.rank() == 0) {
+      ctx.compute(500.0, 50.0);  // sender is ahead in virtual time
+      mpi.send(1, 3, {1.0, 2.0, 3.0});
+    } else {
+      const auto v = mpi.recv(0, 3);
+      EXPECT_EQ(v, (std::vector<double>{1.0, 2.0, 3.0}));
+      EXPECT_GT(ctx.clock().now(), 10.0);  // pulled past the send stamp
+    }
+  });
+}
+
+TEST(Portable, RejectsBadArguments) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 2));
+  EXPECT_THROW(rt.run([&](RankContext& ctx) {
+                 Portable mpi(ctx);
+                 mpi.send(5, 1, {1.0});
+               }),
+               std::out_of_range);
+  EXPECT_THROW(rt.run([&](RankContext& ctx) {
+                 Portable mpi(ctx);
+                 mpi.send(0, 9999, {1.0});
+               }),
+               std::invalid_argument);
+}
+
+TEST(Portable, BcastReachesEveryRankFromAnyRoot) {
+  const net::ArcticModel net;
+  for (int nodes : {2, 4, 8, 16}) {
+    for (int root : {0, nodes - 1, nodes / 2}) {
+      Runtime rt(machine(net, nodes));
+      rt.run([&](RankContext& ctx) {
+        Portable mpi(ctx);
+        std::vector<double> data;
+        if (mpi.rank() == root) data = {7.0, 8.0, 9.0};
+        mpi.bcast(data, root);
+        ASSERT_EQ(data.size(), 3u) << nodes << " root " << root;
+        EXPECT_DOUBLE_EQ(data[0], 7.0);
+        EXPECT_DOUBLE_EQ(data[2], 9.0);
+      });
+    }
+  }
+}
+
+TEST(Portable, BcastWorksOnNonPowerOfTwo) {
+  // Group sizes inside a power-of-two machine need not be powers of two
+  // for Portable (unlike the tuned butterfly).
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 8));
+  rt.run([&](RankContext& ctx) {
+    if (ctx.rank() >= 6) return;  // 6-rank group
+    Portable mpi(ctx, 0, 6);
+    std::vector<double> data;
+    if (mpi.rank() == 2) data = {1.5};
+    mpi.bcast(data, 2);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_DOUBLE_EQ(data[0], 1.5);
+  });
+}
+
+TEST(Portable, GatherCollectsByRank) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 4));
+  rt.run([&](RankContext& ctx) {
+    Portable mpi(ctx);
+    const auto all =
+        mpi.gather({static_cast<double>(10 * mpi.rank())}, /*root=*/1);
+    if (mpi.rank() == 1) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), 1u);
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)][0], 10.0 * r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Portable, AllreduceMatchesButterfly) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 8, 2));
+  rt.run([&](RankContext& ctx) {
+    Portable mpi(ctx);
+    Comm comm(ctx);
+    const double x = 1.0 + 0.25 * ctx.rank();
+    const double tree = mpi.allreduce_sum(x);
+    const double fly = comm.global_sum(x);
+    EXPECT_DOUBLE_EQ(tree, fly);
+  });
+}
+
+TEST(Portable, TunedGlobalSumIsFaster) {
+  // The point of the paper's custom primitives: the generic tree
+  // allreduce costs more virtual time than the tuned butterfly.
+  const net::ArcticModel net;
+  auto run_one = [&](bool tuned) {
+    Runtime rt(machine(net, 16));
+    rt.run([&](RankContext& ctx) {
+      if (tuned) {
+        Comm comm(ctx);
+        for (int i = 0; i < 8; ++i) (void)comm.global_sum(1.0);
+      } else {
+        Portable mpi(ctx);
+        for (int i = 0; i < 8; ++i) (void)mpi.allreduce_sum(1.0);
+      }
+    });
+    return rt.max_clock();
+  };
+  EXPECT_LT(run_one(true), run_one(false));
+}
+
+TEST(Portable, AllreduceNonPowerOfTwoGroup) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 8));
+  rt.run([&](RankContext& ctx) {
+    if (ctx.rank() >= 6) return;
+    Portable mpi(ctx, 0, 6);
+    const double s = mpi.allreduce_sum(1.0 + ctx.rank());
+    EXPECT_DOUBLE_EQ(s, 21.0);  // 1+2+...+6
+  });
+}
+
+TEST(Portable, GroupOffset) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 4));
+  rt.run([&](RankContext& ctx) {
+    if (ctx.rank() < 2) return;
+    Portable mpi(ctx, 2, 2);
+    EXPECT_EQ(mpi.size(), 2);
+    EXPECT_EQ(mpi.rank(), ctx.rank() - 2);
+    if (mpi.rank() == 0) {
+      mpi.send(1, 1, {4.2});
+    } else {
+      EXPECT_DOUBLE_EQ(mpi.recv(0, 1)[0], 4.2);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hyades::comm

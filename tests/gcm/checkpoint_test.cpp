@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+
+#include "gcm/model.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades::gcm {
+namespace {
+
+using testing::run_ranks;
+using testing::small_ocean;
+
+std::string prefix_for(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void cleanup(const std::string& prefix, int ranks) {
+  for (int r = 0; r < ranks; ++r) {
+    std::remove((prefix + ".rank" + std::to_string(r)).c_str());
+  }
+}
+
+TEST(Checkpoint, RestartContinuesBitIdentically) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  const std::string prefix = prefix_for("hyades_ckpt_a");
+
+  // Reference: 10 uninterrupted steps.
+  std::mutex mu;
+  double ref_ke = 0, ref_theta = 0;
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    m.run(10);
+    if (comm.group_rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      ref_ke = m.kinetic_energy();
+      ref_theta = m.total_theta_volume();
+    } else {
+      (void)m.kinetic_energy();
+      (void)m.total_theta_volume();
+    }
+  });
+
+  // Interrupted: 6 steps, checkpoint, fresh models restart for 4 more.
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    m.run(6);
+    m.save_checkpoint(prefix);
+  });
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.load_checkpoint(prefix);
+    EXPECT_EQ(m.state().step, 6);
+    m.run(4);
+    const double ke = m.kinetic_energy();
+    const double th = m.total_theta_volume();
+    if (comm.group_rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_EQ(ke, ref_ke);  // bitwise
+      EXPECT_EQ(th, ref_theta);
+    }
+  });
+  cleanup(prefix, 4);
+}
+
+TEST(Checkpoint, MismatchedConfigRejected) {
+  const std::string prefix = prefix_for("hyades_ckpt_b");
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    m.initialize();
+    m.save_checkpoint(prefix);
+  });
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    ModelConfig other = small_ocean(1, 1);
+    other.nz = 3;  // differs from the checkpoint
+    other.validate();
+    Model m(other, comm);
+    EXPECT_THROW(m.load_checkpoint(prefix), std::runtime_error);
+  });
+  cleanup(prefix, 1);
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    EXPECT_THROW(m.load_checkpoint("/nonexistent/path/ckpt"),
+                 std::runtime_error);
+  });
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const std::string prefix = prefix_for("hyades_ckpt_c");
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    m.initialize();
+    m.save_checkpoint(prefix);
+  });
+  // Truncate the file to half.
+  const std::string path = prefix + ".rank0";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    EXPECT_THROW(m.load_checkpoint(prefix), std::runtime_error);
+  });
+  cleanup(prefix, 1);
+}
+
+}  // namespace
+}  // namespace hyades::gcm

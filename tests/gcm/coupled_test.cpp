@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/runtime.hpp"
+#include "gcm/coupler.hpp"
+#include "gcm/model.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades::gcm {
+namespace {
+
+using testing::small_atmos;
+using testing::small_ocean;
+using testing::test_net;
+
+// A miniature Section-5.1 coupled run: ocean ranks 0..3, atmosphere
+// ranks 4..7, boundary conditions exchanged every few steps.
+TEST(Coupled, OceanAtmosphereExchangeAndStep) {
+  cluster::MachineConfig mc;
+  mc.smp_count = 8;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &test_net();
+  cluster::Runtime rt(mc);
+
+  const ModelConfig ocfg = small_ocean(2, 2);
+  const ModelConfig acfg = small_atmos(2, 2);
+
+  rt.run([&](cluster::RankContext& ctx) {
+    const bool ocean_side = ctx.rank() < 4;
+    comm::Comm comm(ctx, ocean_side ? 0 : 4, 4);
+    Model model(ocean_side ? ocfg : acfg, comm);
+    model.initialize();
+    Coupler coupler(ctx, /*ocean_base=*/0, /*atmos_base=*/4, /*group_n=*/4);
+    EXPECT_EQ(coupler.is_ocean(), ocean_side);
+
+    SurfaceForcing forcing;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      coupler.exchange_boundary(model, forcing);
+      if (ocean_side) {
+        ASSERT_FALSE(forcing.taux.empty());
+        ASSERT_FALSE(forcing.qnet.empty());
+        for (double v : forcing.qnet) EXPECT_TRUE(std::isfinite(v));
+      } else {
+        ASSERT_FALSE(forcing.sst.empty());
+        // The SST the atmosphere sees is an ocean temperature.
+        for (double v : forcing.sst) {
+          EXPECT_GT(v, -5.0);
+          EXPECT_LT(v, 45.0);
+        }
+      }
+      for (int s = 0; s < 3; ++s) {
+        const StepStats st = model.step(&forcing);
+        ASSERT_TRUE(st.cg_converged);
+      }
+      EXPECT_TRUE(std::isfinite(model.kinetic_energy()));
+    }
+  });
+}
+
+TEST(Coupled, HeatFluxHasRestoringSign) {
+  // Warm air over cold water must heat the ocean (qnet > 0) and vice
+  // versa -- the bulk formula's sign convention.
+  cluster::MachineConfig mc;
+  mc.smp_count = 2;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &test_net();
+  cluster::Runtime rt(mc);
+
+  ModelConfig ocfg = small_ocean(1, 1);
+  ModelConfig acfg = small_atmos(1, 1);
+
+  rt.run([&](cluster::RankContext& ctx) {
+    const bool ocean_side = ctx.rank() == 0;
+    comm::Comm comm(ctx, ocean_side ? 0 : 1, 1);
+    Model model(ocean_side ? ocfg : acfg, comm);
+    model.initialize();
+    if (!ocean_side) {
+      // Make the whole lower atmosphere much warmer (in K) than any SST
+      // (in degC): 330 K = 56.85 degC.
+      auto& th = model.state().theta;
+      const int kb = acfg.nz - 1;
+      for (std::size_t i = 0; i < th.nx(); ++i) {
+        for (std::size_t j = 0; j < th.ny(); ++j) {
+          th(i, j, static_cast<std::size_t>(kb)) = 330.0;
+        }
+      }
+    }
+    Coupler coupler(ctx, 0, 1, 1);
+    SurfaceForcing forcing;
+    coupler.exchange_boundary(model, forcing);
+    if (ocean_side) {
+      const Decomp& dec = model.decomp();
+      for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+        for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+          EXPECT_GT(forcing.qnet(static_cast<std::size_t>(i),
+                                 static_cast<std::size_t>(j)),
+                    0.0);
+        }
+      }
+    }
+  });
+}
+
+TEST(Coupled, CouplerRejectsRankOutsideGroups) {
+  cluster::MachineConfig mc;
+  mc.smp_count = 4;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &test_net();
+  cluster::Runtime rt(mc);
+  EXPECT_THROW(rt.run([&](cluster::RankContext& ctx) {
+                 Coupler coupler(ctx, 0, 1, 1);  // ranks 2,3 unassigned
+               }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyades::gcm

@@ -1,0 +1,68 @@
+// Shared helpers for GCM tests: spin up a cluster runtime with one rank
+// per SMP (the timing side is not under test here) and run a body on
+// every rank.
+#pragma once
+
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "gcm/config.hpp"
+#include "net/arctic_model.hpp"
+
+namespace hyades::gcm::testing {
+
+inline const net::ArcticModel& test_net() {
+  static const net::ArcticModel net;
+  return net;
+}
+
+template <typename Fn>
+void run_ranks(int nranks, Fn&& body) {
+  cluster::MachineConfig mc;
+  mc.smp_count = nranks;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &test_net();
+  cluster::Runtime rt(mc);
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    body(ctx, comm);
+  });
+}
+
+// A small, fast configuration: 16 x 8 x 4 flat-bottom ocean box.
+inline ModelConfig small_ocean(int px, int py, int halo = 2) {
+  ModelConfig c;
+  c.isomorph = Isomorph::kOcean;
+  c.nx = 16;
+  c.ny = 8;
+  c.nz = 4;
+  c.px = px;
+  c.py = py;
+  c.halo = halo;
+  c.dt = 400.0;
+  c.total_depth = 4000.0;
+  // Scale mixing to the coarse grid (dx ~ 2500 km here).
+  c.visc_h = 1.0e6;
+  c.diff_h = 1.0e5;
+  c.validate();
+  return c;
+}
+
+inline ModelConfig small_atmos(int px, int py, int halo = 2) {
+  ModelConfig c = small_ocean(px, py, halo);
+  c.isomorph = Isomorph::kAtmosphere;
+  c.nz = 4;
+  c.total_depth = 1.0e4;
+  c.rho0 = 1.2;
+  c.theta0 = 300.0;
+  c.eos_alpha = 1.0 / 300.0;
+  c.eos_beta = 0.0;
+  c.visc_h = 1.0e6;
+  c.diff_h = 2.0e5;
+  c.diff_v = 1.0e-3;
+  c.visc_v = 1.0e-2;
+  c.wind_tau0 = 0.0;
+  c.validate();
+  return c;
+}
+
+}  // namespace hyades::gcm::testing

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "gcm/model.hpp"
+#include "gcm/physics.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades::gcm {
+namespace {
+
+using testing::run_ranks;
+using testing::small_atmos;
+using testing::small_ocean;
+
+TEST(Model, RejectsWrongGroupSize) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  run_ranks(2, [&](cluster::RankContext&, comm::Comm& comm) {
+    EXPECT_THROW(Model(cfg, comm), std::invalid_argument);
+  });
+}
+
+TEST(Model, RestingUniformFluidStaysAtRest) {
+  // Horizontally uniform stratification with no forcing: pressure
+  // gradients vanish, so the fluid must not spontaneously accelerate.
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.enable_forcing = false;
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    // Uniform-in-horizontal initial state (no noise).
+    m.initialize(1);
+    auto& th = m.state().theta;
+    const Decomp& dec = m.decomp();
+    for (int i = 0; i < dec.ext_x(); ++i) {
+      for (int j = 0; j < dec.ext_y(); ++j) {
+        for (int k = 0; k < cfg.nz; ++k) {
+          if (m.grid().hFacC(static_cast<std::size_t>(i),
+                             static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k)) > 0) {
+            th(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k)) = cfg.theta0 + 5.0 * (3 - k);
+          }
+        }
+      }
+    }
+    m.run(5);
+    EXPECT_LT(m.kinetic_energy(), 1e-8);
+    EXPECT_LT(m.max_abs_w(), 1e-12);
+  });
+}
+
+TEST(Model, OceanSpinupIsStableAndGeneratesFlow) {
+  const ModelConfig cfg = small_ocean(1, 1);
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    for (int s = 0; s < 20; ++s) {
+      const StepStats st = m.step();
+      EXPECT_TRUE(st.cg_converged) << "step " << s;
+    }
+    const double ke = m.kinetic_energy();
+    EXPECT_TRUE(std::isfinite(ke));
+    EXPECT_GT(ke, 0.0);          // wind stress spun up a flow
+    EXPECT_LT(m.max_cfl(), 0.5);  // and it is numerically comfortable
+  });
+}
+
+TEST(Model, ProjectionEnforcesNonDivergence) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    m.run(5);
+    // |depth-integrated divergence| / area should be at the CG tolerance
+    // scale, vastly below the per-level velocity scale / dx.
+    EXPECT_LT(m.max_surface_divergence(), 1e-10);
+  });
+}
+
+TEST(Model, TracersConservedWithoutForcing) {
+  ModelConfig cfg = small_ocean(2, 2);
+  cfg.enable_forcing = false;
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    // Give it something to advect.
+    auto& u = m.state().u;
+    for (auto& x : u) x = 0.05;
+    kernels::apply_velocity_masks(m.grid(), m.state().u, m.state().v,
+                                  kernels::extended(m.decomp(), 1));
+    const double theta0 = m.total_theta_volume();
+    const double salt0 = m.total_salt_volume();
+    m.run(10);
+    const double theta1 = m.total_theta_volume();
+    const double salt1 = m.total_salt_volume();
+    EXPECT_NEAR(theta1 / theta0, 1.0, 1e-12);
+    EXPECT_NEAR(salt1 / salt0, 1.0, 1e-12);
+  });
+}
+
+TEST(Model, DeterministicAcrossRuns) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  std::mutex mu;
+  std::vector<double> first;
+  for (int trial = 0; trial < 2; ++trial) {
+    run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+      Model m(cfg, comm);
+      m.initialize();
+      m.run(5);
+      const double ke = m.kinetic_energy();
+      const double th = m.total_theta_volume();
+      std::lock_guard<std::mutex> lock(mu);
+      if (trial == 0) {
+        first.push_back(ke);
+        first.push_back(th);
+      } else if (comm.group_rank() == 0) {
+        EXPECT_EQ(ke, first[0]);  // bitwise reproducible
+        EXPECT_EQ(th, first[1]);
+      }
+    });
+  }
+}
+
+TEST(Model, DecompositionIndependence) {
+  // The same global problem on 1 tile and on 4 tiles must evolve to
+  // (nearly) the same global state; only reduction orders differ.
+  ModelConfig cfg1 = small_ocean(1, 1);
+  ModelConfig cfg4 = small_ocean(2, 2);
+  Array2D<double> theta1, theta4;
+  std::mutex mu;
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg1, comm);
+    m.initialize();
+    m.run(5);
+    std::lock_guard<std::mutex> lock(mu);
+    theta1 = m.gather_theta(0);
+  });
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg4, comm);
+    m.initialize();
+    m.run(5);
+    auto g = m.gather_theta(0);
+    if (comm.group_rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      theta4 = std::move(g);
+    }
+  });
+  ASSERT_EQ(theta1.nx(), theta4.nx());
+  for (std::size_t i = 0; i < theta1.nx(); ++i) {
+    for (std::size_t j = 0; j < theta1.ny(); ++j) {
+      ASSERT_NEAR(theta1(i, j), theta4(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(Model, AtmosphereRunsStably) {
+  const ModelConfig cfg = small_atmos(2, 2);
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    for (int s = 0; s < 20; ++s) {
+      const StepStats st = m.step();
+      EXPECT_TRUE(st.cg_converged);
+    }
+    EXPECT_TRUE(std::isfinite(m.kinetic_energy()));
+    EXPECT_LT(m.max_cfl(), 0.5);
+  });
+}
+
+TEST(Model, ConvectiveAdjustmentRemovesInstability) {
+  ModelConfig cfg = small_atmos(1, 1);
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    // Create a statically unstable column (warm *below* cold in
+    // potential temperature).
+    auto& th = m.state().theta;
+    const int h = m.decomp().halo;
+    for (int k = 0; k < cfg.nz; ++k) {
+      th(static_cast<std::size_t>(h + 2), static_cast<std::size_t>(h + 2),
+         static_cast<std::size_t>(k)) = 290.0 + 5.0 * k;  // increases downward
+    }
+    const kernels::Range ri = kernels::extended(m.decomp(), 0);
+    convective_adjustment(cfg, m.grid(), th, ri);
+    for (int k = 0; k + 1 < cfg.nz; ++k) {
+      const double upper = th(static_cast<std::size_t>(h + 2),
+                              static_cast<std::size_t>(h + 2),
+                              static_cast<std::size_t>(k));
+      const double lower = th(static_cast<std::size_t>(h + 2),
+                              static_cast<std::size_t>(h + 2),
+                              static_cast<std::size_t>(k + 1));
+      EXPECT_LE(lower, upper + 1e-9);
+    }
+  });
+}
+
+TEST(Model, TopographyRunIsStable) {
+  ModelConfig cfg = small_ocean(2, 2);
+  cfg.nx = 32;
+  cfg.ny = 16;
+  cfg.topography = ModelConfig::Topography::kContinents;
+  cfg.validate();
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    for (int s = 0; s < 10; ++s) {
+      const StepStats st = m.step();
+      EXPECT_TRUE(st.cg_converged);
+    }
+    EXPECT_TRUE(std::isfinite(m.kinetic_energy()));
+    // Land faces stay closed.
+    const auto& grid = m.grid();
+    const auto& u = m.state().u;
+    for (int i = m.decomp().halo; i < m.decomp().halo + m.decomp().snx; ++i) {
+      for (int j = m.decomp().halo; j < m.decomp().halo + m.decomp().sny;
+           ++j) {
+        for (int k = 0; k < cfg.nz; ++k) {
+          if (grid.hFacW(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(j),
+                         static_cast<std::size_t>(k)) == 0.0) {
+            ASSERT_EQ(u(static_cast<std::size_t>(i),
+                        static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k)),
+                      0.0);
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(Model, PerfObservablesAccumulate) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    m.run(3);
+    const PerfObservables& obs = m.stepper().observables();
+    EXPECT_EQ(obs.steps, 3);
+    EXPECT_GT(obs.ps_flops, 0.0);
+    EXPECT_GT(obs.ds_flops, 0.0);
+    EXPECT_GT(obs.cg_iterations, 0);
+    EXPECT_GT(obs.tps_exch_us, 0.0);
+    EXPECT_GT(obs.nps(m.grid().wet_cells()), 50.0);
+    EXPECT_GT(obs.nds(m.grid().wet_columns()), 5.0);
+  });
+}
+
+TEST(Model, LoadImbalanceDiagnostic) {
+  // Flat bottom: perfectly balanced.  Continents: some tiles land-heavy.
+  ModelConfig flat = small_ocean(2, 2);
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(flat, comm);
+    EXPECT_DOUBLE_EQ(m.load_imbalance(), 1.0);
+  });
+  // Slice in x only so the (zonally asymmetric) continents land unevenly
+  // across tiles.
+  ModelConfig cont = small_ocean(4, 1);
+  cont.nx = 32;
+  cont.ny = 16;
+  cont.topography = ModelConfig::Topography::kContinents;
+  cont.validate();
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cont, comm);
+    const double imb = m.load_imbalance();
+    EXPECT_GT(imb, 1.0);
+    EXPECT_LT(imb, 4.0);
+  });
+}
+
+TEST(Model, GatherAssemblesGlobalField) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  run_ranks(4, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    auto g = m.gather_theta(0);
+    if (comm.group_rank() == 0) {
+      ASSERT_EQ(g.nx(), static_cast<std::size_t>(cfg.nx));
+      ASSERT_EQ(g.ny(), static_cast<std::size_t>(cfg.ny));
+      for (double v : g) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GT(v, cfg.theta0 - 20.0);
+        EXPECT_LT(v, cfg.theta0 + 30.0);
+      }
+    } else {
+      EXPECT_TRUE(g.empty());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hyades::gcm

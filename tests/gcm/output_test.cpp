@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gcm/output.hpp"
+
+namespace hyades::gcm {
+namespace {
+
+Array2D<double> ramp(std::size_t nx, std::size_t ny) {
+  Array2D<double> f(nx, ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      f(i, j) = static_cast<double>(i + j);
+    }
+  }
+  return f;
+}
+
+TEST(Output, PgmHeaderAndSize) {
+  const std::string path = ::testing::TempDir() + "hyades_out_test.pgm";
+  write_pgm(path, ramp(8, 4));
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  is.get();  // single whitespace after header
+  std::vector<char> pixels(8 * 4);
+  is.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(is.gcount(), 32);
+  std::remove(path.c_str());
+}
+
+TEST(Output, PgmRejectsEmpty) {
+  EXPECT_THROW(write_pgm("/tmp/never.pgm", Array2D<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Output, CsvRoundTrips) {
+  const std::string path = ::testing::TempDir() + "hyades_out_test.csv";
+  write_csv(path, ramp(3, 2));
+  std::ifstream is(path);
+  std::string line1, line2;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  EXPECT_EQ(line1, "0,1,2");
+  EXPECT_EQ(line2, "1,2,3");
+  std::remove(path.c_str());
+}
+
+TEST(Output, AsciiMapShape) {
+  const std::string s = ascii_map(ramp(32, 16), 20, 10);
+  int rows = 0;
+  for (char c : s) rows += (c == '\n');
+  EXPECT_EQ(rows, 10);
+  // Monotone field: both ends of the shade ramp appear (sampling may not
+  // land exactly on the global max, so accept the two brightest shades).
+  EXPECT_TRUE(s.find('@') != std::string::npos ||
+              s.find('%') != std::string::npos);
+  EXPECT_NE(s.find(' '), std::string::npos);
+}
+
+TEST(Output, ConstantFieldDoesNotDivideByZero) {
+  Array2D<double> f(4, 4, 1.0);
+  const std::string s = ascii_map(f, 4, 4);
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace hyades::gcm

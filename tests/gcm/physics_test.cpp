@@ -1,0 +1,247 @@
+#include "gcm/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcm/eos.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades::gcm {
+namespace {
+
+using testing::small_atmos;
+using testing::small_ocean;
+
+struct Fixture {
+  ModelConfig cfg;
+  Decomp dec;
+  TileGrid grid;
+  State s;
+
+  explicit Fixture(ModelConfig c) : cfg(c), dec(cfg, 0), grid(cfg, dec) {
+    s.allocate(dec, cfg.nz);
+  }
+};
+
+TEST(AtmosTeq, StableAndBaroclinic) {
+  const ModelConfig cfg = small_atmos(1, 1);
+  // Statically stable: theta decreases with depth-from-top.
+  EXPECT_GT(atmos_teq(cfg, 0.0, 0.0), atmos_teq(cfg, 0.0, cfg.total_depth));
+  // Equator warmer than pole at the surface.
+  EXPECT_GT(atmos_teq(cfg, 0.0, cfg.total_depth),
+            atmos_teq(cfg, 1.2, cfg.total_depth));
+  // ...and no meridional gradient at the top.
+  EXPECT_NEAR(atmos_teq(cfg, 0.0, 0.0), atmos_teq(cfg, 1.2, 0.0), 1e-12);
+}
+
+TEST(OceanWindStress, TradeAndWesterlyBands) {
+  const ModelConfig cfg = small_ocean(1, 1);
+  // Easterlies at the equator, westerlies in mid-latitudes.
+  EXPECT_LT(ocean_wind_stress(cfg, 0.0), 0.0);
+  const double mid = 0.65 * cfg.lat_extent_deg * M_PI / 180.0;
+  EXPECT_GT(ocean_wind_stress(cfg, mid), 0.0);
+  // Symmetric about the equator.
+  EXPECT_NEAR(ocean_wind_stress(cfg, mid), ocean_wind_stress(cfg, -mid),
+              1e-12);
+}
+
+TEST(OceanSstTarget, WarmestAtEquator) {
+  const ModelConfig cfg = small_ocean(1, 1);
+  const double eq = ocean_sst_target(cfg, 0.0);
+  const double hi = ocean_sst_target(cfg, 1.3);
+  EXPECT_GT(eq, hi);
+  EXPECT_GT(eq, cfg.theta0);
+}
+
+TEST(ApplyPhysics, OceanWindDrivesSurfaceOnly) {
+  Fixture fx(small_ocean(1, 1));
+  SurfaceForcing none;
+  apply_physics(fx.cfg, fx.grid, fx.dec, fx.s, none,
+                kernels::extended(fx.dec, 0));
+  bool surface_forced = false;
+  for (int i = fx.dec.halo; i < fx.dec.halo + fx.dec.snx; ++i) {
+    for (int j = fx.dec.halo; j < fx.dec.halo + fx.dec.sny; ++j) {
+      if (fx.s.gu(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  0) != 0.0) {
+        surface_forced = true;
+      }
+      for (int k = 1; k < fx.cfg.nz; ++k) {
+        ASSERT_EQ(fx.s.gu(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(j),
+                          static_cast<std::size_t>(k)),
+                  0.0)
+            << "wind stress leaked below the surface";
+      }
+    }
+  }
+  EXPECT_TRUE(surface_forced);
+}
+
+TEST(ApplyPhysics, DisabledForcingIsInert) {
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.enable_forcing = false;
+  Fixture fx(cfg);
+  SurfaceForcing none;
+  const double flops = apply_physics(fx.cfg, fx.grid, fx.dec, fx.s, none,
+                                     kernels::extended(fx.dec, 0));
+  EXPECT_EQ(flops, 0.0);
+  for (double g : fx.s.gu) EXPECT_EQ(g, 0.0);
+  for (double g : fx.s.gt) EXPECT_EQ(g, 0.0);
+}
+
+TEST(GrayRadiation, CoolsWarmAnomalies) {
+  ModelConfig cfg = small_atmos(1, 1);
+  cfg.enable_radiation = true;
+  Fixture fx(cfg);
+  for (auto& v : fx.s.theta) v = 300.0;
+  // One hot column: radiation must cool it relative to its neighbours.
+  const int h = fx.dec.halo;
+  for (int k = 0; k < cfg.nz; ++k) {
+    fx.s.theta(static_cast<std::size_t>(h + 3), static_cast<std::size_t>(h + 2),
+               static_cast<std::size_t>(k)) = 320.0;
+  }
+  gray_radiation(cfg, fx.grid, fx.s, kernels::extended(fx.dec, 0));
+  double hot_net = 0, ref_net = 0;
+  for (int k = 0; k < cfg.nz; ++k) {
+    hot_net += fx.s.gt(static_cast<std::size_t>(h + 3),
+                       static_cast<std::size_t>(h + 2),
+                       static_cast<std::size_t>(k));
+    ref_net += fx.s.gt(static_cast<std::size_t>(h + 8),
+                       static_cast<std::size_t>(h + 2),
+                       static_cast<std::size_t>(k));
+  }
+  EXPECT_LT(hot_net, ref_net);
+  // All heating rates finite and modest per step.
+  for (double g : fx.s.gt) {
+    ASSERT_TRUE(std::isfinite(g));
+    ASSERT_LT(std::abs(g) * cfg.dt, 1.0);  // < 1 K per step
+  }
+}
+
+TEST(GrayRadiation, OffByDefaultForOcean) {
+  Fixture fx(small_ocean(1, 1));
+  EXPECT_EQ(gray_radiation(fx.cfg, fx.grid, fx.s,
+                           kernels::extended(fx.dec, 0)),
+            0.0);
+}
+
+TEST(MoistureCycle, CondensationDriesAndWarms) {
+  ModelConfig cfg = small_atmos(1, 1);
+  cfg.enable_moisture = true;
+  Fixture fx(cfg);
+  for (auto& v : fx.s.theta) v = 290.0;
+  for (auto& v : fx.s.salt) v = 0.05;  // strongly super-saturated
+  SurfaceForcing none;
+  moisture_cycle(cfg, fx.grid, fx.s, none, kernels::extended(fx.dec, 0));
+  const int h = fx.dec.halo;
+  const double gq = fx.s.gs(static_cast<std::size_t>(h),
+                            static_cast<std::size_t>(h), 0);
+  const double gt = fx.s.gt(static_cast<std::size_t>(h),
+                            static_cast<std::size_t>(h), 0);
+  EXPECT_LT(gq, 0.0);                        // moisture removed
+  EXPECT_GT(gt, 0.0);                        // latent heating
+  EXPECT_NEAR(gt, -cfg.latent_heat_over_cp * gq, 1e-12);  // energy link
+}
+
+TEST(MoistureCycle, SubSaturatedColumnOnlyEvaporatesAtSurface) {
+  ModelConfig cfg = small_atmos(1, 1);
+  cfg.enable_moisture = true;
+  Fixture fx(cfg);
+  for (auto& v : fx.s.theta) v = 290.0;
+  for (auto& v : fx.s.salt) v = 1e-4;  // very dry
+  SurfaceForcing none;
+  moisture_cycle(cfg, fx.grid, fx.s, none, kernels::extended(fx.dec, 0));
+  const int h = fx.dec.halo;
+  for (int k = 0; k < cfg.nz - 1; ++k) {
+    ASSERT_EQ(fx.s.gs(static_cast<std::size_t>(h), static_cast<std::size_t>(h),
+                      static_cast<std::size_t>(k)),
+              0.0);
+  }
+  EXPECT_GT(fx.s.gs(static_cast<std::size_t>(h), static_cast<std::size_t>(h),
+                    static_cast<std::size_t>(cfg.nz - 1)),
+            0.0);  // surface evaporation moistens
+}
+
+TEST(RichardsonMixing, MixesUnstratifiedShearNotStableColumns) {
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.enable_ri_mixing = true;
+  cfg.eos_beta = 0.0;
+  Fixture fx(cfg);
+  const int h = fx.dec.halo;
+  // Column A: strong shear, no stratification -> vigorous mixing.
+  // Column B: same shear, strong stratification -> suppressed mixing.
+  for (int k = 0; k < cfg.nz; ++k) {
+    for (int col = 0; col < 2; ++col) {
+      const auto si = static_cast<std::size_t>(h + (col ? 6 : 2));
+      fx.s.u(si, static_cast<std::size_t>(h + 2),
+             static_cast<std::size_t>(k)) = 0.5 * k;
+      fx.s.theta(si, static_cast<std::size_t>(h + 2),
+                 static_cast<std::size_t>(k)) =
+          col ? 25.0 - 5.0 * k : 15.0;  // B stratified, A uniform
+    }
+  }
+  richardson_mixing(cfg, fx.grid, fx.s, kernels::extended(fx.dec, 0));
+  const double mix_a = std::abs(fx.s.gu(static_cast<std::size_t>(h + 2),
+                                        static_cast<std::size_t>(h + 2), 0));
+  const double mix_b = std::abs(fx.s.gu(static_cast<std::size_t>(h + 6),
+                                        static_cast<std::size_t>(h + 2), 0));
+  EXPECT_GT(mix_a, 5.0 * mix_b);
+}
+
+TEST(RichardsonMixing, ConservesColumnTracer) {
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.enable_ri_mixing = true;
+  Fixture fx(cfg);
+  const int h = fx.dec.halo;
+  for (int k = 0; k < cfg.nz; ++k) {
+    fx.s.u(static_cast<std::size_t>(h), static_cast<std::size_t>(h),
+           static_cast<std::size_t>(k)) = 0.3 * k;
+    fx.s.theta(static_cast<std::size_t>(h), static_cast<std::size_t>(h),
+               static_cast<std::size_t>(k)) = 20.0 - k;
+  }
+  richardson_mixing(cfg, fx.grid, fx.s, kernels::extended(fx.dec, 0));
+  double column_total = 0;
+  for (int k = 0; k < cfg.nz; ++k) {
+    column_total += fx.s.gt(static_cast<std::size_t>(h),
+                            static_cast<std::size_t>(h),
+                            static_cast<std::size_t>(k)) *
+                    fx.grid.dzf[static_cast<std::size_t>(k)] *
+                    fx.grid.hFacC(static_cast<std::size_t>(h),
+                                  static_cast<std::size_t>(h),
+                                  static_cast<std::size_t>(k));
+  }
+  EXPECT_NEAR(column_total, 0.0, 1e-15);
+}
+
+TEST(ConvectiveAdjustment, ConservesHeatAndStabilizes) {
+  ModelConfig cfg = small_atmos(1, 1);
+  Fixture fx(cfg);
+  const int h = fx.dec.halo;
+  double before = 0;
+  for (int k = 0; k < cfg.nz; ++k) {
+    const double v = 280.0 + ((k * 37) % 11);  // scrambled profile
+    fx.s.theta(static_cast<std::size_t>(h + 1), static_cast<std::size_t>(h + 1),
+               static_cast<std::size_t>(k)) = v;
+    before += v * fx.grid.dzf[static_cast<std::size_t>(k)];
+  }
+  convective_adjustment(cfg, fx.grid, fx.s.theta,
+                        kernels::extended(fx.dec, 0));
+  double after = 0;
+  for (int k = 0; k < cfg.nz; ++k) {
+    const double v = fx.s.theta(static_cast<std::size_t>(h + 1),
+                                static_cast<std::size_t>(h + 1),
+                                static_cast<std::size_t>(k));
+    after += v * fx.grid.dzf[static_cast<std::size_t>(k)];
+    if (k > 0) {
+      EXPECT_LE(v, fx.s.theta(static_cast<std::size_t>(h + 1),
+                              static_cast<std::size_t>(h + 1),
+                              static_cast<std::size_t>(k - 1)) +
+                       1e-9);
+    }
+  }
+  EXPECT_NEAR(after, before, 1e-9 * std::abs(before));
+}
+
+}  // namespace
+}  // namespace hyades::gcm

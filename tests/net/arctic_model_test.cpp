@@ -1,0 +1,109 @@
+#include "net/arctic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace hyades::net {
+namespace {
+
+TEST(ArcticModel, SmallMessageMatchesPaperFigure2) {
+  const ArcticModel m;
+  const LogPParams p8 = m.small_message(8);
+  EXPECT_NEAR(p8.os, 0.36, 0.01);
+  EXPECT_NEAR(p8.orr, 1.86, 0.01);
+  EXPECT_LT(relative_error(p8.L, 1.3), 0.10);
+  EXPECT_LT(relative_error(p8.half_rtt(), 3.7), 0.10);
+
+  const LogPParams p64 = m.small_message(64);
+  EXPECT_LT(relative_error(p64.os, 1.7), 0.10);
+  EXPECT_LT(relative_error(p64.orr, 8.6), 0.05);
+  EXPECT_LT(relative_error(p64.half_rtt(), 11.7), 0.10);
+}
+
+TEST(ArcticModel, TransferOverheadNearPaper) {
+  const ArcticModel m;
+  // Section 4.1: "a one-time 8.6 usec overhead to negotiate a transfer".
+  EXPECT_LT(relative_error(m.transfer_overhead(), 8.6), 0.05);
+}
+
+TEST(ArcticModel, PerceivedBandwidthCurve) {
+  const ArcticModel m;
+  // Section 4.1: 56.8 MB/s perceived at 1 KByte...
+  const double bw1k = 1024.0 / m.transfer_time(1024);
+  EXPECT_LT(relative_error(bw1k, 56.8), 0.05);
+  // ...and >= 90% of the 110 MB/s peak at 9 KBytes.
+  const double bw9k = 9.0 * 1024.0 / m.transfer_time(9 * 1024);
+  EXPECT_GE(bw9k, 0.90 * 110.0);
+  // Peak approached for large blocks.
+  const double bw128k = 131072.0 / m.transfer_time(131072);
+  EXPECT_GT(bw128k, 108.0);
+  EXPECT_LE(bw128k, 110.0);
+}
+
+TEST(ArcticModel, BandwidthMonotoneInBlockSize) {
+  const ArcticModel m;
+  double prev = 0;
+  for (std::int64_t s = 4; s <= (1 << 17); s *= 2) {
+    const double bw = static_cast<double>(s) / m.transfer_time(s);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(ArcticModel, GlobalSumLatenciesMatchSection42) {
+  const ArcticModel m;
+  // Sum of butterfly rounds reproduces the measured 2/4/8/16-way
+  // latencies of 4.0 / 8.3 / 12.8 / 18.2 us within 10%.
+  const double paper[4] = {4.0, 8.3, 12.8, 18.2};
+  double acc = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    acc += m.gsum_round_time(round);
+    EXPECT_LT(relative_error(acc, paper[round]), 0.10)
+        << "N = " << (2 << round) << " measured-analog " << acc;
+  }
+}
+
+TEST(ArcticModel, GlobalSumFitMatchesPaper) {
+  // Least-squares fit of our model's latencies should be close to the
+  // paper's tgsum = 4.67*log2(N) - 0.95.
+  const ArcticModel m;
+  std::vector<double> xs, ys;
+  double acc = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    acc += m.gsum_round_time(round);
+    xs.push_back(round + 1.0);
+    ys.push_back(acc);
+  }
+  const LinearFit fit = least_squares(xs, ys);
+  EXPECT_LT(relative_error(fit.slope, 4.67), 0.10);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(ArcticModel, RoundDistanceStructure) {
+  const ArcticModel m;
+  // Rounds 0/1 stay inside a leaf router; rounds 2/3 cross the root.
+  EXPECT_EQ(m.up_levels_for_round(0), 0);
+  EXPECT_EQ(m.up_levels_for_round(1), 0);
+  EXPECT_EQ(m.up_levels_for_round(2), 1);
+  EXPECT_EQ(m.up_levels_for_round(3), 1);
+  EXPECT_LT(m.gsum_round_time(0), m.gsum_round_time(2));
+  EXPECT_DOUBLE_EQ(m.gsum_round_time(2), m.gsum_round_time(3));
+}
+
+TEST(ArcticModel, ExchangePathSlowerThanStandalone) {
+  const ArcticModel m;
+  EXPECT_LT(m.exchange_bandwidth_mbytes(), m.bandwidth_mbytes());
+  EXPECT_GT(m.exchange_transfer_time(65536), m.transfer_time(65536));
+  // Effective exchange bandwidth ~ 1/(1/110 + 2/400) ~ 70.9 MB/s.
+  EXPECT_NEAR(m.exchange_bandwidth_mbytes(), 70.9, 0.5);
+}
+
+TEST(ArcticModel, PathLatencyGrowsWithClimb) {
+  const ArcticModel m;
+  EXPECT_LT(m.path_latency(0), m.path_latency(1));
+  EXPECT_LT(m.path_latency(1), m.path_latency(2));
+}
+
+}  // namespace
+}  // namespace hyades::net

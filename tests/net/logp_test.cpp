@@ -1,0 +1,81 @@
+#include "net/logp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/arctic_model.hpp"
+#include "support/stats.hpp"
+
+namespace hyades::net {
+namespace {
+
+// Packet-level (DES) measurements against the paper's Figure 2 and the
+// closed-form ArcticModel.
+
+TEST(MeasurePioLogp, EightBytePayloadNearFigure2) {
+  const PioLogPResult r = measure_pio_logp(8);
+  EXPECT_NEAR(r.os, 0.36, 0.01);
+  EXPECT_NEAR(r.orr, 1.86, 0.01);
+  EXPECT_LT(relative_error(r.half_rtt, 3.7), 0.10);
+  EXPECT_LT(relative_error(r.L, 1.3), 0.15);
+}
+
+TEST(MeasurePioLogp, SixtyFourBytePayloadNearFigure2) {
+  const PioLogPResult r = measure_pio_logp(64);
+  EXPECT_LT(relative_error(r.os, 1.7), 0.10);
+  EXPECT_LT(relative_error(r.orr, 8.6), 0.05);
+  EXPECT_LT(relative_error(r.half_rtt, 11.7), 0.10);
+}
+
+TEST(MeasurePioLogp, AgreesWithClosedFormModel) {
+  const ArcticModel model;
+  for (int bytes : {8, 16, 32, 64}) {
+    const PioLogPResult des = measure_pio_logp(bytes);
+    const LogPParams analytic = model.small_message(bytes);
+    EXPECT_LT(relative_error(des.half_rtt, analytic.half_rtt()), 0.10)
+        << "payload " << bytes;
+  }
+}
+
+TEST(MeasurePioLogp, RejectsBadPayload) {
+  EXPECT_THROW(measure_pio_logp(4), std::invalid_argument);
+  EXPECT_THROW(measure_pio_logp(10), std::invalid_argument);
+  EXPECT_THROW(measure_pio_logp(96), std::invalid_argument);
+}
+
+TEST(MeasureViTransfer, OneKilobyteNearPaper) {
+  // Section 4.1: 56.8 MByte/sec perceived bandwidth at 1 KByte.
+  const ViTransferResult r = measure_vi_transfer(1024);
+  EXPECT_LT(relative_error(r.mbytes_per_sec, 56.8), 0.12);
+}
+
+TEST(MeasureViTransfer, NineKilobytesNearNinetyPercentPeak) {
+  const ViTransferResult r = measure_vi_transfer(9 * 1024);
+  EXPECT_GT(r.mbytes_per_sec, 0.87 * 110.0);
+}
+
+TEST(MeasureViTransfer, LargeBlocksApproachPeak) {
+  const ViTransferResult r = measure_vi_transfer(131072);
+  EXPECT_GT(r.mbytes_per_sec, 105.0);
+  EXPECT_LE(r.mbytes_per_sec, 111.0);
+}
+
+TEST(MeasureViTransfer, MonotoneBandwidth) {
+  double prev = 0;
+  for (std::int64_t s = 64; s <= 65536; s *= 4) {
+    const ViTransferResult r = measure_vi_transfer(s);
+    EXPECT_GT(r.mbytes_per_sec, prev);
+    prev = r.mbytes_per_sec;
+  }
+}
+
+TEST(MeasureViTransfer, AgreesWithClosedFormModel) {
+  const ArcticModel model;
+  for (std::int64_t s : {1024, 8192, 65536}) {
+    const ViTransferResult des = measure_vi_transfer(s);
+    EXPECT_LT(relative_error(des.elapsed, model.transfer_time(s)), 0.15)
+        << "block " << s;
+  }
+}
+
+}  // namespace
+}  // namespace hyades::net

@@ -1,0 +1,81 @@
+#include "perf/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/arctic_model.hpp"
+#include "net/ethernet.hpp"
+#include "perf/perf_model.hpp"
+#include "support/stats.hpp"
+
+namespace hyades::perf {
+namespace {
+
+// Full 16-processor / 8-SMP production shape throughout, as in Figure 11.
+
+TEST(MeasurePrimitives, ArcticNearFigure11) {
+  const net::ArcticModel net;
+  const PrimitiveCosts c = measure_primitives(net);
+  // tgsum: paper 13.5 us (2x8-way).
+  EXPECT_LT(relative_error(c.tgsum, 13.5), 0.10);
+  // texchxy: paper 115 us.  Our protocol reproduces the structure
+  // (per-phase negotiation + small strips); allow 20%.
+  EXPECT_LT(relative_error(c.texchxy, 115.0), 0.20);
+  // texchxyz: paper 1640 us (atmosphere) / 4573 us (ocean).  Shape
+  // tolerance 25% (see DESIGN.md on the exchange bandwidth model).
+  EXPECT_LT(relative_error(c.texchxyz_atmos, 1640.0), 0.25);
+  EXPECT_LT(relative_error(c.texchxyz_ocean, 4573.0), 0.25);
+  // And the ocean/atmosphere ratio tracks the level count.
+  EXPECT_NEAR(c.texchxyz_ocean / c.texchxyz_atmos, 4573.0 / 1640.0, 0.6);
+}
+
+TEST(MeasurePrimitives, EthernetNearFigure12) {
+  const auto fe = net::fast_ethernet();
+  const PrimitiveCosts cfe = measure_primitives(fe, MachineShape{}, 4);
+  EXPECT_LT(relative_error(cfe.tgsum, 942.0), 0.10);
+  EXPECT_LT(relative_error(cfe.texchxy, 10008.0), 0.25);
+  EXPECT_LT(relative_error(cfe.texchxyz_atmos, 100000.0), 0.30);
+
+  const auto ge = net::gigabit_ethernet();
+  const PrimitiveCosts cge = measure_primitives(ge, MachineShape{}, 4);
+  EXPECT_LT(relative_error(cge.tgsum, 1193.0), 0.10);
+  EXPECT_LT(relative_error(cge.texchxy, 1789.0), 0.30);
+  EXPECT_LT(relative_error(cge.texchxyz_atmos, 5742.0), 0.30);
+}
+
+TEST(MeasureModel, AtmosphereObservablesSane) {
+  const net::ArcticModel net;
+  gcm::ModelConfig cfg = gcm::atmosphere_preset(4, 4);
+  const ModelMeasurement m = measure_model(cfg, net, MachineShape{}, 4);
+  // 128*64*10 cells over 16 processors.
+  EXPECT_EQ(m.wet_cells, 128 * 64 * 10 / 16);
+  EXPECT_EQ(m.wet_columns, 128 * 64 / 16);
+  EXPECT_GT(m.params.ps.nps, 100.0);   // our kernel flop density
+  EXPECT_LT(m.params.ps.nps, 781.0);   // below the full-physics paper code
+  EXPECT_GT(m.params.ds.nds, 10.0);
+  EXPECT_LT(m.params.ds.nds, 60.0);
+  EXPECT_GT(m.ni, 3.0);
+  EXPECT_GT(m.step_us, 0.0);
+  EXPECT_GT(m.aggregate_gflops, 0.0);
+}
+
+TEST(MeasureModel, AnalyticModelPredictsSimulatedRun) {
+  // The Section 5.3 validation, internally: evaluate Eqs. 4-13 with the
+  // *measured* parameters and compare against the simulated wall clock.
+  const net::ArcticModel net;
+  gcm::ModelConfig cfg = gcm::atmosphere_preset(4, 4);
+  const int steps = 4;
+  const ModelMeasurement m = measure_model(cfg, net, MachineShape{}, steps);
+  const Microseconds predicted = trun(m.params, steps, m.ni) / steps;
+  EXPECT_LT(relative_error(predicted, m.step_us), 0.10)
+      << "predicted " << predicted << " us/step, simulated " << m.step_us;
+}
+
+TEST(MeasureModel, RejectsMismatchedShape) {
+  const net::ArcticModel net;
+  gcm::ModelConfig cfg = gcm::atmosphere_preset(2, 2);
+  EXPECT_THROW(measure_model(cfg, net, MachineShape{}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyades::perf

@@ -1,0 +1,118 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace hyades::perf {
+namespace {
+
+// These tests pin the model to the paper's own published arithmetic.
+
+TEST(PerfModel, Figure11AtmosphereComputeTimes) {
+  const PerfParams p = paper_atmosphere();
+  // Nps*nxyz/Fps = 781*5120/50 us ~ 80 ms per PS phase.
+  EXPECT_NEAR(tps_compute(p.ps), 781.0 * 5120.0 / 50.0, 1e-9);
+  EXPECT_NEAR(tps_exch(p.ps), 5.0 * 1640.0, 1e-9);
+  EXPECT_NEAR(tds_compute(p.ds), 36.0 * 1024.0 / 60.0, 1e-9);
+  EXPECT_NEAR(tds_gsum(p.ds), 27.0, 1e-9);
+  EXPECT_NEAR(tds_exch(p.ds), 230.0, 1e-9);
+}
+
+TEST(PerfModel, Section53PredictedCommunicationTime) {
+  // "The predicted total communication time ... is 30.1 minutes."
+  const PerfParams p = paper_atmosphere();
+  const double minutes = us_to_minutes(tcomm(p, kPaperNt, kPaperNi));
+  EXPECT_NEAR(minutes, 30.1, 0.6);
+}
+
+TEST(PerfModel, Section53PredictedComputationTime) {
+  // "the predicted Tcomp is 151 minutes."
+  const PerfParams p = paper_atmosphere();
+  const double minutes = us_to_minutes(tcomp(p, kPaperNt, kPaperNi));
+  EXPECT_NEAR(minutes, 151.0, 1.0);
+}
+
+TEST(PerfModel, Section53TotalNearObserved183) {
+  // "Tcomm and Tcomp total to 181 minutes which agrees well with the
+  // observed 183 minutes of wall-clock time."
+  const PerfParams p = paper_atmosphere();
+  const double total = us_to_minutes(tcomm(p, kPaperNt, kPaperNi)) +
+                       us_to_minutes(tcomp(p, kPaperNt, kPaperNi));
+  EXPECT_NEAR(total, 181.0, 1.5);
+  EXPECT_LT(relative_error(total, 183.0), 0.02);
+  // Consistency: trun == tcomm + tcomp by construction of Eqs. 11-13.
+  EXPECT_NEAR(us_to_minutes(trun(p, kPaperNt, kPaperNi)), total, 1e-6);
+}
+
+TEST(PerfModel, Figure12PfppArctic) {
+  const PerfParams p = paper_atmosphere();
+  EXPECT_LT(relative_error(pfpp_ps(p.ps), 487.0), 0.01);
+  EXPECT_LT(relative_error(pfpp_ds(p.ds), 143.0), 0.01);
+}
+
+TEST(PerfModel, Figure12PfppFastEthernet) {
+  const PerfParams p =
+      with_interconnect(paper_atmosphere(), paper_fast_ethernet());
+  EXPECT_LT(relative_error(pfpp_ps(p.ps), 8.0), 0.01);
+  EXPECT_LT(relative_error(pfpp_ds(p.ds), 1.6), 0.06);
+}
+
+TEST(PerfModel, Figure12PfppGigabitEthernet) {
+  const PerfParams p =
+      with_interconnect(paper_atmosphere(), paper_gigabit_ethernet());
+  EXPECT_LT(relative_error(pfpp_ps(p.ps), 139.0), 0.01);
+  EXPECT_LT(relative_error(pfpp_ds(p.ds), 6.2), 0.01);
+}
+
+TEST(PerfModel, Section54GigabitThresholdClaim) {
+  // "To achieve Pfpp_ds of 60 MFlop/sec, the sum of tgsum and texchxy
+  // cannot exceed 306 usec" -- check the algebra: Nds*nxy/(2*306) ~ 60.
+  const DsParams ds{36.0, 1024.0, 0.0, 306.0, 60.0};
+  DsParams at_threshold = ds;
+  at_threshold.tgsum = 0.0;
+  at_threshold.texchxy = 306.0;  // tgsum + texchxy == 306
+  EXPECT_NEAR(pfpp_ds(at_threshold), 60.2, 0.5);
+  // And Gigabit Ethernet is "nearly a factor of ten away": its sum is
+  // 1193 + 1789 = 2982 us.
+  const InterconnectCosts ge = paper_gigabit_ethernet();
+  EXPECT_NEAR((ge.tgsum + ge.texchxy) / 306.0, 9.7, 0.3);
+}
+
+TEST(PerfModel, SustainedRateMatchesFigure10Scale) {
+  // 16-processor sustained per-processor rate times 16 should land in
+  // the 0.7-0.9 GFlop/s band the paper reports for Hyades (0.8).
+  const PerfParams atm = paper_atmosphere();
+  const double agg16 = 16.0 * sustained_mflops(atm, kPaperNi) / 1.0e3;
+  EXPECT_GT(agg16, 0.65);
+  EXPECT_LT(agg16, 0.90);
+}
+
+TEST(PerfModel, OceanParamsGiveSimilarProfile) {
+  // "Because it is based on the same kernel, the atmospheric counterpart
+  // has an almost identical profile": per-processor sustained rates of
+  // the two isomorphs within ~20%.
+  const double a = sustained_mflops(paper_atmosphere(), kPaperNi);
+  const double o = sustained_mflops(paper_ocean(), kPaperNi);
+  EXPECT_LT(relative_error(a, o), 0.20);
+}
+
+TEST(PerfModel, PfppMonotoneInCommCost) {
+  PhaseParams ps = paper_atmosphere().ps;
+  const double base = pfpp_ps(ps);
+  ps.texchxyz *= 2.0;
+  EXPECT_NEAR(pfpp_ps(ps), base / 2.0, 1e-9);
+}
+
+TEST(PerfModel, WithInterconnectOnlyTouchesCommCosts) {
+  const PerfParams base = paper_atmosphere();
+  const PerfParams fe = with_interconnect(base, paper_fast_ethernet());
+  EXPECT_EQ(fe.ps.nps, base.ps.nps);
+  EXPECT_EQ(fe.ds.nds, base.ds.nds);
+  EXPECT_EQ(fe.ps.texchxyz, 100000.0);
+  EXPECT_EQ(fe.ds.tgsum, 942.0);
+}
+
+}  // namespace
+}  // namespace hyades::perf

@@ -1,0 +1,75 @@
+#include "support/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hyades {
+namespace {
+
+TEST(Array2D, DefaultIsEmpty) {
+  Array2D<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.nx(), 0u);
+  EXPECT_EQ(a.ny(), 0u);
+}
+
+TEST(Array2D, InitFill) {
+  Array2D<double> a(3, 4, 7.5);
+  EXPECT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a(i, j), 7.5);
+}
+
+TEST(Array2D, RowMajorLayout) {
+  Array2D<int> a(2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  // j is the fastest-varying index.
+  const int* p = a.data();
+  for (int k = 0; k < 6; ++k) EXPECT_EQ(p[k], k);
+}
+
+TEST(Array2D, FillAndEquality) {
+  Array2D<int> a(2, 2), b(2, 2);
+  a.fill(3);
+  b.fill(3);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Array2D, Iteration) {
+  Array2D<int> a(4, 5, 1);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 20);
+}
+
+TEST(Array3D, KFastestLayout) {
+  Array3D<int> a(2, 2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 3; ++k) a(i, j, k) = v++;
+  const int* p = a.data();
+  for (int k = 0; k < 12; ++k) EXPECT_EQ(p[k], k);
+}
+
+TEST(Array3D, ColumnIsContiguous) {
+  Array3D<double> a(3, 3, 4);
+  for (std::size_t k = 0; k < 4; ++k) a(1, 2, k) = static_cast<double>(k);
+  const double* col = a.column(1, 2);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(col[k], static_cast<double>(k));
+  }
+}
+
+TEST(Array3D, SizeAndFill) {
+  Array3D<float> a(4, 5, 6);
+  EXPECT_EQ(a.size(), 120u);
+  a.fill(2.0f);
+  for (float x : a) EXPECT_EQ(x, 2.0f);
+}
+
+}  // namespace
+}  // namespace hyades

@@ -1,0 +1,48 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyades {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(4), 4u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity
+}
+
+TEST(SplitMix64, RangeMapping) {
+  SplitMix64 r(11);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.next_in(-2.0, 3.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace hyades

@@ -1,0 +1,39 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hyades {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"size", "bw"});
+  t.add_row({"8", "1.25"});
+  t.add_row({"1024", "56.80"});
+  std::ostringstream os;
+  t.print(os, "Figure 7");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Figure 7"), std::string::npos);
+  EXPECT_NE(s.find("size"), std::string::npos);
+  EXPECT_NE(s.find("56.80"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_int(1234), "1234");
+}
+
+}  // namespace
+}  // namespace hyades

@@ -1,0 +1,220 @@
+// Parameterized property sweeps across the stack: machine shapes,
+// exchange widths and decompositions, fabric sizes, transfer sizes, and
+// solver tolerances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arctic/fabric.hpp"
+#include "comm/comm.hpp"
+#include "gcm/cg.hpp"
+#include "gcm/halo.hpp"
+#include "gcm/model.hpp"
+#include "net/arctic_model.hpp"
+#include "net/logp.hpp"
+#include "sim/scheduler.hpp"
+#include "support/rng.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades {
+namespace {
+
+// ---------- global sum across machine shapes -------------------------------
+
+using Shape = std::pair<int, int>;  // (smps, procs_per_smp)
+
+class GsumShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GsumShapeSweep, CorrectDeterministicAndMonotone) {
+  const auto [smps, ppp] = GetParam();
+  const net::ArcticModel net;
+  cluster::MachineConfig mc;
+  mc.smp_count = smps;
+  mc.procs_per_smp = ppp;
+  mc.interconnect = &net;
+
+  auto run_once = [&] {
+    cluster::Runtime rt(mc);
+    rt.run([&](cluster::RankContext& ctx) {
+      comm::Comm comm(ctx);
+      const double s = comm.global_sum(ctx.rank() + 0.5);
+      const int n = smps * ppp;
+      EXPECT_DOUBLE_EQ(s, n * (n - 1) / 2.0 + 0.5 * n);
+    });
+    return rt.max_clock();
+  };
+  const double t1 = run_once();
+  const double t2 = run_once();
+  EXPECT_EQ(t1, t2);  // timing determinism
+  EXPECT_GE(t1, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GsumShapeSweep,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 2},
+                                           Shape{2, 1}, Shape{2, 2},
+                                           Shape{4, 1}, Shape{4, 2},
+                                           Shape{8, 2}, Shape{16, 1},
+                                           Shape{16, 2}));
+
+// ---------- halo exchange across widths and decompositions ------------------
+
+struct XchgCase {
+  int width;
+  int px, py;
+};
+
+class ExchangeSweep : public ::testing::TestWithParam<XchgCase> {};
+
+TEST_P(ExchangeSweep, HaloMatchesGlobalFunction) {
+  const XchgCase c = GetParam();
+  // Halo cannot exceed the tile extent; widths are chosen <= this halo.
+  const int halo = std::min({3, 16 / c.px, 8 / c.py});
+  ASSERT_LE(c.width, halo);
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(c.px, c.py, halo);
+  auto coded = [&](int gi, int gj, int k) {
+    const int wi = ((gi % cfg.nx) + cfg.nx) % cfg.nx;
+    return wi * 10000.0 + gj * 100.0 + k;
+  };
+  gcm::testing::run_ranks(c.px * c.py, [&](cluster::RankContext&,
+                                           comm::Comm& comm) {
+    const gcm::Decomp dec(cfg, comm.group_rank());
+    Array3D<double> f(static_cast<std::size_t>(dec.ext_x()),
+                      static_cast<std::size_t>(dec.ext_y()),
+                      static_cast<std::size_t>(cfg.nz), -1.0);
+    for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+      for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+        for (int k = 0; k < cfg.nz; ++k) {
+          f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+            static_cast<std::size_t>(k)) =
+              coded(dec.global_i(i), dec.global_j(j), k);
+        }
+      }
+    }
+    gcm::exchange3d(comm, dec, f, c.width);
+    const int h = dec.halo;
+    for (int i = h - c.width; i < h + dec.snx + c.width; ++i) {
+      for (int j = h - c.width; j < h + dec.sny + c.width; ++j) {
+        const int gj = dec.global_j(j);
+        if (gj < 0 || gj >= cfg.ny) continue;
+        for (int k = 0; k < cfg.nz; ++k) {
+          ASSERT_DOUBLE_EQ(f(static_cast<std::size_t>(i),
+                             static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k)),
+                           coded(dec.global_i(i), gj, k))
+              << "w=" << c.width << " px=" << c.px << " py=" << c.py;
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndDecomps, ExchangeSweep,
+    ::testing::Values(XchgCase{1, 1, 1}, XchgCase{2, 1, 1}, XchgCase{3, 1, 1},
+                      XchgCase{1, 2, 2}, XchgCase{2, 2, 2}, XchgCase{3, 2, 2},
+                      XchgCase{3, 4, 1}, XchgCase{2, 1, 4},
+                      XchgCase{2, 4, 2}));
+
+// ---------- fabric across endpoint counts -----------------------------------
+
+class FabricSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricSweep, AllPairsDeliverInOrder) {
+  const int endpoints = GetParam();
+  sim::Scheduler sched;
+  arctic::Fabric fabric(sched, endpoints);
+  std::vector<std::uint16_t> last_tag(static_cast<std::size_t>(endpoints), 0);
+  bool order_ok = true;
+  fabric.set_delivery_handler([&](int node, arctic::Packet&& p) {
+    if (p.usr_tag < last_tag[static_cast<std::size_t>(node)]) order_ok = false;
+    last_tag[static_cast<std::size_t>(node)] = p.usr_tag;
+  });
+  SplitMix64 rng(endpoints);
+  const int src = 0;
+  const int dst = endpoints - 1;
+  for (std::uint16_t t = 0; t < 64; ++t) {
+    arctic::Packet p;
+    p.usr_tag = t;
+    p.payload.assign(2 + rng.next_below(21), 0u);
+    fabric.inject(src, dst, std::move(p));
+  }
+  sched.run();
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(fabric.stats().delivered, 64u);
+  EXPECT_EQ(fabric.stats().crc_flagged, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FabricSweep,
+                         ::testing::Values(2, 4, 16, 64, 256));
+
+// ---------- VI transfers across sizes ---------------------------------------
+
+class ViSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ViSweep, ElapsedTracksClosedFormModel) {
+  const std::int64_t bytes = GetParam();
+  const net::ViTransferResult r = net::measure_vi_transfer(bytes);
+  const net::ArcticModel model;
+  EXPECT_EQ(r.bytes, bytes);
+  // DES within 20% of the closed form everywhere in the sweep.
+  EXPECT_NEAR(r.elapsed / model.transfer_time(bytes), 1.0, 0.2)
+      << "bytes=" << bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ViSweep,
+                         ::testing::Values(64, 512, 2048, 9216, 32768,
+                                           131072));
+
+// ---------- CG tolerance sweep ----------------------------------------------
+
+class CgTolSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CgTolSweep, ConvergesAndIterationsScaleWithTolerance) {
+  const double tol = GetParam();
+  const gcm::ModelConfig cfg = gcm::testing::small_ocean(1, 1);
+  gcm::testing::run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    const gcm::Decomp dec(cfg, 0);
+    const gcm::TileGrid grid(cfg, dec);
+    const gcm::EllipticOperator op(cfg, dec, grid);
+    const auto ex = static_cast<std::size_t>(dec.ext_x());
+    const auto ey = static_cast<std::size_t>(dec.ext_y());
+    Array2D<double> b(ex, ey, 0.0), p(ex, ey, 0.0);
+    // Compatible rhs: a zonal wavenumber-2 pattern (zero mean).
+    for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
+      for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {
+        b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+            std::sin(4.0 * M_PI * dec.global_i(i) / cfg.nx);
+      }
+    }
+    const gcm::CgResult loose = gcm::cg_solve(comm, dec, op, b, p, tol, 2000);
+    EXPECT_TRUE(loose.converged) << "tol " << tol;
+    Array2D<double> p2(ex, ey, 0.0);
+    const gcm::CgResult tight =
+        gcm::cg_solve(comm, dec, op, b, p2, tol * 0.01, 2000);
+    EXPECT_TRUE(tight.converged);
+    EXPECT_GE(tight.iterations, loose.iterations);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, CgTolSweep,
+                         ::testing::Values(1e-3, 1e-5, 1e-7));
+
+// ---------- LogP payload sweep ----------------------------------------------
+
+class LogPSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogPSweep, OverheadsScaleWithAccessCount) {
+  const int bytes = GetParam();
+  const net::PioLogPResult r = net::measure_pio_logp(bytes);
+  const int beats = 1 + (bytes + 7) / 8;
+  EXPECT_NEAR(r.os, beats * 0.18, 1e-9);
+  EXPECT_NEAR(r.orr, beats * 0.93, 1e-9);
+  EXPECT_GT(r.L, 0.5);
+  EXPECT_LT(r.L, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, LogPSweep,
+                         ::testing::Values(8, 16, 24, 32, 48, 64, 88));
+
+}  // namespace
+}  // namespace hyades
