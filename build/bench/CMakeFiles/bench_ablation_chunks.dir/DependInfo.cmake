@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_chunks.cpp" "bench/CMakeFiles/bench_ablation_chunks.dir/bench_ablation_chunks.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_chunks.dir/bench_ablation_chunks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hyades_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hyades_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/startx/CMakeFiles/hyades_startx.dir/DependInfo.cmake"
+  "/root/repo/build/src/arctic/CMakeFiles/hyades_arctic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyades_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gsum.dir/bench_ablation_gsum.cpp.o"
+  "CMakeFiles/bench_ablation_gsum.dir/bench_ablation_gsum.cpp.o.d"
+  "bench_ablation_gsum"
+  "bench_ablation_gsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

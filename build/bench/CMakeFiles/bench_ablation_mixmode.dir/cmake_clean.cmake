@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mixmode.dir/bench_ablation_mixmode.cpp.o"
+  "CMakeFiles/bench_ablation_mixmode.dir/bench_ablation_mixmode.cpp.o.d"
+  "bench_ablation_mixmode"
+  "bench_ablation_mixmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

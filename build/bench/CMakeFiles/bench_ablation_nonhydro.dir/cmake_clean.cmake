@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nonhydro.dir/bench_ablation_nonhydro.cpp.o"
+  "CMakeFiles/bench_ablation_nonhydro.dir/bench_ablation_nonhydro.cpp.o.d"
+  "bench_ablation_nonhydro"
+  "bench_ablation_nonhydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nonhydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

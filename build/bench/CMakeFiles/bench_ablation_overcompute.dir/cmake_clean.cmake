@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overcompute.dir/bench_ablation_overcompute.cpp.o"
+  "CMakeFiles/bench_ablation_overcompute.dir/bench_ablation_overcompute.cpp.o.d"
+  "bench_ablation_overcompute"
+  "bench_ablation_overcompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overcompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sustained.dir/bench_fig10_sustained.cpp.o"
+  "CMakeFiles/bench_fig10_sustained.dir/bench_fig10_sustained.cpp.o.d"
+  "bench_fig10_sustained"
+  "bench_fig10_sustained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sustained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

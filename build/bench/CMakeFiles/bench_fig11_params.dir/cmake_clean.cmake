@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_params.dir/bench_fig11_params.cpp.o"
+  "CMakeFiles/bench_fig11_params.dir/bench_fig11_params.cpp.o.d"
+  "bench_fig11_params"
+  "bench_fig11_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pfpp.dir/bench_fig12_pfpp.cpp.o"
+  "CMakeFiles/bench_fig12_pfpp.dir/bench_fig12_pfpp.cpp.o.d"
+  "bench_fig12_pfpp"
+  "bench_fig12_pfpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pfpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

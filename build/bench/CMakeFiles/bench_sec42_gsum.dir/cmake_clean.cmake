@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_gsum.dir/bench_sec42_gsum.cpp.o"
+  "CMakeFiles/bench_sec42_gsum.dir/bench_sec42_gsum.cpp.o.d"
+  "bench_sec42_gsum"
+  "bench_sec42_gsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_gsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

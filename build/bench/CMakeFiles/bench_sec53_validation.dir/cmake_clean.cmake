@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_validation.dir/bench_sec53_validation.cpp.o"
+  "CMakeFiles/bench_sec53_validation.dir/bench_sec53_validation.cpp.o.d"
+  "bench_sec53_validation"
+  "bench_sec53_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_climate.dir/coupled_climate.cpp.o"
+  "CMakeFiles/coupled_climate.dir/coupled_climate.cpp.o.d"
+  "coupled_climate"
+  "coupled_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

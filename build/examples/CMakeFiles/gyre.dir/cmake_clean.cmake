@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gyre.dir/gyre.cpp.o"
+  "CMakeFiles/gyre.dir/gyre.cpp.o.d"
+  "gyre"
+  "gyre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gyre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arctic/crc.cpp" "src/arctic/CMakeFiles/hyades_arctic.dir/crc.cpp.o" "gcc" "src/arctic/CMakeFiles/hyades_arctic.dir/crc.cpp.o.d"
+  "/root/repo/src/arctic/fabric.cpp" "src/arctic/CMakeFiles/hyades_arctic.dir/fabric.cpp.o" "gcc" "src/arctic/CMakeFiles/hyades_arctic.dir/fabric.cpp.o.d"
+  "/root/repo/src/arctic/packet.cpp" "src/arctic/CMakeFiles/hyades_arctic.dir/packet.cpp.o" "gcc" "src/arctic/CMakeFiles/hyades_arctic.dir/packet.cpp.o.d"
+  "/root/repo/src/arctic/route.cpp" "src/arctic/CMakeFiles/hyades_arctic.dir/route.cpp.o" "gcc" "src/arctic/CMakeFiles/hyades_arctic.dir/route.cpp.o.d"
+  "/root/repo/src/arctic/router.cpp" "src/arctic/CMakeFiles/hyades_arctic.dir/router.cpp.o" "gcc" "src/arctic/CMakeFiles/hyades_arctic.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hyades_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hyades_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_arctic.dir/crc.cpp.o"
+  "CMakeFiles/hyades_arctic.dir/crc.cpp.o.d"
+  "CMakeFiles/hyades_arctic.dir/fabric.cpp.o"
+  "CMakeFiles/hyades_arctic.dir/fabric.cpp.o.d"
+  "CMakeFiles/hyades_arctic.dir/packet.cpp.o"
+  "CMakeFiles/hyades_arctic.dir/packet.cpp.o.d"
+  "CMakeFiles/hyades_arctic.dir/route.cpp.o"
+  "CMakeFiles/hyades_arctic.dir/route.cpp.o.d"
+  "CMakeFiles/hyades_arctic.dir/router.cpp.o"
+  "CMakeFiles/hyades_arctic.dir/router.cpp.o.d"
+  "libhyades_arctic.a"
+  "libhyades_arctic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_arctic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

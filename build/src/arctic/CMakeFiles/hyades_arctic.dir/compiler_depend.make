@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hyades_arctic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hyades_arctic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_cluster.dir/message_bus.cpp.o"
+  "CMakeFiles/hyades_cluster.dir/message_bus.cpp.o.d"
+  "CMakeFiles/hyades_cluster.dir/runtime.cpp.o"
+  "CMakeFiles/hyades_cluster.dir/runtime.cpp.o.d"
+  "CMakeFiles/hyades_cluster.dir/trace.cpp.o"
+  "CMakeFiles/hyades_cluster.dir/trace.cpp.o.d"
+  "libhyades_cluster.a"
+  "libhyades_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

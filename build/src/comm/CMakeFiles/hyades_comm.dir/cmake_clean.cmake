@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_comm.dir/comm.cpp.o"
+  "CMakeFiles/hyades_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/hyades_comm.dir/portable.cpp.o"
+  "CMakeFiles/hyades_comm.dir/portable.cpp.o.d"
+  "libhyades_comm.a"
+  "libhyades_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcm/cg.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/cg.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/cg.cpp.o.d"
+  "/root/repo/src/gcm/cg3.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/cg3.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/cg3.cpp.o.d"
+  "/root/repo/src/gcm/config.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/config.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/config.cpp.o.d"
+  "/root/repo/src/gcm/coupler.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/coupler.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/coupler.cpp.o.d"
+  "/root/repo/src/gcm/decomp.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/decomp.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/decomp.cpp.o.d"
+  "/root/repo/src/gcm/elliptic.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/elliptic.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/elliptic.cpp.o.d"
+  "/root/repo/src/gcm/elliptic3.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/elliptic3.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/elliptic3.cpp.o.d"
+  "/root/repo/src/gcm/grid.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/grid.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/grid.cpp.o.d"
+  "/root/repo/src/gcm/halo.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/halo.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/halo.cpp.o.d"
+  "/root/repo/src/gcm/kernels.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/kernels.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/kernels.cpp.o.d"
+  "/root/repo/src/gcm/model.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/model.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/model.cpp.o.d"
+  "/root/repo/src/gcm/output.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/output.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/output.cpp.o.d"
+  "/root/repo/src/gcm/physics.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/physics.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/physics.cpp.o.d"
+  "/root/repo/src/gcm/step.cpp" "src/gcm/CMakeFiles/hyades_gcm.dir/step.cpp.o" "gcc" "src/gcm/CMakeFiles/hyades_gcm.dir/step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/hyades_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hyades_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hyades_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyades_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/startx/CMakeFiles/hyades_startx.dir/DependInfo.cmake"
+  "/root/repo/build/src/arctic/CMakeFiles/hyades_arctic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyades_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

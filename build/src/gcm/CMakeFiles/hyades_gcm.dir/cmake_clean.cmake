@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_gcm.dir/cg.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/cg.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/cg3.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/cg3.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/config.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/config.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/coupler.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/coupler.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/decomp.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/decomp.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/elliptic.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/elliptic.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/elliptic3.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/elliptic3.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/grid.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/grid.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/halo.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/halo.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/kernels.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/kernels.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/model.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/model.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/output.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/output.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/physics.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/physics.cpp.o.d"
+  "CMakeFiles/hyades_gcm.dir/step.cpp.o"
+  "CMakeFiles/hyades_gcm.dir/step.cpp.o.d"
+  "libhyades_gcm.a"
+  "libhyades_gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_net.dir/arctic_model.cpp.o"
+  "CMakeFiles/hyades_net.dir/arctic_model.cpp.o.d"
+  "CMakeFiles/hyades_net.dir/ethernet.cpp.o"
+  "CMakeFiles/hyades_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/hyades_net.dir/logp.cpp.o"
+  "CMakeFiles/hyades_net.dir/logp.cpp.o.d"
+  "libhyades_net.a"
+  "libhyades_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_perf.dir/calibrate.cpp.o"
+  "CMakeFiles/hyades_perf.dir/calibrate.cpp.o.d"
+  "CMakeFiles/hyades_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/hyades_perf.dir/perf_model.cpp.o.d"
+  "libhyades_perf.a"
+  "libhyades_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

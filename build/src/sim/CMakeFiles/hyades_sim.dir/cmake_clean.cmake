@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hyades_sim.dir/scheduler.cpp.o.d"
+  "libhyades_sim.a"
+  "libhyades_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

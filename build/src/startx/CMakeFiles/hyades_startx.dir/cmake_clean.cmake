@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_startx.dir/niu.cpp.o"
+  "CMakeFiles/hyades_startx.dir/niu.cpp.o.d"
+  "libhyades_startx.a"
+  "libhyades_startx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_startx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyades_support.dir/logging.cpp.o"
+  "CMakeFiles/hyades_support.dir/logging.cpp.o.d"
+  "CMakeFiles/hyades_support.dir/stats.cpp.o"
+  "CMakeFiles/hyades_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hyades_support.dir/table.cpp.o"
+  "CMakeFiles/hyades_support.dir/table.cpp.o.d"
+  "libhyades_support.a"
+  "libhyades_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyades_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

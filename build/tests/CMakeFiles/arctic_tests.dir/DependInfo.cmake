@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arctic/crc_test.cpp" "tests/CMakeFiles/arctic_tests.dir/arctic/crc_test.cpp.o" "gcc" "tests/CMakeFiles/arctic_tests.dir/arctic/crc_test.cpp.o.d"
+  "/root/repo/tests/arctic/fabric_test.cpp" "tests/CMakeFiles/arctic_tests.dir/arctic/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/arctic_tests.dir/arctic/fabric_test.cpp.o.d"
+  "/root/repo/tests/arctic/packet_test.cpp" "tests/CMakeFiles/arctic_tests.dir/arctic/packet_test.cpp.o" "gcc" "tests/CMakeFiles/arctic_tests.dir/arctic/packet_test.cpp.o.d"
+  "/root/repo/tests/arctic/route_test.cpp" "tests/CMakeFiles/arctic_tests.dir/arctic/route_test.cpp.o" "gcc" "tests/CMakeFiles/arctic_tests.dir/arctic/route_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arctic/CMakeFiles/hyades_arctic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyades_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hyades_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

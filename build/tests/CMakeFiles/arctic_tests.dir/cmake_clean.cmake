@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arctic_tests.dir/arctic/crc_test.cpp.o"
+  "CMakeFiles/arctic_tests.dir/arctic/crc_test.cpp.o.d"
+  "CMakeFiles/arctic_tests.dir/arctic/fabric_test.cpp.o"
+  "CMakeFiles/arctic_tests.dir/arctic/fabric_test.cpp.o.d"
+  "CMakeFiles/arctic_tests.dir/arctic/packet_test.cpp.o"
+  "CMakeFiles/arctic_tests.dir/arctic/packet_test.cpp.o.d"
+  "CMakeFiles/arctic_tests.dir/arctic/route_test.cpp.o"
+  "CMakeFiles/arctic_tests.dir/arctic/route_test.cpp.o.d"
+  "arctic_tests"
+  "arctic_tests.pdb"
+  "arctic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arctic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tests.dir/comm/exchange_test.cpp.o"
+  "CMakeFiles/comm_tests.dir/comm/exchange_test.cpp.o.d"
+  "CMakeFiles/comm_tests.dir/comm/global_sum_test.cpp.o"
+  "CMakeFiles/comm_tests.dir/comm/global_sum_test.cpp.o.d"
+  "CMakeFiles/comm_tests.dir/comm/portable_test.cpp.o"
+  "CMakeFiles/comm_tests.dir/comm/portable_test.cpp.o.d"
+  "comm_tests"
+  "comm_tests.pdb"
+  "comm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_tests.dir/gcm/advection_mixing_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/advection_mixing_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/checkpoint_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/checkpoint_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/coupled_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/coupled_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/decomp_grid_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/decomp_grid_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/elliptic_cg_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/elliptic_cg_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/gyre_physics_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/gyre_physics_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/halo_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/halo_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/kernels_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/kernels_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/model_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/model_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/nonhydro_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/nonhydro_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/output_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/output_test.cpp.o.d"
+  "CMakeFiles/gcm_tests.dir/gcm/physics_test.cpp.o"
+  "CMakeFiles/gcm_tests.dir/gcm/physics_test.cpp.o.d"
+  "gcm_tests"
+  "gcm_tests.pdb"
+  "gcm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

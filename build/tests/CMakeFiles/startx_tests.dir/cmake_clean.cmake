@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startx_tests.dir/startx/niu_test.cpp.o"
+  "CMakeFiles/startx_tests.dir/startx/niu_test.cpp.o.d"
+  "startx_tests"
+  "startx_tests.pdb"
+  "startx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweeps_tests.dir/sweeps/sweeps_test.cpp.o"
+  "CMakeFiles/sweeps_tests.dir/sweeps/sweeps_test.cpp.o.d"
+  "sweeps_tests"
+  "sweeps_tests.pdb"
+  "sweeps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweeps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/arctic_tests[1]_include.cmake")
+include("/root/repo/build/tests/startx_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/comm_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcm_tests[1]_include.cmake")
+include("/root/repo/build/tests/perf_tests[1]_include.cmake")
+include("/root/repo/build/tests/sweeps_tests[1]_include.cmake")
+include("/root/repo/build/tests/fault_tests[1]_include.cmake")
