@@ -38,6 +38,16 @@ Message MessageBus::recv(int me, int from, int tag, int timeout_ms) {
   return m;
 }
 
+std::optional<Message> MessageBus::try_recv(int me, int from, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto it = box.queues.find({from, tag});
+  if (it == box.queues.end() || it->second.empty()) return std::nullopt;
+  Message m = std::move(it->second.front());
+  it->second.pop_front();
+  return m;
+}
+
 bool MessageBus::poll(int me, int from, int tag) {
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
   std::lock_guard<std::mutex> lock(box.mu);

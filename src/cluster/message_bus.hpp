@@ -11,6 +11,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "support/units.hpp"
@@ -34,6 +35,12 @@ class MessageBus {
   // Throws std::runtime_error after `timeout_ms` of real time (deadlock
   // guard for tests).
   Message recv(int me, int from, int tag, int timeout_ms = 30000);
+
+  // Non-blocking receive: pop the head of the (from, tag) queue if a
+  // message has been posted, else return nullopt without waiting.  The
+  // split-phase comm layer uses this to drain arrived strips during
+  // exchange_test without blocking the rank.
+  std::optional<Message> try_recv(int me, int from, int tag);
 
   // Non-blocking probe (for tests).
   [[nodiscard]] bool poll(int me, int from, int tag);

@@ -75,6 +75,10 @@ Message RankContext::recv_raw(int from, int tag) {
   return rt_.bus().recv(rank_, from, tag);
 }
 
+std::optional<Message> RankContext::try_recv_raw(int from, int tag) {
+  return rt_.bus().try_recv(rank_, from, tag);
+}
+
 void RankContext::smp_sync() {
   if (procs_per_smp() == 1) return;
   SmpShared& s = rt_.smp_shared(smp());
@@ -111,6 +115,10 @@ std::pair<std::int64_t, std::int64_t> RankContext::smp_peek_bytes(
 
 void RankContext::charge_comm(Microseconds start_us) {
   acct_.comm_us += clock_.now() - start_us;
+}
+
+void RankContext::charge_overlap(Microseconds hidden_us) {
+  acct_.overlap_us += hidden_us;
 }
 
 Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {

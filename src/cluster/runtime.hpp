@@ -39,6 +39,11 @@ struct MachineConfig {
 struct Accounting {
   Microseconds compute_us = 0;
   Microseconds comm_us = 0;
+  // Communication time hidden under computation by split-phase
+  // operations (the overlap rule t_finish = max(t_local, t_arrival)):
+  // already covered by compute_us, so NOT part of total_us -- a separate
+  // bucket that reports how much wire time the rank did not wait for.
+  Microseconds overlap_us = 0;
   double flops = 0;
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
@@ -110,6 +115,11 @@ class RankContext {
   void send_raw(int to, int tag, std::vector<double> data,
                 Microseconds arrival_stamp);
   Message recv_raw(int from, int tag);
+  // Non-blocking variant: returns the message if it has been posted,
+  // nullopt otherwise.  Never advances the virtual clock -- arrival
+  // *timing* is carried by stamp_us, so draining early keeps virtual
+  // time deterministic regardless of real thread scheduling.
+  std::optional<Message> try_recv_raw(int from, int tag);
 
   // SMP-local coordination: barrier over the SMP's ranks, with the
   // shared-memory cost applied and clocks synchronized to the local max.
@@ -125,6 +135,9 @@ class RankContext {
   // Track communication time: record the clock before a comm operation,
   // then charge the delta to comm accounting.
   void charge_comm(Microseconds start_us);
+  // Credit communication time that elapsed under computation (split-phase
+  // overlap) to the overlap_us bucket.
+  void charge_overlap(Microseconds hidden_us);
 
   // Optional tracing: when set, instrumented layers record operation
   // intervals here.  Not owned.

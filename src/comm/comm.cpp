@@ -5,13 +5,23 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace hyades::comm {
 
 namespace {
-constexpr int kTagGsumBase = 1000;   // + round
-constexpr int kTagGsumLocal = 1900;  // slave -> master, master -> slave
-constexpr int kTagXchgBase = 2000;   // + direction
+constexpr int kTagBarrierBase = 700;   // + round
+constexpr int kTagBarrierLocal = 960;  // slave -> master, master -> slave
+constexpr int kTagGsumBase = 1000;     // + salt + round
+constexpr int kTagGsumLocal = 1900;    // slave -> master, master -> slave
+constexpr int kTagXchgBase = 2000;     // + (seq % window) * kDirections + dir
+
+// In-flight tag disambiguation: each started exchange / global sum draws
+// the next slot of a rotating window, so concurrent handles never share
+// a (source, tag) stream and exchanges may finish out of order.
+constexpr int kXchgSeqWindow = 64;
+constexpr int kGsumSaltWindow = 4;
+constexpr int kGsumSaltStride = 64;  // leaves room for any butterfly depth
 }  // namespace
 
 Comm::Comm(cluster::RankContext& ctx, int rank_base, int nranks)
@@ -35,72 +45,148 @@ bool Comm::remote(int group_rank) const {
   return ctx_.smp_of(abs_rank(group_rank)) != ctx_.smp();
 }
 
-// Generic reduction: SMP-local combine, masters butterfly, local
-// distribution.  `combine` must be commutative so every rank obtains a
-// bitwise-identical result.
-namespace {
-template <typename Fn>
-void reduce_all(cluster::RankContext& ctx, int rank_base, int nranks,
-                std::vector<double>& v, int tag_salt, Fn combine) {
-  const int ppp = ctx.procs_per_smp();
-  const int gsmp = (ctx.rank() - rank_base) / ppp;
-  const int gsmps = nranks / ppp;
-  const int master_abs = rank_base + gsmp * ppp;
+// ---- global reductions ---------------------------------------------------
+//
+// Structure (Section 4.2): SMP-local combine through shared memory, a
+// recursive-doubling butterfly over the group's SMP masters, then local
+// distribution.  `start` runs the local combine and posts the first
+// butterfly round; `finish` completes the rest.  Called back to back the
+// two halves execute exactly the classic synchronous algorithm, which
+// keeps blocking timing bit-identical to the paper calibration.
+
+void Comm::combine_into(std::vector<double>& a, const std::vector<double>& b,
+                        GsumHandle::Op op) {
+  if (a.size() != b.size()) {
+    throw std::logic_error("global reduce: size mismatch");
+  }
+  if (op == GsumHandle::Op::kSum) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
+  }
+}
+
+GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
+                              bool blocking) {
+  GsumHandle h;
+  h.v_ = std::move(v);
+  h.op_ = op;
+  h.active_ = true;
+  h.blocking_ = blocking;
+  h.salt_ = static_cast<int>(gsum_started_ % kGsumSaltWindow) * kGsumSaltStride;
+  ++gsum_started_;
+  h.t_begin = ctx_.clock().now();
+
+  const int ppp = ctx_.procs_per_smp();
+  const int gsmp = (ctx_.rank() - rank_base_) / ppp;
+  const int master_abs = rank_base_ + gsmp * ppp;
 
   // SMP-local combine through shared memory (modeled via the message bus
   // for transport; clocks synchronize through the SMP barrier).
-  ctx.smp_sync();
+  ctx_.smp_sync();
   if (ppp > 1) {
-    if (!ctx.is_master()) {
-      ctx.send_raw(master_abs, kTagGsumLocal, v, ctx.clock().now());
+    if (!ctx_.is_master()) {
+      ctx_.send_raw(master_abs, kTagGsumLocal, h.v_, ctx_.clock().now());
     } else {
       for (int lr = 1; lr < ppp; ++lr) {
-        cluster::Message m = ctx.recv_raw(master_abs + lr, kTagGsumLocal);
-        if (m.data.size() != v.size()) {
-          throw std::logic_error("global reduce: local size mismatch");
-        }
-        for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], m.data[i]);
+        cluster::Message m = ctx_.recv_raw(master_abs + lr, kTagGsumLocal);
+        combine_into(h.v_, m.data, h.op_);
       }
     }
   }
 
-  // Recursive-doubling butterfly across the group's SMPs (Section 4.2,
-  // Figure 8): log2(N) rounds, partner differs in bit `round`.
-  if (ctx.is_master()) {
+  // Post the first butterfly round; with computation between start and
+  // finish, the partner's round-0 message is in flight while we work and
+  // its latency is hidden (the overlap rule in reduce_finish).
+  if (ctx_.is_master() && group_smps() > 1) {
+    const int partner_gsmp = gsmp ^ 1;
+    const int partner_abs = rank_base_ + partner_gsmp * ppp;
+    ctx_.send_raw(partner_abs, kTagGsumBase + h.salt_, h.v_,
+                  ctx_.clock().now());
+  }
+  h.t_start_end = ctx_.clock().now();
+  if (!blocking) {
+    ctx_.charge_comm(h.t_begin);
+    if (ctx_.tracer()) {
+      ctx_.tracer()->record("gsum_start", h.t_begin, h.t_start_end);
+    }
+  }
+  return h;
+}
+
+void Comm::reduce_finish(GsumHandle& h) {
+  if (!h.active_) {
+    throw std::logic_error("global_sum_finish: handle not active");
+  }
+  const Microseconds t_entry = ctx_.clock().now();
+  const int ppp = ctx_.procs_per_smp();
+  const int gsmp = (ctx_.rank() - rank_base_) / ppp;
+  const int gsmps = group_smps();
+  const int master_abs = rank_base_ + gsmp * ppp;
+
+  // Earliest time the data this rank waits on was available; used to
+  // credit hidden communication under the overlap rule.
+  Microseconds ready = h.t_start_end;
+
+  if (ctx_.is_master()) {
+    // Recursive-doubling butterfly across the group's SMPs (Section 4.2,
+    // Figure 8): log2(N) rounds, partner differs in bit `round`.
     int rounds = 0;
     for (int n = gsmps; n > 1; n >>= 1) ++rounds;
     for (int round = 0; round < rounds; ++round) {
       const int partner_gsmp = gsmp ^ (1 << round);
-      const int partner_abs = rank_base + partner_gsmp * ppp;
-      ctx.send_raw(partner_abs, kTagGsumBase + tag_salt + round, v,
-                   ctx.clock().now());
-      cluster::Message m =
-          ctx.recv_raw(partner_abs, kTagGsumBase + tag_salt + round);
-      if (m.data.size() != v.size()) {
-        throw std::logic_error("global reduce: butterfly size mismatch");
+      const int partner_abs = rank_base_ + partner_gsmp * ppp;
+      if (round > 0) {
+        // Round 0 was posted by reduce_start.
+        ctx_.send_raw(partner_abs, kTagGsumBase + h.salt_ + round, h.v_,
+                      ctx_.clock().now());
       }
-      for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], m.data[i]);
+      cluster::Message m =
+          ctx_.recv_raw(partner_abs, kTagGsumBase + h.salt_ + round);
+      combine_into(h.v_, m.data, h.op_);
+      if (round == 0) ready = std::max(ready, m.stamp_us);
       // Round timing: both partners proceed from the later of their
       // clocks plus the modeled symmetric round cost.
-      ctx.clock().advance_to(m.stamp_us);
-      ctx.clock().advance(ctx.net().gsum_round_time(round));
+      ctx_.clock().advance_to(m.stamp_us);
+      ctx_.clock().advance(ctx_.net().gsum_round_time(round));
     }
     // Local distribution.
     if (ppp > 1) {
       for (int lr = 1; lr < ppp; ++lr) {
-        ctx.send_raw(master_abs + lr, kTagGsumLocal, v, ctx.clock().now());
+        ctx_.send_raw(master_abs + lr, kTagGsumLocal, h.v_,
+                      ctx_.clock().now());
       }
     }
   } else {
-    cluster::Message m = ctx.recv_raw(master_abs, kTagGsumLocal);
-    v = std::move(m.data);
-    ctx.clock().advance_to(m.stamp_us);
+    cluster::Message m = ctx_.recv_raw(master_abs, kTagGsumLocal);
+    h.v_ = std::move(m.data);
+    ready = std::max(ready, m.stamp_us);
+    ctx_.clock().advance_to(m.stamp_us);
   }
   // Final sync pulls every local clock to the master's and applies the
   // shared-memory distribution cost.
-  ctx.smp_sync();
+  ctx_.smp_sync();
+
+  ++gsum_seq_;
+  const char* op_name = h.op_ == GsumHandle::Op::kSum ? "gsum" : "gmax";
+  if (h.blocking_) {
+    ctx_.charge_comm(h.t_begin);
+    if (ctx_.tracer()) {
+      ctx_.tracer()->record(op_name, h.t_begin, ctx_.clock().now());
+    }
+  } else {
+    // Communication already in flight while the caller computed is not
+    // double-charged: credit it to the overlap bucket.
+    ctx_.charge_overlap(
+        std::max(0.0, std::min(t_entry, ready) - h.t_start_end));
+    ctx_.charge_comm(t_entry);
+    if (ctx_.tracer()) {
+      ctx_.tracer()->record(std::string(op_name) + "_wait", t_entry,
+                            ctx_.clock().now());
+    }
+  }
+  h.active_ = false;
 }
-}  // namespace
 
 double Comm::global_sum(double x) {
   std::vector<double> v{x};
@@ -109,101 +195,356 @@ double Comm::global_sum(double x) {
 }
 
 void Comm::global_sum(std::vector<double>& xs) {
-  const Microseconds t0 = ctx_.clock().now();
-  reduce_all(ctx_, rank_base_, nranks_, xs, 0,
-             [](double& a, double b) { a += b; });
-  ++gsum_seq_;
-  ctx_.charge_comm(t0);
-  if (ctx_.tracer()) ctx_.tracer()->record("gsum", t0, ctx_.clock().now());
+  GsumHandle h = reduce_start(std::move(xs), GsumHandle::Op::kSum,
+                              /*blocking=*/true);
+  reduce_finish(h);
+  xs = std::move(h.v_);
 }
 
 double Comm::global_max(double x) {
+  GsumHandle h = reduce_start(std::vector<double>{x}, GsumHandle::Op::kMax,
+                              /*blocking=*/true);
+  reduce_finish(h);
+  return h.v_[0];
+}
+
+GsumHandle Comm::global_sum_start(std::vector<double> xs) {
+  return reduce_start(std::move(xs), GsumHandle::Op::kSum, /*blocking=*/false);
+}
+
+GsumHandle Comm::global_sum_start(double x) {
+  return global_sum_start(std::vector<double>{x});
+}
+
+GsumHandle Comm::global_max_start(double x) {
+  return reduce_start(std::vector<double>{x}, GsumHandle::Op::kMax,
+                      /*blocking=*/false);
+}
+
+std::vector<double> Comm::global_sum_finish(GsumHandle& h) {
+  reduce_finish(h);
+  return std::move(h.v_);
+}
+
+void Comm::barrier() {
+  // A payload-free pass over the global-sum network: same SMP-local
+  // combine / butterfly / distribution structure and the same per-round
+  // costs, but its own tag space and counter, so barriers do not consume
+  // global-sum sequence slots or distort gsums_done() statistics.
   const Microseconds t0 = ctx_.clock().now();
-  std::vector<double> v{x};
-  reduce_all(ctx_, rank_base_, nranks_, v, 16,
-             [](double& a, double b) { a = std::max(a, b); });
-  ++gsum_seq_;
+  const int ppp = ctx_.procs_per_smp();
+  const int gsmp = (ctx_.rank() - rank_base_) / ppp;
+  const int gsmps = group_smps();
+  const int master_abs = rank_base_ + gsmp * ppp;
+  const std::vector<double> empty;
+
+  ctx_.smp_sync();
+  if (ppp > 1) {
+    if (!ctx_.is_master()) {
+      ctx_.send_raw(master_abs, kTagBarrierLocal, empty, ctx_.clock().now());
+    } else {
+      for (int lr = 1; lr < ppp; ++lr) {
+        (void)ctx_.recv_raw(master_abs + lr, kTagBarrierLocal);
+      }
+    }
+  }
+  if (ctx_.is_master()) {
+    int rounds = 0;
+    for (int n = gsmps; n > 1; n >>= 1) ++rounds;
+    for (int round = 0; round < rounds; ++round) {
+      const int partner_gsmp = gsmp ^ (1 << round);
+      const int partner_abs = rank_base_ + partner_gsmp * ppp;
+      ctx_.send_raw(partner_abs, kTagBarrierBase + round, empty,
+                    ctx_.clock().now());
+      cluster::Message m =
+          ctx_.recv_raw(partner_abs, kTagBarrierBase + round);
+      ctx_.clock().advance_to(m.stamp_us);
+      ctx_.clock().advance(ctx_.net().gsum_round_time(round));
+    }
+    if (ppp > 1) {
+      for (int lr = 1; lr < ppp; ++lr) {
+        ctx_.send_raw(master_abs + lr, kTagBarrierLocal, empty,
+                      ctx_.clock().now());
+      }
+    }
+  } else {
+    cluster::Message m = ctx_.recv_raw(master_abs, kTagBarrierLocal);
+    ctx_.clock().advance_to(m.stamp_us);
+  }
+  ctx_.smp_sync();
+
+  ++barrier_seq_;
   ctx_.charge_comm(t0);
-  if (ctx_.tracer()) ctx_.tracer()->record("gmax", t0, ctx_.clock().now());
-  return v[0];
+  if (ctx_.tracer()) {
+    ctx_.tracer()->record("barrier", t0, ctx_.clock().now());
+  }
+}
+
+// ---- halo exchange -------------------------------------------------------
+
+int Comm::xchg_tag(std::uint64_t seq, int d) const {
+  return kTagXchgBase +
+         static_cast<int>(seq % kXchgSeqWindow) * kDirections + d;
+}
+
+void Comm::validate_neighbors(
+    const std::array<int, kDirections>& neighbors) const {
+  for (int d = 0; d < kDirections; ++d) {
+    if (neighbors[static_cast<std::size_t>(d)] >= nranks_) {
+      throw std::out_of_range("Comm::exchange: neighbor outside group");
+    }
+  }
+}
+
+// Phase bookkeeping: who sends/receives what in direction d, and the
+// SMP-aggregated byte counts (the communication master batches all local
+// tiles' strips into one VI transfer per phase -- mix-mode, Section 4.1).
+// The aggregation synchronizes the SMP's ranks, so this has clock effects
+// and must run at the same point for every rank of an SMP.
+ExchangeHandle::Phase Comm::plan_phase(
+    int d, const std::array<int, kDirections>& nb, const Buffers& buf) {
+  const int opp = opposite(d);
+  ExchangeHandle::Phase p;
+  p.nb_out = nb[static_cast<std::size_t>(d)];
+  p.nb_in = nb[static_cast<std::size_t>(opp)];
+  p.out_remote = p.nb_out >= 0 && remote(p.nb_out);
+  p.in_remote = p.nb_in >= 0 && remote(p.nb_in);
+  const auto bytes_of = [](const std::vector<double>& v) {
+    return static_cast<std::int64_t>(v.size() * sizeof(double));
+  };
+  p.out_b = bytes_of(buf.out[static_cast<std::size_t>(d)]);
+  p.in_b = bytes_of(buf.in[static_cast<std::size_t>(opp)]);
+  p.smp_out = p.out_remote ? p.out_b : 0;
+  p.smp_in = p.in_remote ? p.in_b : 0;
+  const int ppp = ctx_.procs_per_smp();
+  if (ppp > 1) {
+    ctx_.smp_publish_bytes(p.out_remote ? p.out_b : 0,
+                           p.in_remote ? p.in_b : 0);
+    ctx_.smp_sync();
+    p.smp_out = p.smp_in = 0;
+    for (int lr = 0; lr < ppp; ++lr) {
+      const auto [a, b] = ctx_.smp_peek_bytes(lr);
+      p.smp_out += a;
+      p.smp_in += b;
+    }
+    ctx_.smp_sync();
+  }
+  return p;
+}
+
+// One full phase of the classic synchronous algorithm: outbound (the
+// SMP's batched transfer, or a shared-memory copy), then the inbound
+// strip, whose transfer serializes behind the send (one transfer
+// saturates the PCI bus, Section 4.1).
+void Comm::run_seed_phase(const ExchangeHandle::Phase& p, int d,
+                          std::uint64_t seq, Buffers& buf) {
+  const net::Interconnect& net = ctx_.net();
+  const Microseconds t0 = ctx_.clock().now();
+  Microseconds t = t0;
+  if (p.smp_out > 0) t += net.exchange_transfer_time(p.smp_out);
+  if (p.nb_out >= 0 && !p.out_remote) {
+    t += static_cast<double>(p.out_b) / kShmCopyMBs;
+  }
+  if (p.nb_out >= 0) {
+    ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(seq, d),
+                  buf.out[static_cast<std::size_t>(d)], t);
+  }
+  if (p.nb_in >= 0) {
+    cluster::Message m = ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(seq, d));
+    auto& dst = buf.in[static_cast<std::size_t>(opposite(d))];
+    if (m.data.size() != dst.size()) {
+      throw std::logic_error("Comm::exchange: halo strip size mismatch");
+    }
+    dst = std::move(m.data);
+    t = std::max(t, m.stamp_us);
+    if (p.in_remote) {
+      t += net.exchange_transfer_time(p.smp_in);
+    } else {
+      t += static_cast<double>(p.in_b) / kShmCopyMBs;
+    }
+  }
+  ctx_.clock().advance_to(t);
+}
+
+ExchangeHandle Comm::exchange_start_mode(
+    const std::array<int, kDirections>& neighbors, Buffers& buf,
+    ExchangeHandle::Mode mode) {
+  validate_neighbors(neighbors);
+  ExchangeHandle h;
+  h.mode_ = mode;
+  h.nb_ = neighbors;
+  h.buf_ = &buf;
+  h.seq_ = xchg_started_++;
+  h.t_begin = ctx_.clock().now();
+
+  if (mode == ExchangeHandle::Mode::kInterleaved) {
+    // Blocking path: only phase 0's outbound side runs here; finish
+    // resumes with phase 0's inbound and then phases 1-3, so that
+    // start+finish back to back is exactly the synchronous algorithm.
+    const ExchangeHandle::Phase p = h.phase_[0] =
+        plan_phase(0, neighbors, buf);
+    const net::Interconnect& net = ctx_.net();
+    Microseconds t = ctx_.clock().now();
+    if (p.smp_out > 0) t += net.exchange_transfer_time(p.smp_out);
+    if (p.nb_out >= 0 && !p.out_remote) {
+      t += static_cast<double>(p.out_b) / kShmCopyMBs;
+    }
+    if (p.nb_out >= 0) {
+      ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(h.seq_, 0),
+                    buf.out[0], t);
+    }
+    h.t_phase0 = t;
+    h.t_start_end = ctx_.clock().now();
+    return h;
+  }
+
+  // Pipelined (overlap) path: post every phase's send now.  The CPU pays
+  // the injection overhead per bulk transfer and the shared-memory copy
+  // cost for intra-SMP strips; the bulk bytes occupy the SMP's NIU
+  // timeline, which successive transfers serialize on.
+  const net::Interconnect& net = ctx_.net();
+  for (int d = 0; d < kDirections; ++d) {
+    const ExchangeHandle::Phase p = h.phase_[static_cast<std::size_t>(d)] =
+        plan_phase(d, neighbors, buf);
+    Microseconds stamp = ctx_.clock().now();
+    if (p.smp_out > 0) {
+      ctx_.clock().advance(net.transfer_overhead());
+      niu_busy_until_ = std::max(niu_busy_until_, ctx_.clock().now());
+      niu_busy_until_ += net.exchange_transfer_time(p.smp_out);
+      if (p.out_remote) stamp = niu_busy_until_;
+    }
+    if (p.nb_out >= 0) {
+      if (!p.out_remote) {
+        ctx_.clock().advance(static_cast<double>(p.out_b) / kShmCopyMBs);
+        stamp = ctx_.clock().now();
+      }
+      ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(h.seq_, d),
+                    buf.out[static_cast<std::size_t>(d)], stamp);
+    }
+  }
+  h.t_start_end = ctx_.clock().now();
+  ctx_.charge_comm(h.t_begin);
+  if (ctx_.tracer()) {
+    ctx_.tracer()->record("exchange_start", h.t_begin, h.t_start_end);
+  }
+  return h;
+}
+
+ExchangeHandle Comm::exchange_start(
+    const std::array<int, kDirections>& neighbors, Buffers& buf) {
+  return exchange_start_mode(neighbors, buf, ExchangeHandle::Mode::kPipelined);
+}
+
+bool Comm::exchange_test(ExchangeHandle& h) {
+  if (!h.valid()) {
+    throw std::logic_error("exchange_test: handle already finished");
+  }
+  if (h.mode_ != ExchangeHandle::Mode::kPipelined) {
+    throw std::logic_error("exchange_test: only split-phase handles");
+  }
+  bool all = true;
+  for (int d = 0; d < kDirections; ++d) {
+    const ExchangeHandle::Phase& p = h.phase_[static_cast<std::size_t>(d)];
+    if (p.nb_in < 0 || h.arrived_[static_cast<std::size_t>(d)]) continue;
+    std::optional<cluster::Message> m =
+        ctx_.try_recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
+    if (m) {
+      h.arrived_[static_cast<std::size_t>(d)] = std::move(*m);
+    } else {
+      all = false;
+    }
+  }
+  return all;
+}
+
+void Comm::exchange_finish(ExchangeHandle& h) {
+  if (!h.valid()) {
+    throw std::logic_error("exchange_finish: handle already finished");
+  }
+  Buffers& buf = *h.buf_;
+
+  if (h.mode_ == ExchangeHandle::Mode::kInterleaved) {
+    // Resume the synchronous algorithm at phase 0's inbound side.
+    {
+      const ExchangeHandle::Phase& p = h.phase_[0];
+      const net::Interconnect& net = ctx_.net();
+      Microseconds t = h.t_phase0;
+      if (p.nb_in >= 0) {
+        cluster::Message m =
+            ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, 0));
+        auto& dst = buf.in[static_cast<std::size_t>(opposite(0))];
+        if (m.data.size() != dst.size()) {
+          throw std::logic_error("Comm::exchange: halo strip size mismatch");
+        }
+        dst = std::move(m.data);
+        t = std::max(t, m.stamp_us);
+        if (p.in_remote) {
+          t += net.exchange_transfer_time(p.smp_in);
+        } else {
+          t += static_cast<double>(p.in_b) / kShmCopyMBs;
+        }
+      }
+      ctx_.clock().advance_to(t);
+    }
+    for (int d = 1; d < kDirections; ++d) {
+      const ExchangeHandle::Phase p = plan_phase(d, h.nb_, buf);
+      run_seed_phase(p, d, h.seq_, buf);
+    }
+    ++xchg_seq_;
+    ctx_.charge_comm(h.t_begin);
+    if (ctx_.tracer()) {
+      ctx_.tracer()->record("exchange", h.t_begin, ctx_.clock().now());
+    }
+    h.buf_ = nullptr;
+    return;
+  }
+
+  // Pipelined path: drain the inbound strips under the overlap rule
+  // t_finish = max(t_local, t_arrival).  Inbound bulk transfers serialize
+  // on the NIU timeline (and may have completed during the caller's
+  // computation); intra-SMP strips cost a CPU copy on unpack.
+  const net::Interconnect& net = ctx_.net();
+  const Microseconds t_entry = ctx_.clock().now();
+  Microseconds ready = h.t_start_end;
+  for (int d = 0; d < kDirections; ++d) {
+    const ExchangeHandle::Phase& p = h.phase_[static_cast<std::size_t>(d)];
+    if (p.nb_in < 0) continue;
+    cluster::Message m =
+        h.arrived_[static_cast<std::size_t>(d)]
+            ? std::move(*h.arrived_[static_cast<std::size_t>(d)])
+            : ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
+    auto& dst = buf.in[static_cast<std::size_t>(opposite(d))];
+    if (m.data.size() != dst.size()) {
+      throw std::logic_error("Comm::exchange: halo strip size mismatch");
+    }
+    dst = std::move(m.data);
+    if (p.in_remote) {
+      niu_busy_until_ = std::max(niu_busy_until_, m.stamp_us);
+      niu_busy_until_ += net.exchange_transfer_time(p.smp_in);
+      ready = std::max(ready, niu_busy_until_);
+      ctx_.clock().advance_to(niu_busy_until_);
+    } else {
+      ready = std::max(ready, m.stamp_us);
+      ctx_.clock().advance_to(m.stamp_us);
+      ctx_.clock().advance(static_cast<double>(p.in_b) / kShmCopyMBs);
+    }
+  }
+  // Communication that was in flight while the caller computed is not
+  // double-charged; credit it to the overlap bucket.
+  ctx_.charge_overlap(std::max(0.0, std::min(t_entry, ready) - h.t_start_end));
+  ++xchg_seq_;
+  ctx_.charge_comm(t_entry);
+  if (ctx_.tracer()) {
+    ctx_.tracer()->record("exchange_wait", t_entry, ctx_.clock().now());
+  }
+  h.buf_ = nullptr;
 }
 
 void Comm::exchange(const std::array<int, kDirections>& neighbors,
                     Buffers& buf) {
-  const Microseconds t_begin = ctx_.clock().now();
-  const net::Interconnect& net = ctx_.net();
-  const int ppp = ctx_.procs_per_smp();
-
-  for (int d = 0; d < kDirections; ++d) {
-    const int nb_out = neighbors[static_cast<std::size_t>(d)];
-    const int opp = opposite(d);
-    const int nb_in = neighbors[static_cast<std::size_t>(opp)];
-    if (nb_out >= nranks_ || nb_in >= nranks_) {
-      throw std::out_of_range("Comm::exchange: neighbor outside group");
-    }
-
-    const bool out_remote = nb_out >= 0 && remote(nb_out);
-    const bool in_remote = nb_in >= 0 && remote(nb_in);
-    const auto bytes_of = [](const std::vector<double>& v) {
-      return static_cast<std::int64_t>(v.size() * sizeof(double));
-    };
-    const std::int64_t out_b = bytes_of(buf.out[static_cast<std::size_t>(d)]);
-    const std::int64_t in_b = bytes_of(buf.in[static_cast<std::size_t>(opp)]);
-
-    // Aggregate this phase's remote traffic across the SMP: the
-    // communication master batches all local tiles' strips into one VI
-    // transfer per phase (mix-mode, Section 4.1).
-    std::int64_t smp_out = out_remote ? out_b : 0;
-    std::int64_t smp_in = in_remote ? in_b : 0;
-    if (ppp > 1) {
-      ctx_.smp_publish_bytes(out_remote ? out_b : 0, in_remote ? in_b : 0);
-      ctx_.smp_sync();
-      smp_out = smp_in = 0;
-      for (int lr = 0; lr < ppp; ++lr) {
-        const auto [a, b] = ctx_.smp_peek_bytes(lr);
-        smp_out += a;
-        smp_in += b;
-      }
-      ctx_.smp_sync();
-    }
-
-    // Outbound: the SMP's batched transfer for this phase; intra-SMP
-    // strips move by shared-memory copy instead.
-    const Microseconds t0 = ctx_.clock().now();
-    Microseconds t = t0;
-    if (smp_out > 0) t += net.exchange_transfer_time(smp_out);
-    if (nb_out >= 0 && !out_remote) {
-      t += static_cast<double>(out_b) / kShmCopyMBs;
-    }
-    if (nb_out >= 0) {
-      ctx_.send_raw(abs_rank(nb_out), kTagXchgBase + d,
-                    buf.out[static_cast<std::size_t>(d)], t);
-    }
-
-    // Inbound: wait for the opposite neighbor's phase-d strip; the
-    // receive side's share of the transfer serializes behind the send
-    // (one transfer saturates the PCI bus, Section 4.1).
-    if (nb_in >= 0) {
-      cluster::Message m = ctx_.recv_raw(abs_rank(nb_in), kTagXchgBase + d);
-      auto& dst = buf.in[static_cast<std::size_t>(opp)];
-      if (m.data.size() != dst.size()) {
-        throw std::logic_error("Comm::exchange: halo strip size mismatch");
-      }
-      dst = std::move(m.data);
-      t = std::max(t, m.stamp_us);
-      if (in_remote) {
-        t += net.exchange_transfer_time(smp_in);
-      } else {
-        t += static_cast<double>(in_b) / kShmCopyMBs;
-      }
-    }
-    ctx_.clock().advance_to(t);
-  }
-  ++xchg_seq_;
-  ctx_.charge_comm(t_begin);
-  if (ctx_.tracer()) {
-    ctx_.tracer()->record("exchange", t_begin, ctx_.clock().now());
-  }
+  ExchangeHandle h =
+      exchange_start_mode(neighbors, buf, ExchangeHandle::Mode::kInterleaved);
+  exchange_finish(h);
 }
 
 }  // namespace hyades::comm

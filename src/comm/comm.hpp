@@ -22,12 +22,36 @@
 //     commutative combine), which the CG solver's convergence test
 //     requires.
 //
+//   split-phase operation
+//     Both primitives also come in start/test/finish form so callers can
+//     overlap communication with computation.  exchange_start posts the
+//     four phases' sends up front (the CPU pays only the injection
+//     overhead per bulk transfer; the bytes ride the SMP's NIU, whose
+//     occupancy is tracked on a separate timeline); exchange_finish
+//     drains the receives under the overlap rule
+//         t_finish = max(t_local, t_arrival)
+//     so communication time already covered by computation is credited to
+//     the Accounting's overlap_us bucket instead of being charged twice.
+//     global_sum_start performs the SMP-local combine and posts the first
+//     butterfly round; global_sum_finish completes the remaining rounds,
+//     hiding the first round's latency behind whatever computation ran in
+//     between.  The blocking calls are implemented as start+finish of an
+//     interleaved mode whose concatenation is exactly the classic
+//     synchronous algorithm, so blocking timing is bit-identical to the
+//     paper-calibrated library.
+//
+//     Collective discipline: all ranks of the group must start and finish
+//     the same collectives in the same order (exchange finishes may be
+//     reordered among in-flight exchanges -- each handle carries its own
+//     tag sequence -- but global-sum finishes must follow start order).
+//
 // A Comm may span a contiguous sub-range of ranks so that coupled runs
 // can give each isomorph half the machine (Section 5.1).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cluster/runtime.hpp"
@@ -37,6 +61,76 @@ namespace hyades::comm {
 enum Direction : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
 inline constexpr int kDirections = 4;
 [[nodiscard]] constexpr int opposite(int d) { return d ^ 1; }
+
+class Comm;
+
+// Halo-strip staging area for one exchange.  out[d]: data for the
+// neighbor in direction d; in[d]: storage for the strip arriving *from*
+// direction d.  in[d] must be pre-sized to the expected length; out/in
+// may be empty when there is no neighbor.
+struct Buffers {
+  std::array<std::vector<double>, kDirections> out;
+  std::array<std::vector<double>, kDirections> in;
+};
+
+// In-flight halo exchange.  Obtained from Comm::exchange_start; must be
+// completed with Comm::exchange_finish exactly once.  Movable, not
+// copyable; the Buffers passed to start must outlive the handle.
+class ExchangeHandle {
+ public:
+  ExchangeHandle() = default;
+  ExchangeHandle(const ExchangeHandle&) = delete;
+  ExchangeHandle& operator=(const ExchangeHandle&) = delete;
+  ExchangeHandle(ExchangeHandle&&) = default;
+  ExchangeHandle& operator=(ExchangeHandle&&) = default;
+
+  [[nodiscard]] bool valid() const { return buf_ != nullptr; }
+
+ private:
+  friend class Comm;
+  enum class Mode { kInterleaved, kPipelined };
+
+  struct Phase {
+    int nb_out = -1, nb_in = -1;
+    bool out_remote = false, in_remote = false;
+    std::int64_t out_b = 0, in_b = 0;    // this rank's strip bytes
+    std::int64_t smp_out = 0, smp_in = 0;  // SMP-aggregated bytes
+  };
+
+  Mode mode_ = Mode::kPipelined;
+  std::array<int, kDirections> nb_{{-1, -1, -1, -1}};
+  Buffers* buf_ = nullptr;
+  std::uint64_t seq_ = 0;  // tag-sequencing id (kTagXchgBase offset)
+  std::array<Phase, kDirections> phase_;
+  std::array<std::optional<cluster::Message>, kDirections> arrived_;
+  Microseconds t_begin = 0;      // clock at exchange_start entry
+  Microseconds t_start_end = 0;  // clock at exchange_start exit
+  Microseconds t_phase0 = 0;     // interleaved: phase-0 send-complete time
+};
+
+// In-flight global reduction (sum or max).
+class GsumHandle {
+ public:
+  GsumHandle() = default;
+  GsumHandle(const GsumHandle&) = delete;
+  GsumHandle& operator=(const GsumHandle&) = delete;
+  GsumHandle(GsumHandle&&) = default;
+  GsumHandle& operator=(GsumHandle&&) = default;
+
+  [[nodiscard]] bool valid() const { return active_; }
+
+ private:
+  friend class Comm;
+  enum class Op { kSum, kMax };
+
+  std::vector<double> v_;
+  Op op_ = Op::kSum;
+  int salt_ = 0;  // per-handle tag salt
+  bool active_ = false;
+  bool blocking_ = false;  // part of a blocking call (trace/record shape)
+  Microseconds t_begin = 0;
+  Microseconds t_start_end = 0;
+};
 
 class Comm {
  public:
@@ -58,36 +152,86 @@ class Comm {
   void global_sum(std::vector<double>& xs);
   // Global max (same communication structure and cost as a sum).
   double global_max(double x);
-  void barrier() { (void)global_sum(0.0); }
+  // Pure synchronization: a payload-free pass over the same butterfly
+  // network, with the same per-round costs as a global sum but its own
+  // tag space and counter -- barriers neither consume global-sum tag
+  // sequence numbers nor pollute gsums_done() statistics.
+  void barrier();
+
+  // ---- split-phase global sum -----------------------------------------
+  // Start the SMP-local combine and the first butterfly round; finish
+  // completes the reduction and returns the result vector (identical on
+  // every rank).  Finishes must be called in start order on all ranks.
+  GsumHandle global_sum_start(std::vector<double> xs);
+  GsumHandle global_sum_start(double x);
+  GsumHandle global_max_start(double x);
+  std::vector<double> global_sum_finish(GsumHandle& h);
 
   // ---- halo exchange ---------------------------------------------------
-  struct Buffers {
-    // out[d]: data for the neighbor in direction d; in[d]: storage for
-    // the strip arriving *from* direction d.  in[d] must be pre-sized to
-    // the expected length; out/in may be empty when there is no neighbor.
-    std::array<std::vector<double>, kDirections> out;
-    std::array<std::vector<double>, kDirections> in;
-  };
+  using Buffers = hyades::comm::Buffers;
   // neighbors[d]: group rank of the neighbor in direction d, or -1.
   // Collective over the group (and over each SMP's ranks in lockstep).
   void exchange(const std::array<int, kDirections>& neighbors, Buffers& buf);
 
-  // Number of exchange/global-sum calls completed (tag sequencing).
+  // ---- split-phase halo exchange ---------------------------------------
+  // Post all four phases' sends and return without waiting for the
+  // inbound strips.  buf.out is consumed immediately (safe to reuse);
+  // buf.in is filled by exchange_finish.  In-flight exchanges may be
+  // finished in any order (per-handle tag sequencing), but every handle
+  // must be finished exactly once.
+  ExchangeHandle exchange_start(const std::array<int, kDirections>& neighbors,
+                                Buffers& buf);
+  // Non-blocking progress probe: drains strips that have already arrived
+  // into the handle and reports whether all inbound strips are present.
+  // Never advances the virtual clock (timing stays deterministic).
+  bool exchange_test(ExchangeHandle& h);
+  // Complete the exchange: unpack inbound strips under the overlap rule
+  // t_finish = max(t_local, t_arrival); hidden communication is credited
+  // to Accounting::overlap_us.
+  void exchange_finish(ExchangeHandle& h);
+
+  // Number of exchange/global-sum/barrier calls completed (tag
+  // sequencing and Figure-11 statistics).
   [[nodiscard]] std::uint64_t exchanges_done() const { return xchg_seq_; }
   [[nodiscard]] std::uint64_t gsums_done() const { return gsum_seq_; }
+  [[nodiscard]] std::uint64_t barriers_done() const { return barrier_seq_; }
 
  private:
   [[nodiscard]] int abs_rank(int group_rank) const {
     return rank_base_ + group_rank;
   }
   [[nodiscard]] bool remote(int group_rank) const;
-  double butterfly(double x, int tag_salt);
+
+  // Shared helpers of the blocking and split-phase paths.
+  void validate_neighbors(const std::array<int, kDirections>& neighbors) const;
+  ExchangeHandle::Phase plan_phase(int d,
+                                   const std::array<int, kDirections>& nb,
+                                   const Buffers& buf);
+  void run_seed_phase(const ExchangeHandle::Phase& p, int d,
+                      std::uint64_t seq, Buffers& buf);
+  ExchangeHandle exchange_start_mode(
+      const std::array<int, kDirections>& neighbors, Buffers& buf,
+      ExchangeHandle::Mode mode);
+  [[nodiscard]] int xchg_tag(std::uint64_t seq, int d) const;
+
+  GsumHandle reduce_start(std::vector<double> v, GsumHandle::Op op,
+                          bool blocking);
+  void reduce_finish(GsumHandle& h);
+  static void combine_into(std::vector<double>& a,
+                           const std::vector<double>& b, GsumHandle::Op op);
 
   cluster::RankContext& ctx_;
   int rank_base_;
   int nranks_;
-  std::uint64_t xchg_seq_ = 0;
+  std::uint64_t xchg_seq_ = 0;      // completed exchanges
+  std::uint64_t xchg_started_ = 0;  // started exchanges (tag sequencing)
   std::uint64_t gsum_seq_ = 0;
+  std::uint64_t gsum_started_ = 0;
+  std::uint64_t barrier_seq_ = 0;
+  // SMP NIU occupancy frontier for pipelined transfers: bulk bytes ride
+  // the NIU while the CPU computes; successive transfers serialize on it
+  // (one transfer saturates the PCI bus, Section 4.1).
+  Microseconds niu_busy_until_ = 0;
 
   // Shared-memory copy bandwidth for intra-SMP halo traffic.
   static constexpr double kShmCopyMBs = 400.0;

@@ -128,4 +128,96 @@ void exchange2d(comm::Comm& comm, const Decomp& dec, Array2D<double>& f,
   exchange_impl(comm, dec, cf, mf, 1, width);
 }
 
+HaloExchange3::HaloExchange3(comm::Comm& comm, const Decomp& dec,
+                             Array3D<double>& f, int width)
+    : comm_(&comm), dec_(&dec), f_(&f), width_(width) {
+  if (width < 1 || width > dec.halo) {
+    throw std::invalid_argument("HaloExchange3: width must be in [1, halo]");
+  }
+}
+
+void HaloExchange3::start() {
+  if (stage_ != 0) throw std::logic_error("HaloExchange3: start() twice");
+  const Decomp& dec = *dec_;
+  const int h = dec.halo;
+  const int ie = h + dec.snx;
+  const int je = h + dec.sny;
+  const int nz = static_cast<int>(f_->nz());
+  using comm::kEast;
+  using comm::kWest;
+
+  const std::array<int, comm::kDirections> nb{dec.neighbors[kEast],
+                                              dec.neighbors[kWest], -1, -1};
+  if (nb[kEast] >= 0) {
+    pack(*f_, ie - width_, ie, h, je, nz, buf_.out[kEast]);
+    buf_.in[kEast].resize(static_cast<std::size_t>(width_ * dec.sny * nz));
+  }
+  if (nb[kWest] >= 0) {
+    pack(*f_, h, h + width_, h, je, nz, buf_.out[kWest]);
+    buf_.in[kWest].resize(static_cast<std::size_t>(width_ * dec.sny * nz));
+  }
+  h_ = comm_->exchange_start(nb, buf_);
+  stage_ = 1;
+}
+
+void HaloExchange3::progress() {
+  if (stage_ != 1) throw std::logic_error("HaloExchange3: progress() order");
+  const Decomp& dec = *dec_;
+  const int h = dec.halo;
+  const int ie = h + dec.snx;
+  const int je = h + dec.sny;
+  const int nz = static_cast<int>(f_->nz());
+  using comm::kEast;
+  using comm::kNorth;
+  using comm::kSouth;
+  using comm::kWest;
+
+  comm_->exchange_finish(h_);
+  if (dec.neighbors[kEast] >= 0) {
+    unpack(*f_, ie, ie + width_, h, je, nz, buf_.in[kEast]);
+  }
+  if (dec.neighbors[kWest] >= 0) {
+    unpack(*f_, h - width_, h, h, je, nz, buf_.in[kWest]);
+  }
+
+  const int xi0 = h - width_;
+  const int xi1 = ie + width_;
+  const std::array<int, comm::kDirections> nb{-1, -1, dec.neighbors[kNorth],
+                                              dec.neighbors[kSouth]};
+  buf_ = comm::Buffers{};
+  const auto strip = static_cast<std::size_t>((xi1 - xi0) * width_ * nz);
+  if (nb[kNorth] >= 0) {
+    pack(*f_, xi0, xi1, je - width_, je, nz, buf_.out[kNorth]);
+    buf_.in[kNorth].resize(strip);
+  }
+  if (nb[kSouth] >= 0) {
+    pack(*f_, xi0, xi1, h, h + width_, nz, buf_.out[kSouth]);
+    buf_.in[kSouth].resize(strip);
+  }
+  h_ = comm_->exchange_start(nb, buf_);
+  stage_ = 2;
+}
+
+void HaloExchange3::finish() {
+  if (stage_ != 2) throw std::logic_error("HaloExchange3: finish() order");
+  const Decomp& dec = *dec_;
+  const int h = dec.halo;
+  const int ie = h + dec.snx;
+  const int je = h + dec.sny;
+  const int nz = static_cast<int>(f_->nz());
+  using comm::kNorth;
+  using comm::kSouth;
+
+  comm_->exchange_finish(h_);
+  const int xi0 = h - width_;
+  const int xi1 = ie + width_;
+  if (dec.neighbors[kNorth] >= 0) {
+    unpack(*f_, xi0, xi1, je, je + width_, nz, buf_.in[kNorth]);
+  }
+  if (dec.neighbors[kSouth] >= 0) {
+    unpack(*f_, xi0, xi1, h - width_, h, nz, buf_.in[kSouth]);
+  }
+  stage_ = 3;
+}
+
 }  // namespace hyades::gcm

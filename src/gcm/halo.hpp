@@ -22,4 +22,44 @@ void exchange3d(comm::Comm& comm, const Decomp& dec, Array3D<double>& f,
 void exchange2d(comm::Comm& comm, const Decomp& dec, Array2D<double>& f,
                 int width);
 
+// Split-phase 3-D halo exchange: the two stages of exchange3d broken at
+// their communication waits, so the stepper can compute while strips are
+// in flight (ModelConfig::overlap_comm).  Stage 2 (north/south) packs
+// x-extended rows that include stage-1 results, so it cannot be posted
+// before stage 1 completes; `progress` is the pivot between them.
+//
+//   HaloExchange3 hx(comm, dec, f, width);
+//   hx.start();     // pack + post stage 1 (east/west strips)
+//   ... compute ...
+//   hx.progress();  // finish stage 1, pack + post stage 2 (north/south)
+//   ... compute ...
+//   hx.finish();    // finish stage 2; halo fully fresh
+//
+// The field must not be written between start() and finish().  Several
+// HaloExchange3 may be in flight at once (per-handle tag sequencing in
+// the comm layer); within a run the three calls are collective across
+// the group in a consistent order.
+class HaloExchange3 {
+ public:
+  HaloExchange3(comm::Comm& comm, const Decomp& dec, Array3D<double>& f,
+                int width);
+  HaloExchange3(const HaloExchange3&) = delete;
+  HaloExchange3& operator=(const HaloExchange3&) = delete;
+  HaloExchange3(HaloExchange3&&) = default;
+  HaloExchange3& operator=(HaloExchange3&&) = default;
+
+  void start();
+  void progress();
+  void finish();
+
+ private:
+  comm::Comm* comm_;
+  const Decomp* dec_;
+  Array3D<double>* f_;
+  int width_;
+  int stage_ = 0;  // 0 idle, 1 stage-1 posted, 2 stage-2 posted, 3 done
+  comm::Buffers buf_;
+  comm::ExchangeHandle h_;
+};
+
 }  // namespace hyades::gcm

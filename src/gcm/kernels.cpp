@@ -34,6 +34,37 @@ Range extended(const Decomp& dec, int e) {
                dec.halo + dec.sny + e};
 }
 
+Range interior(const Decomp& dec, const Range& r, int margin) {
+  const int h = dec.halo;
+  Range ri = r;
+  if (dec.neighbors[comm::kWest] >= 0) ri.i0 = std::max(r.i0, 2 * h - margin);
+  if (dec.neighbors[comm::kEast] >= 0) {
+    ri.i1 = std::min(r.i1, h + dec.snx - h + margin);
+  }
+  if (dec.neighbors[comm::kSouth] >= 0) ri.j0 = std::max(r.j0, 2 * h - margin);
+  if (dec.neighbors[comm::kNorth] >= 0) {
+    ri.j1 = std::min(r.j1, h + dec.sny - h + margin);
+  }
+  if (empty(ri)) ri = Range{r.i0, r.i0, r.j0, r.j0};
+  return ri;
+}
+
+int rim(const Range& r, const Range& ri, std::array<Range, 4>& out) {
+  if (empty(ri)) {
+    out[0] = r;
+    return empty(r) ? 0 : 1;
+  }
+  int n = 0;
+  const Range west{r.i0, ri.i0, r.j0, r.j1};
+  const Range east{ri.i1, r.i1, r.j0, r.j1};
+  const Range south{ri.i0, ri.i1, r.j0, ri.j0};
+  const Range north{ri.i0, ri.i1, ri.j1, r.j1};
+  for (const Range& slab : {west, east, south, north}) {
+    if (!empty(slab)) out[static_cast<std::size_t>(n++)] = slab;
+  }
+  return n;
+}
+
 double hydrostatic(const ModelConfig& cfg, const TileGrid& grid,
                    const Array3D<double>& theta, const Array3D<double>& salt,
                    Array3D<double>& phi, const Range& r) {

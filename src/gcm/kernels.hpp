@@ -10,6 +10,8 @@
 // paper's Nps / Nds parameters (Figure 11).
 #pragma once
 
+#include <array>
+
 #include "gcm/config.hpp"
 #include "gcm/grid.hpp"
 #include "gcm/state.hpp"
@@ -20,8 +22,27 @@ struct Range {
   int i0, i1, j0, j1;  // local index window, half-open
 };
 
+[[nodiscard]] inline bool empty(const Range& r) {
+  return r.i0 >= r.i1 || r.j0 >= r.j1;
+}
+
 // Interior extended by `e` halo cells on every side (e <= dec.halo).
 Range extended(const Decomp& dec, int e);
+
+// Overlap split of a PS window (ModelConfig::overlap_comm): the largest
+// sub-window of `r` that can be computed while a width-`halo` exchange
+// is still in flight.  Every PS stencil reaches at most `halo` cells, so
+// cells at least 2*halo from a neighbor-facing tile edge read only
+// tile-owned data, which the exchange never modifies.  Sides without a
+// neighbor are not shrunk (nothing arrives there).  `margin` widens the
+// band (the hydrostatic pass runs one cell wider because the momentum
+// kernel reads phi one cell beyond its own window; hydrostatics is
+// column-local, so the widened cells still read only owned data).
+Range interior(const Decomp& dec, const Range& r, int margin = 0);
+
+// The complement r \ ri as up to four disjoint rectangles (ri must be
+// the `interior` of r, or empty).  Returns the number written to `out`.
+int rim(const Range& r, const Range& ri, std::array<Range, 4>& out);
 
 // Buoyancy from the EOS and hydrostatic integration of phi (eq. between
 // (1) and (3): p_hy from b).  Fills state.phi over the window.

@@ -64,15 +64,7 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
 
   // ======================= PS: prognostic step =======================
   const Microseconds t_ps = ctx.clock().now();
-
-  // One exchange per 3-D state field per step (Section 4): u, v, w,
-  // theta, salt -- the paper's five texchxyz applications.
-  exchange3d(comm_, dec_, state_.u, h);
-  exchange3d(comm_, dec_, state_.v, h);
-  exchange3d(comm_, dec_, state_.w, h);
-  exchange3d(comm_, dec_, state_.theta, h);
-  exchange3d(comm_, dec_, state_.salt, h);
-  st.tps_exch_us = ctx.clock().now() - t_ps;
+  const Microseconds overlap0 = ctx.accounting().overlap_us;
 
   // Overcomputed windows: with the halos fresh, every PS term for this
   // tile comes from tile-local data.
@@ -80,69 +72,156 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
   const kernels::Range r1 = kernels::extended(dec_, 1);
   const kernels::Range ri = kernels::extended(dec_, 0);
 
-  double ps_flops = 0;
-  ps_flops += kernels::hydrostatic(cfg_, grid_, state_.theta, state_.salt,
-                                   state_.phi, r2);
   // With implicit vertical mixing the explicit vertical coefficients are
   // zeroed here and the column solves run after the state update.
   const double kv_exp = cfg_.implicit_vertical_mixing ? 0.0 : cfg_.diff_v;
   const double av_exp = cfg_.implicit_vertical_mixing ? 0.0 : cfg_.visc_v;
-  ps_flops += kernels::momentum_tendencies(cfg_, grid_, state_.u, state_.v,
-                                           state_.w, state_.phi, state_.gu,
-                                           state_.gv, av_exp, r1);
-  ps_flops += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
-                                       state_.w, state_.theta, state_.gt,
-                                       cfg_.diff_h, kv_exp, r1);
-  ps_flops += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
-                                       state_.w, state_.salt, state_.gs,
-                                       cfg_.diff_h, kv_exp, r1);
-  // Biharmonic horizontal mixing (scale-selective dissipation).
-  if (cfg_.visc_4 > 0) {
-    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.u,
-                                             grid_.hFacW, scratch_, state_.gu,
-                                             cfg_.visc_4, r1);
-    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.v,
-                                             grid_.hFacS, scratch_, state_.gv,
-                                             cfg_.visc_4, r1);
-  }
-  if (cfg_.diff_4 > 0) {
-    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.theta,
-                                             grid_.hFacC, scratch_, state_.gt,
-                                             cfg_.diff_4, r1);
-    ps_flops += kernels::biharmonic_tendency(cfg_, grid_, state_.salt,
-                                             grid_.hFacC, scratch_, state_.gs,
-                                             cfg_.diff_4, r1);
-  }
-  ps_flops += apply_physics(cfg_, grid_, dec_, state_, f, r1);
-  if (cfg_.nonhydrostatic) {
-    ps_flops += kernels::w_tendencies(cfg_, grid_, state_.u, state_.v,
-                                      state_.w, state_.gw, av_exp, r1);
+
+  // The PS tendency kernels over a set of hydrostatic windows `hs` and
+  // tendency windows `ts` ({r2}, {r1} reproduces the seed sequence; the
+  // overlap path passes interior sub-windows, then the rim slabs).  Each
+  // kernel sweeps all its windows before the next kernel runs, so a
+  // window's reads never depend on which decomposition produced it.
+  const auto tendency_kernels = [&](const std::vector<kernels::Range>& hs,
+                                    const std::vector<kernels::Range>& ts) {
+    double fl = 0;
+    for (const auto& rh : hs) {
+      fl += kernels::hydrostatic(cfg_, grid_, state_.theta, state_.salt,
+                                 state_.phi, rh);
+    }
+    for (const auto& rt : ts) {
+      fl += kernels::momentum_tendencies(cfg_, grid_, state_.u, state_.v,
+                                         state_.w, state_.phi, state_.gu,
+                                         state_.gv, av_exp, rt);
+    }
+    for (const auto& rt : ts) {
+      fl += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
+                                     state_.w, state_.theta, state_.gt,
+                                     cfg_.diff_h, kv_exp, rt);
+    }
+    for (const auto& rt : ts) {
+      fl += kernels::tracer_tendency(cfg_, grid_, state_.u, state_.v,
+                                     state_.w, state_.salt, state_.gs,
+                                     cfg_.diff_h, kv_exp, rt);
+    }
+    // Biharmonic horizontal mixing (scale-selective dissipation).
+    if (cfg_.visc_4 > 0) {
+      for (const auto& rt : ts) {
+        fl += kernels::biharmonic_tendency(cfg_, grid_, state_.u, grid_.hFacW,
+                                           scratch_, state_.gu, cfg_.visc_4,
+                                           rt);
+      }
+      for (const auto& rt : ts) {
+        fl += kernels::biharmonic_tendency(cfg_, grid_, state_.v, grid_.hFacS,
+                                           scratch_, state_.gv, cfg_.visc_4,
+                                           rt);
+      }
+    }
+    if (cfg_.diff_4 > 0) {
+      for (const auto& rt : ts) {
+        fl += kernels::biharmonic_tendency(cfg_, grid_, state_.theta,
+                                           grid_.hFacC, scratch_, state_.gt,
+                                           cfg_.diff_4, rt);
+      }
+      for (const auto& rt : ts) {
+        fl += kernels::biharmonic_tendency(cfg_, grid_, state_.salt,
+                                           grid_.hFacC, scratch_, state_.gs,
+                                           cfg_.diff_4, rt);
+      }
+    }
+    for (const auto& rt : ts) {
+      fl += apply_physics(cfg_, grid_, dec_, state_, f, rt);
+    }
+    if (cfg_.nonhydrostatic) {
+      for (const auto& rt : ts) {
+        fl += kernels::w_tendencies(cfg_, grid_, state_.u, state_.v,
+                                    state_.w, state_.gw, av_exp, rt);
+      }
+    }
+    return fl;
+  };
+
+  double ps_flops = 0;   // total, for StepStats
+  double deferred = 0;   // flops accumulated but not yet charged
+
+  if (!cfg_.overlap_comm) {
+    // One exchange per 3-D state field per step (Section 4): u, v, w,
+    // theta, salt -- the paper's five texchxyz applications.
+    exchange3d(comm_, dec_, state_.u, h);
+    exchange3d(comm_, dec_, state_.v, h);
+    exchange3d(comm_, dec_, state_.w, h);
+    exchange3d(comm_, dec_, state_.theta, h);
+    exchange3d(comm_, dec_, state_.salt, h);
+    st.tps_exch_us = ctx.clock().now() - t_ps;
+
+    deferred += tendency_kernels({r2}, {r1});
+  } else {
+    // Split-phase PS: post the five exchanges, compute the interior
+    // while the strips are in flight, complete the exchanges, then
+    // compute the halo rim.  Interior kernels read only tile-owned
+    // cells (kernels::interior), which the exchange never modifies, so
+    // the state after the step is bitwise identical to the blocking
+    // path -- only virtual timing (and the biharmonic scratch
+    // recomputation flops along the interior/rim seam) differ.
+    std::vector<HaloExchange3> hx;
+    hx.reserve(5);  // no reallocation: in-flight handles must not move
+    for (Array3D<double>* fld : {&state_.u, &state_.v, &state_.w,
+                                 &state_.theta, &state_.salt}) {
+      hx.emplace_back(comm_, dec_, *fld, h);
+    }
+    for (auto& x : hx) x.start();
+    Microseconds exch_us = ctx.clock().now() - t_ps;
+
+    const kernels::Range r1i = kernels::interior(dec_, r1);
+    const kernels::Range r2i = kernels::interior(dec_, r2, 1);
+    const Microseconds t_int = ctx.clock().now();
+    const double fl_int = tendency_kernels({r2i}, {r1i});
+    ctx.compute(fl_int, cfg_.fps_mflops);
+    ps_flops += fl_int;
+    st.tps_interior_us = ctx.clock().now() - t_int;
+
+    // Stage 2 (north/south) depends on stage-1 strips, so it is posted
+    // here and drained immediately; its latency still pipelines across
+    // the five fields' NIU transfers.
+    const Microseconds t_wait = ctx.clock().now();
+    for (auto& x : hx) x.progress();
+    for (auto& x : hx) x.finish();
+    exch_us += ctx.clock().now() - t_wait;
+    st.tps_exch_us = exch_us;
+
+    std::array<kernels::Range, 4> slabs1{};
+    std::array<kernels::Range, 4> slabs2{};
+    const int n1 = kernels::rim(r1, r1i, slabs1);
+    const int n2 = kernels::rim(r2, r2i, slabs2);
+    const std::vector<kernels::Range> hs(slabs2.begin(), slabs2.begin() + n2);
+    const std::vector<kernels::Range> ts(slabs1.begin(), slabs1.begin() + n1);
+    deferred += tendency_kernels(hs, ts);
   }
 
   const bool first = (state_.step == 0);
-  ps_flops += kernels::ab2_update(cfg_, grid_.hFacW, state_.u, state_.gu,
+  deferred += kernels::ab2_update(cfg_, grid_.hFacW, state_.u, state_.gu,
                                   state_.gu_nm1, first, r1);
-  ps_flops += kernels::ab2_update(cfg_, grid_.hFacS, state_.v, state_.gv,
+  deferred += kernels::ab2_update(cfg_, grid_.hFacS, state_.v, state_.gv,
                                   state_.gv_nm1, first, r1);
-  ps_flops += kernels::ab2_update(cfg_, grid_.hFacC, state_.theta, state_.gt,
+  deferred += kernels::ab2_update(cfg_, grid_.hFacC, state_.theta, state_.gt,
                                   state_.gt_nm1, first, r1);
-  ps_flops += kernels::ab2_update(cfg_, grid_.hFacC, state_.salt, state_.gs,
+  deferred += kernels::ab2_update(cfg_, grid_.hFacC, state_.salt, state_.gs,
                                   state_.gs_nm1, first, r1);
   if (cfg_.nonhydrostatic) {
-    ps_flops += kernels::ab2_update(cfg_, wmask_, state_.w, state_.gw,
+    deferred += kernels::ab2_update(cfg_, wmask_, state_.w, state_.gw,
                                     state_.gw_nm1, first, r1);
   }
   if (cfg_.implicit_vertical_mixing) {
-    ps_flops += kernels::implicit_vertical_diffusion(
+    deferred += kernels::implicit_vertical_diffusion(
         cfg_, grid_, state_.theta, grid_.hFacC, cfg_.diff_v, r1);
-    ps_flops += kernels::implicit_vertical_diffusion(
+    deferred += kernels::implicit_vertical_diffusion(
         cfg_, grid_, state_.salt, grid_.hFacC, cfg_.diff_v, r1);
-    ps_flops += kernels::implicit_vertical_diffusion(
+    deferred += kernels::implicit_vertical_diffusion(
         cfg_, grid_, state_.u, grid_.hFacW, cfg_.visc_v, r1);
-    ps_flops += kernels::implicit_vertical_diffusion(
+    deferred += kernels::implicit_vertical_diffusion(
         cfg_, grid_, state_.v, grid_.hFacS, cfg_.visc_v, r1);
   }
-  ps_flops += convective_adjustment(cfg_, grid_, state_.theta, r1);
+  deferred += convective_adjustment(cfg_, grid_, state_.theta, r1);
 
   std::swap(state_.gu, state_.gu_nm1);
   std::swap(state_.gv, state_.gv_nm1);
@@ -150,9 +229,11 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
   std::swap(state_.gs, state_.gs_nm1);
   if (cfg_.nonhydrostatic) std::swap(state_.gw, state_.gw_nm1);
 
-  ctx.compute(ps_flops, cfg_.fps_mflops);
+  ctx.compute(deferred, cfg_.fps_mflops);
+  ps_flops += deferred;
   st.ps_flops = ps_flops;
   st.tps_us = ctx.clock().now() - t_ps;
+  st.overlap_us = ctx.accounting().overlap_us - overlap0;
   if (ctx.tracer()) ctx.tracer()->record("ps", t_ps, ctx.clock().now());
 
   // ======================= DS: diagnostic step =======================
@@ -231,6 +312,8 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
   obs_.cg_iterations += st.cg_iterations;
   obs_.tps_us += st.tps_us;
   obs_.tps_exch_us += st.tps_exch_us;
+  obs_.tps_interior_us += st.tps_interior_us;
+  obs_.overlap_us += st.overlap_us;
   obs_.tds_us += st.tds_us;
   return st;
 }

@@ -25,7 +25,10 @@ namespace hyades::gcm {
 
 struct StepStats {
   Microseconds tps_us = 0;       // PS wall (virtual) time
-  Microseconds tps_exch_us = 0;  // of which halo exchange
+  Microseconds tps_exch_us = 0;  // of which halo exchange (start+wait)
+  // Overlap mode (ModelConfig::overlap_comm) only; both 0 when off:
+  Microseconds tps_interior_us = 0;  // interior compute under the exchange
+  Microseconds overlap_us = 0;       // comm time hidden under compute
   Microseconds tds_us = 0;       // DS wall time (solve + correction)
   int cg_iterations = 0;
   double cg_residual = 0.0;
@@ -42,6 +45,7 @@ struct PerfObservables {
   double ps_flops = 0, ds_flops = 0;
   long cg_iterations = 0;
   Microseconds tps_us = 0, tps_exch_us = 0, tds_us = 0;
+  Microseconds tps_interior_us = 0, overlap_us = 0;  // overlap mode only
 
   [[nodiscard]] double mean_ni() const {
     return steps ? static_cast<double>(cg_iterations) / steps : 0.0;

@@ -30,6 +30,29 @@ Microseconds tps(const PhaseParams& p) {
   return tps_compute(p) + tps_exch(p);  // Eq. (4)
 }
 
+Microseconds tps_exch_effective(const PhaseParams& p,
+                                Microseconds t_interior) {
+  const Microseconds hidden = tps_exch(p) - t_interior;
+  return hidden > 0 ? hidden : 0.0;
+}
+Microseconds tps_exch_effective(const PhaseParams& p, Microseconds t_interior,
+                                Microseconds t_exch_cpu) {
+  const Microseconds eff = tps_exch_effective(p, t_interior);
+  return eff > t_exch_cpu ? eff : t_exch_cpu;
+}
+Microseconds tps_overlap(const PhaseParams& p, Microseconds t_interior) {
+  return tps_compute(p) + tps_exch_effective(p, t_interior);
+}
+Microseconds tps_overlap(const PhaseParams& p, Microseconds t_interior,
+                         Microseconds t_exch_cpu) {
+  return tps_compute(p) + tps_exch_effective(p, t_interior, t_exch_cpu);
+}
+Microseconds trun_overlap(const PerfParams& p, long nt, double ni,
+                          Microseconds t_interior) {
+  return static_cast<double>(nt) * tps_overlap(p.ps, t_interior) +
+         static_cast<double>(nt) * ni * tds(p.ds);
+}
+
 Microseconds tds_compute(const DsParams& p) {
   return p.nds * p.nxy / p.fds_mflops;  // Eq. (8)
 }

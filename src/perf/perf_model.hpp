@@ -12,6 +12,28 @@ Microseconds tps_compute(const PhaseParams& p);  // Nps*nxyz / Fps
 Microseconds tps_exch(const PhaseParams& p);     // 5 * texchxyz
 Microseconds tps(const PhaseParams& p);
 
+// ---- Overlap extension: split-phase PS exchanges --------------------------
+// With compute/communication overlap (ModelConfig::overlap_comm) the PS
+// pays only the exchange time not hidden under the interior compute:
+//   T_exch_effective = max(0, t_exch - t_interior)
+// where t_interior is the virtual time of the interior tendency pass
+// (measured, or estimated as the interior share of tps_compute).
+Microseconds tps_exch_effective(const PhaseParams& p, Microseconds t_interior);
+// Refinement: only the in-flight (wire) portion of the exchange can hide
+// under compute; the CPU-side portion -- injection overheads, local
+// copies, the drain of the second (north/south) stage -- is paid
+// regardless and bounds the effective cost from below.  `t_exch_cpu` is
+// that floor (measured, or estimated from transfer_overhead()).
+Microseconds tps_exch_effective(const PhaseParams& p, Microseconds t_interior,
+                                Microseconds t_exch_cpu);
+// Eq. (4) with the overlap term: tps_compute + tps_exch_effective.
+Microseconds tps_overlap(const PhaseParams& p, Microseconds t_interior);
+Microseconds tps_overlap(const PhaseParams& p, Microseconds t_interior,
+                         Microseconds t_exch_cpu);
+// Eq. (11) with the PS overlap term (the DS is unchanged).
+Microseconds trun_overlap(const PerfParams& p, long nt, double ni,
+                          Microseconds t_interior);
+
 // ---- Eqs. 7-10: DS phase (per solver iteration) ---------------------------
 Microseconds tds_compute(const DsParams& p);  // Nds*nxy / Fds
 Microseconds tds_exch(const DsParams& p);     // 2 * texchxy

@@ -1,0 +1,288 @@
+// Split-phase (start/test/finish) semantics of the comm core: the
+// pipelined exchange and global sum must deliver bitwise-identical data
+// to their blocking counterparts, tolerate out-of-order finishes among
+// in-flight exchanges, and credit hidden communication to the
+// Accounting::overlap_us bucket instead of charging it twice.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "net/arctic_model.hpp"
+#include "net/ethernet.hpp"
+
+namespace hyades::comm {
+namespace {
+
+using cluster::MachineConfig;
+using cluster::RankContext;
+using cluster::Runtime;
+
+MachineConfig machine(const net::Interconnect& net, int smps, int ppp) {
+  MachineConfig cfg;
+  cfg.smp_count = smps;
+  cfg.procs_per_smp = ppp;
+  cfg.interconnect = &net;
+  return cfg;
+}
+
+// 4x4 periodic tile grid over 16 ranks: rank = ty*4 + tx.
+std::array<int, kDirections> grid_neighbors(int rank) {
+  const int tx = rank % 4, ty = rank / 4;
+  auto id = [](int x, int y) { return ((y + 4) % 4) * 4 + (x + 4) % 4; };
+  return {id(tx + 1, ty), id(tx - 1, ty), id(tx, ty + 1), id(tx, ty - 1)};
+}
+
+Comm::Buffers make_buffers(int rank, double tag, int len = 8) {
+  Comm::Buffers buf;
+  for (int d = 0; d < kDirections; ++d) {
+    buf.out[static_cast<std::size_t>(d)].assign(len, rank * 100.0 + tag + d);
+    buf.in[static_cast<std::size_t>(d)].assign(len, -1.0);
+  }
+  return buf;
+}
+
+void expect_exchanged(const std::array<int, kDirections>& nb,
+                      const Comm::Buffers& buf, double tag, int rank) {
+  for (int d = 0; d < kDirections; ++d) {
+    const double expected =
+        nb[static_cast<std::size_t>(d)] * 100.0 + tag + opposite(d);
+    for (double v : buf.in[static_cast<std::size_t>(d)]) {
+      ASSERT_DOUBLE_EQ(v, expected) << "rank " << rank << " dir " << d;
+    }
+  }
+}
+
+// The pipelined start/finish path must deliver exactly the data the
+// blocking exchange delivers, on the same neighbor grid.
+TEST(SplitPhase, ExchangeMatchesBlockingData) {
+  const net::ArcticModel net;
+  for (int ppp : {1, 2}) {
+    Runtime rt(machine(net, 16 / ppp, ppp));
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      const auto nb = grid_neighbors(ctx.rank());
+      Comm::Buffers blocking = make_buffers(ctx.rank(), 7.0);
+      comm.exchange(nb, blocking);
+
+      Comm::Buffers split = make_buffers(ctx.rank(), 7.0);
+      ExchangeHandle h = comm.exchange_start(nb, split);
+      EXPECT_TRUE(h.valid());
+      comm.exchange_finish(h);
+      for (int d = 0; d < kDirections; ++d) {
+        ASSERT_EQ(split.in[static_cast<std::size_t>(d)],
+                  blocking.in[static_cast<std::size_t>(d)])
+            << "rank " << ctx.rank() << " dir " << d;
+      }
+      EXPECT_EQ(comm.exchanges_done(), 2u);
+    });
+  }
+}
+
+// Two exchanges in flight at once, finished in reverse start order: the
+// per-handle tag sequencing must route each strip to the right handle.
+TEST(SplitPhase, OutOfOrderFinishTwoInFlight) {
+  const net::ArcticModel net;
+  for (int ppp : {1, 2}) {
+    Runtime rt(machine(net, 16 / ppp, ppp));
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      const auto nb = grid_neighbors(ctx.rank());
+      Comm::Buffers a = make_buffers(ctx.rank(), 11.0);
+      Comm::Buffers b = make_buffers(ctx.rank(), 23.0, 16);
+      ExchangeHandle ha = comm.exchange_start(nb, a);
+      ExchangeHandle hb = comm.exchange_start(nb, b);
+      comm.exchange_finish(hb);  // reverse order
+      comm.exchange_finish(ha);
+      expect_exchanged(nb, a, 11.0, ctx.rank());
+      expect_exchanged(nb, b, 23.0, ctx.rank());
+      EXPECT_EQ(comm.exchanges_done(), 2u);
+    });
+  }
+}
+
+// exchange_test never advances the virtual clock; once it reports true,
+// finish completes with the correct data.
+TEST(SplitPhase, ExchangeTestDrainsWithoutClockAdvance) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 4, 1));
+  rt.run([&](RankContext& ctx) {
+    Comm comm(ctx);
+    const int tx = ctx.rank() % 2, ty = ctx.rank() / 2;
+    auto id = [](int x, int y) { return ((y + 2) % 2) * 2 + (x + 2) % 2; };
+    const std::array<int, kDirections> nb{id(tx + 1, ty), id(tx - 1, ty),
+                                          id(tx, ty + 1), id(tx, ty - 1)};
+    Comm::Buffers buf = make_buffers(ctx.rank(), 3.0);
+    ExchangeHandle h = comm.exchange_start(nb, buf);
+    const Microseconds t0 = ctx.clock().now();
+    // All sends were posted by start on every rank, so the strips arrive
+    // in real time even though we only probe.
+    while (!comm.exchange_test(h)) std::this_thread::yield();
+    EXPECT_EQ(ctx.clock().now(), t0);  // probing is free
+    comm.exchange_finish(h);
+    expect_exchanged(nb, buf, 3.0, ctx.rank());
+  });
+}
+
+// Split global sum/max returns bitwise the blocking result on every rank.
+TEST(SplitPhase, GsumMatchesBlockingBitwise) {
+  const net::ArcticModel net;
+  for (int ppp : {1, 2}) {
+    Runtime rt(machine(net, 8 / ppp, ppp));
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      // Values with non-trivial mantissas so associativity errors would
+      // show up as ulp differences.
+      const double x = 1.0 / (3.0 + ctx.rank());
+      const double blocking_sum = comm.global_sum(x);
+      const double blocking_max = comm.global_max(x);
+
+      GsumHandle hs = comm.global_sum_start(x);
+      EXPECT_TRUE(hs.valid());
+      const std::vector<double> s = comm.global_sum_finish(hs);
+      ASSERT_EQ(s.size(), 1u);
+      EXPECT_EQ(s[0], blocking_sum);  // bitwise, not approximately
+      EXPECT_FALSE(hs.valid());
+
+      GsumHandle hm = comm.global_max_start(x);
+      const std::vector<double> m = comm.global_sum_finish(hm);
+      ASSERT_EQ(m.size(), 1u);
+      EXPECT_EQ(m[0], blocking_max);
+    });
+  }
+}
+
+// Vector reductions through the split path, with several reductions in
+// a row to exercise the rotating tag salt.
+TEST(SplitPhase, VectorGsumSequence) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 4, 2));
+  rt.run([&](RankContext& ctx) {
+    Comm comm(ctx);
+    for (int round = 0; round < 6; ++round) {
+      std::vector<double> xs = {1.0 * ctx.rank() + round, 0.5, -2.0 * round};
+      std::vector<double> blocking = xs;
+      comm.global_sum(blocking);
+      GsumHandle h = comm.global_sum_start(xs);
+      const std::vector<double> split = comm.global_sum_finish(h);
+      ASSERT_EQ(split, blocking) << "round " << round;
+    }
+    EXPECT_EQ(comm.gsums_done(), 12u);
+  });
+}
+
+// Compute issued between start and finish hides communication: the
+// total virtual time is less than the serial (blocking) arrangement,
+// and the hidden time is credited to Accounting::overlap_us.
+TEST(SplitPhase, ComputeHidesExchangeTime) {
+  const net::EthernetModel fe = net::fast_ethernet();
+  const double work_us = 2.0e4;
+  auto run = [&](bool split) {
+    Runtime rt(machine(fe, 4, 1));
+    double overlap = 0.0;
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      const int tx = ctx.rank() % 2, ty = ctx.rank() / 2;
+      auto id = [](int x, int y) { return ((y + 2) % 2) * 2 + (x + 2) % 2; };
+      const std::array<int, kDirections> nb{id(tx + 1, ty), id(tx - 1, ty),
+                                            id(tx, ty + 1), id(tx, ty - 1)};
+      Comm::Buffers buf = make_buffers(ctx.rank(), 5.0, 4096);
+      if (split) {
+        ExchangeHandle h = comm.exchange_start(nb, buf);
+        ctx.compute(work_us * 50.0, 50.0);  // 50 MFlop/s => work_us
+        comm.exchange_finish(h);
+      } else {
+        comm.exchange(nb, buf);
+        ctx.compute(work_us * 50.0, 50.0);
+      }
+      if (ctx.rank() == 0) overlap = ctx.accounting().overlap_us;
+      expect_exchanged(nb, buf, 5.0, ctx.rank());
+    });
+    return std::make_pair(rt.max_clock(), overlap);
+  };
+  const auto [t_blocking, ovl_blocking] = run(false);
+  const auto [t_split, ovl_split] = run(true);
+  EXPECT_EQ(ovl_blocking, 0.0);  // blocking path never credits overlap
+  EXPECT_GT(ovl_split, 0.0);
+  EXPECT_LT(t_split, t_blocking);
+  // The saving shows up as overlap credit; it cannot exceed the compute
+  // window that covered it.
+  EXPECT_LE(ovl_split, work_us + 1e-9);
+}
+
+// Same for the split global sum: a first-round latency hidden under
+// compute shortens the critical path on a high-latency interconnect.
+TEST(SplitPhase, ComputeHidesGsumLatency) {
+  const net::EthernetModel fe = net::fast_ethernet();
+  const double work_us = 1.0e4;
+  auto run = [&](bool split) {
+    Runtime rt(machine(fe, 8, 1));
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      const double x = ctx.rank() + 0.25;
+      double s;
+      if (split) {
+        GsumHandle h = comm.global_sum_start(x);
+        ctx.compute(work_us * 50.0, 50.0);
+        s = comm.global_sum_finish(h)[0];
+      } else {
+        s = comm.global_sum(x);
+        ctx.compute(work_us * 50.0, 50.0);
+      }
+      EXPECT_DOUBLE_EQ(s, 8.0 * 7.0 / 2.0 + 8 * 0.25);
+    });
+    return rt.max_clock();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+// Barriers use their own tag space and counter: they must not consume
+// global-sum sequence numbers or pollute gsums_done() statistics, and
+// collectives interleave cleanly around them.
+TEST(SplitPhase, BarrierCountersIndependent) {
+  const net::ArcticModel net;
+  Runtime rt(machine(net, 4, 2));
+  rt.run([&](RankContext& ctx) {
+    Comm comm(ctx);
+    comm.barrier();
+    EXPECT_EQ(comm.barriers_done(), 1u);
+    EXPECT_EQ(comm.gsums_done(), 0u);
+    GsumHandle h = comm.global_sum_start(1.0);
+    comm.barrier();  // barrier while a reduction is in flight
+    const double s = comm.global_sum_finish(h)[0];
+    EXPECT_DOUBLE_EQ(s, 8.0);
+    EXPECT_EQ(comm.barriers_done(), 2u);
+    EXPECT_EQ(comm.gsums_done(), 1u);
+    EXPECT_EQ(comm.exchanges_done(), 0u);
+  });
+}
+
+// The deterministic-timing guarantee extends to the split-phase path.
+TEST(SplitPhase, TimingDeterministic) {
+  const net::ArcticModel net;
+  auto run_once = [&] {
+    Runtime rt(machine(net, 8, 2));
+    rt.run([&](RankContext& ctx) {
+      Comm comm(ctx);
+      const auto nb = grid_neighbors(ctx.rank());
+      Comm::Buffers a = make_buffers(ctx.rank(), 1.0, 64);
+      Comm::Buffers b = make_buffers(ctx.rank(), 2.0, 64);
+      for (int i = 0; i < 3; ++i) {
+        ExchangeHandle ha = comm.exchange_start(nb, a);
+        ExchangeHandle hb = comm.exchange_start(nb, b);
+        ctx.compute(100.0, 1.0);
+        comm.exchange_finish(hb);
+        comm.exchange_finish(ha);
+        GsumHandle h = comm.global_sum_start(1.0 * i);
+        (void)comm.global_sum_finish(h);
+      }
+    });
+    return rt.final_clocks();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hyades::comm
