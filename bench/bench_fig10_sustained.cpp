@@ -12,8 +12,9 @@
 #include "perf/perf_model.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyades;
+  const char* trace_out = bench::trace_path(argc, argv);
   bench::banner("Figure 10: sustained performance, ocean isomorph");
 
   const net::ArcticModel net;
@@ -23,8 +24,10 @@ int main() {
       perf::measure_model(one, net, perf::MachineShape{1, 1}, 3);
 
   const gcm::ModelConfig sixteen = gcm::ocean_preset(4, 4);
+  perf::TraceCapture cap;
   const perf::ModelMeasurement m16 =
-      perf::measure_model(sixteen, net, perf::MachineShape{8, 2}, 3);
+      perf::measure_model(sixteen, net, perf::MachineShape{8, 2}, 3,
+                          /*warmup=*/2, trace_out ? &cap : nullptr);
 
   Table t({"procs", "machine", "sustained (GFlop/s)", "source"});
   for (const auto& ref : perf::kVectorMachines) {
@@ -69,5 +72,7 @@ int main() {
                               one_proc_rate,
                           1)
             << "x speedup\n";
+
+  if (trace_out != nullptr) bench::report_capture(trace_out, cap);
   return 0;
 }

@@ -17,8 +17,9 @@
 #include "perf/perf_model.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyades;
+  const char* trace_out = bench::trace_path(argc, argv);
   bench::banner("Section 5.3 (a): the paper's validation arithmetic");
   {
     const perf::PerfParams p = perf::paper_atmosphere();
@@ -42,14 +43,41 @@ int main() {
     const net::ArcticModel net;
     const gcm::ModelConfig cfg = gcm::atmosphere_preset(4, 4);
     const int steps = 6;
+    perf::TraceCapture cap;
     const perf::ModelMeasurement m =
-        perf::measure_model(cfg, net, perf::MachineShape{8, 2}, steps);
+        perf::measure_model(cfg, net, perf::MachineShape{8, 2}, steps,
+                            /*warmup=*/2, trace_out ? &cap : nullptr);
     const Microseconds predicted = perf::trun(m.params, steps, m.ni) / steps;
     Table t({"quantity", "predicted", "simulated", "d"});
     t.add_row({"time per step (ms)", Table::fmt(predicted / 1000.0, 2),
                Table::fmt(m.step_us / 1000.0, 2),
                bench::pct(predicted, m.step_us)});
     t.print(std::cout, "analytic model fed with measured parameters");
+
+    if (trace_out != nullptr) {
+      bench::report_capture(trace_out, cap);
+      // Cross-validation: the traced phase totals (rank 0, per step) must
+      // reproduce the stepper's own tps/tds split, and sit close to the
+      // analytic model's -- the residual against the analytic column is
+      // the load-imbalance wait the idle-machine primitive costs cannot
+      // see (the attribution table's imbalance-wait column).
+      const cluster::Tracer& t0 = cap.tracers.front();
+      const double ps_traced = t0.total("ps") / steps;
+      const double ds_traced = t0.total("ds") / steps;
+      const Microseconds ps_model = perf::tps(m.params.ps);
+      const Microseconds ds_model = m.ni * perf::tds(m.params.ds);
+      Table v({"phase", "traced (ms/step)", "stepper (ms/step)",
+               "analytic (ms/step)", "d traced-stepper"});
+      v.add_row({"PS", Table::fmt(ps_traced / 1000.0, 2),
+                 Table::fmt(m.tps_us / 1000.0, 2),
+                 Table::fmt(ps_model / 1000.0, 2),
+                 bench::pct(ps_traced, m.tps_us)});
+      v.add_row({"DS", Table::fmt(ds_traced / 1000.0, 2),
+                 Table::fmt(m.tds_us / 1000.0, 2),
+                 Table::fmt(ds_model / 1000.0, 2),
+                 bench::pct(ds_traced, m.tds_us)});
+      v.print(std::cout, "trace vs performance model, rank 0");
+    }
 
     const double year_min =
         us_to_minutes(perf::trun(m.params, perf::kPaperNt, m.ni));

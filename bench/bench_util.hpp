@@ -5,7 +5,11 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "cluster/report.hpp"
+#include "cluster/trace.hpp"
+#include "perf/calibrate.hpp"
 #include "support/table.hpp"
 
 namespace hyades::bench {
@@ -18,6 +22,29 @@ inline std::string pct(double measured, double paper) {
 
 inline void banner(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n";
+}
+
+// `--trace <path>` flag: returns the path, or nullptr when absent.
+inline const char* trace_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+// Export a measure_model capture as Chrome trace-event JSON and print
+// the per-rank wait-time attribution table (per model step).
+inline void report_capture(const char* path,
+                           const perf::TraceCapture& cap) {
+  std::vector<const cluster::Tracer*> tr;
+  tr.reserve(cap.tracers.size());
+  for (const cluster::Tracer& t : cap.tracers) tr.push_back(&t);
+  cluster::write_trace_json(path, tr, cap.procs_per_smp);
+  std::cout << "\nwrote Chrome trace (load in ui.perfetto.dev or "
+               "chrome://tracing): "
+            << path << "\n";
+  print_wait_attribution(std::cout, cluster::wait_attribution(tr, cap.acct),
+                         static_cast<double>(cap.steps));
 }
 
 }  // namespace hyades::bench

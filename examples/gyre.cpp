@@ -6,13 +6,16 @@
 // makes this a nontrivial exercise of masks, walls and the elliptic
 // solver in a multiply-bounded domain).
 //
-//   ./gyre [steps] [outdir]
+//   ./gyre [steps] [outdir] [--trace out.trace.json]
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <mutex>
+#include <vector>
 
+#include "cluster/report.hpp"
 #include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
 #include "comm/comm.hpp"
 #include "gcm/model.hpp"
 #include "gcm/output.hpp"
@@ -21,8 +24,19 @@
 
 int main(int argc, char** argv) {
   using namespace hyades;
-  const int steps = argc > 1 ? std::atoi(argv[1]) : 2160;  // ~2 months
-  const std::string outdir = argc > 2 ? argv[2] : "gyre_output";
+  int steps = 2160;  // ~2 months
+  std::string outdir = "gyre_output";
+  const char* trace_out = nullptr;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (positional++ == 0) {
+      steps = std::atoi(argv[i]);
+    } else {
+      outdir = argv[i];
+    }
+  }
   std::filesystem::create_directories(outdir);
 
   const net::ArcticModel arctic;
@@ -41,7 +55,12 @@ int main(int argc, char** argv) {
   cfg.validate();
 
   std::mutex io;
+  std::vector<cluster::Tracer> tracers(
+      trace_out ? static_cast<std::size_t>(machine.nranks()) : 0);
   cluster.run([&](cluster::RankContext& ctx) {
+    if (trace_out != nullptr) {
+      ctx.set_tracer(&tracers[static_cast<std::size_t>(ctx.rank())]);
+    }
     comm::Comm comm(ctx);
     gcm::Model model(cfg, comm);
     model.initialize();
@@ -87,5 +106,17 @@ int main(int argc, char** argv) {
       std::cout << "fields written to " << outdir << "/\n";
     }
   });
+
+  if (trace_out != nullptr) {
+    std::vector<const cluster::Tracer*> ptrs;
+    ptrs.reserve(tracers.size());
+    for (const auto& t : tracers) ptrs.push_back(&t);
+    cluster::write_trace_json(trace_out, ptrs, machine.procs_per_smp);
+    std::cout << "\nwrote Chrome trace (ui.perfetto.dev): " << trace_out
+              << "\n";
+    print_wait_attribution(
+        std::cout, cluster::wait_attribution(ptrs, cluster.accounting()),
+        static_cast<double>(steps));
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "cluster/report.hpp"
 #include "cluster/runtime.hpp"
 #include "cluster/trace.hpp"
 #include "comm/comm.hpp"
@@ -86,10 +87,17 @@ int main(int argc, char** argv) {
       ptrs.reserve(tracers.size());
       for (const auto& t : tracers) ptrs.push_back(&t);
       cluster::write_trace_csv(outdir + "/timeline.csv", ptrs);
+      cluster::write_trace_json(outdir + "/timeline.trace.json", ptrs,
+                                machine.procs_per_smp);
       std::cout << "virtual-time comm timeline written to " << outdir
                 << "/timeline.csv ("
                 << tracers[0].events().size() * tracers.size()
-                << "-ish events)\n";
+                << "-ish events) and " << outdir
+                << "/timeline.trace.json (Perfetto / chrome://tracing)\n";
+      print_wait_attribution(
+          std::cout,
+          cluster::wait_attribution(ptrs, cluster.accounting()),
+          static_cast<double>(steps));
     }
   }
   std::cout << "checkpoints in " << outdir << "/checkpoint.rank*\n";

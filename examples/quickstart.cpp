@@ -4,12 +4,16 @@
 // a coarse wind-driven ocean for a simulated day, and prints global
 // diagnostics plus an ASCII map of the sea-surface temperature.
 //
-//   ./quickstart [steps]
+//   ./quickstart [steps] [--trace out.trace.json]
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <string>
+#include <vector>
 
+#include "cluster/report.hpp"
 #include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
 #include "comm/comm.hpp"
 #include "gcm/model.hpp"
 #include "gcm/output.hpp"
@@ -18,7 +22,15 @@
 
 int main(int argc, char** argv) {
   using namespace hyades;
-  const int steps = argc > 1 ? std::atoi(argv[1]) : 216;  // ~1 day at dt=400s
+  int steps = 216;  // ~1 day at dt=400s
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      steps = std::atoi(argv[i]);
+    }
+  }
 
   // 1. Describe the machine: 4 SMPs, one processor each, Arctic fabric.
   const net::ArcticModel arctic;
@@ -44,7 +56,12 @@ int main(int argc, char** argv) {
 
   // 3. Run: every rank executes the same program (SPMD).
   std::mutex io;
+  std::vector<cluster::Tracer> tracers(
+      trace_out ? static_cast<std::size_t>(machine.nranks()) : 0);
   cluster.run([&](cluster::RankContext& ctx) {
+    if (trace_out != nullptr) {
+      ctx.set_tracer(&tracers[static_cast<std::size_t>(ctx.rank())]);
+    }
     comm::Comm comm(ctx);
     gcm::Model model(cfg, comm);
     model.initialize();
@@ -77,5 +94,17 @@ int main(int argc, char** argv) {
                 << gcm::ascii_map(field, 64, 16);
     }
   });
+
+  if (trace_out != nullptr) {
+    std::vector<const cluster::Tracer*> ptrs;
+    ptrs.reserve(tracers.size());
+    for (const auto& t : tracers) ptrs.push_back(&t);
+    cluster::write_trace_json(trace_out, ptrs, machine.procs_per_smp);
+    std::cout << "\nwrote Chrome trace (ui.perfetto.dev): " << trace_out
+              << "\n";
+    print_wait_attribution(
+        std::cout, cluster::wait_attribution(ptrs, cluster.accounting()),
+        static_cast<double>(steps));
+  }
   return 0;
 }

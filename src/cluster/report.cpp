@@ -1,0 +1,91 @@
+#include "cluster/report.hpp"
+
+#include <stdexcept>
+
+#include "support/table.hpp"
+
+namespace hyades::cluster {
+
+std::vector<RankBreakdown> wait_attribution(
+    const std::vector<const Tracer*>& per_rank,
+    const std::vector<Accounting>& acct) {
+  if (acct.size() < per_rank.size()) {
+    throw std::invalid_argument(
+        "wait_attribution: accounting shorter than tracer list");
+  }
+  std::vector<RankBreakdown> rows;
+  rows.reserve(per_rank.size());
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (per_rank[r] == nullptr) continue;
+    const Tracer& t = *per_rank[r];
+    const Accounting& a = acct[r];
+    RankBreakdown b;
+    b.rank = static_cast<int>(r);
+    b.compute_us = a.compute_us;
+    b.exchange_us = t.total_cat(SpanCat::kExchange);
+    b.gsum_us = t.total_cat(SpanCat::kGsum);
+    b.barrier_us = t.total_cat(SpanCat::kBarrier);
+    b.overlap_us = a.overlap_us;
+    b.imbalance_us = a.imbalance_us;
+    b.comm_us = a.comm_us;
+    b.total_us = a.total_us();
+    rows.push_back(b);
+  }
+  return rows;
+}
+
+void print_wait_attribution(std::ostream& os,
+                            const std::vector<RankBreakdown>& rows,
+                            double divisor) {
+  if (divisor == 0.0) divisor = 1.0;
+  Table t({"rank", "compute (ms)", "exchange (ms)", "gsum (ms)",
+           "barrier (ms)", "overlap-hidden (ms)", "imbalance-wait (ms)",
+           "total (ms)"});
+  const auto ms = [divisor](Microseconds us) {
+    return Table::fmt(us / divisor / 1000.0, 3);
+  };
+  RankBreakdown sum;
+  for (const RankBreakdown& b : rows) {
+    t.add_row({Table::fmt_int(b.rank), ms(b.compute_us), ms(b.exchange_us),
+               ms(b.gsum_us), ms(b.barrier_us), ms(b.overlap_us),
+               ms(b.imbalance_us), ms(b.total_us)});
+    sum.compute_us += b.compute_us;
+    sum.exchange_us += b.exchange_us;
+    sum.gsum_us += b.gsum_us;
+    sum.barrier_us += b.barrier_us;
+    sum.overlap_us += b.overlap_us;
+    sum.imbalance_us += b.imbalance_us;
+    sum.total_us += b.total_us;
+  }
+  if (!rows.empty()) {
+    const auto n = static_cast<double>(rows.size());
+    const auto mean = [&](Microseconds us) {
+      return Table::fmt(us / n / divisor / 1000.0, 3);
+    };
+    t.add_row({"mean", mean(sum.compute_us), mean(sum.exchange_us),
+               mean(sum.gsum_us), mean(sum.barrier_us), mean(sum.overlap_us),
+               mean(sum.imbalance_us), mean(sum.total_us)});
+  }
+  t.print(os, "wait-time attribution (overlap-hidden is a credit, not part "
+              "of total; imbalance-wait is a subset of comm)");
+}
+
+metrics::Registry trace_metrics(const Tracer& tracer) {
+  metrics::Registry reg;
+  for (const TraceEvent& e : tracer.events()) {
+    reg.inc("time_us." + e.op, e.duration());
+    reg.inc("count." + e.op, 1.0);
+    if (e.ctr.bytes != 0) {
+      reg.inc("bytes." + e.op, static_cast<double>(e.ctr.bytes));
+    }
+    if (e.ctr.flops != 0) reg.inc("flops." + e.op, e.ctr.flops);
+    if (e.ctr.cg_iterations != 0) {
+      reg.inc("cg_iterations." + e.op,
+              static_cast<double>(e.ctr.cg_iterations));
+    }
+    if (e.ctr.overlap_us != 0) reg.inc("overlap_us." + e.op, e.ctr.overlap_us);
+  }
+  return reg;
+}
+
+}  // namespace hyades::cluster

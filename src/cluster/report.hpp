@@ -1,0 +1,58 @@
+// Wait-time attribution: the live analog of the paper's Figure 11.
+//
+// Folds a run's per-rank Tracers and Accounting snapshots into a
+// per-rank breakdown of where virtual time went -- compute, halo
+// exchange, global sums, barriers -- plus the two visibility buckets:
+// communication hidden under computation (overlap credit, not part of
+// the total) and the share of the comm waits caused by partner lateness
+// (load imbalance) rather than wire time.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
+#include "support/metrics.hpp"
+
+namespace hyades::cluster {
+
+struct RankBreakdown {
+  int rank = 0;
+  Microseconds compute_us = 0;    // Accounting::compute_us
+  Microseconds exchange_us = 0;   // SpanCat::kExchange total
+  Microseconds gsum_us = 0;       // SpanCat::kGsum total
+  Microseconds barrier_us = 0;    // SpanCat::kBarrier total
+  Microseconds overlap_us = 0;    // comm hidden under compute (credit)
+  Microseconds imbalance_us = 0;  // of the comm waits: partner lateness
+  Microseconds comm_us = 0;       // Accounting::comm_us (cross-check)
+  Microseconds total_us = 0;      // compute + comm
+
+  // exchange + gsum + barrier; must agree with comm_us to within
+  // accumulation rounding (the trace and the accounting see the same
+  // intervals).
+  [[nodiscard]] Microseconds traced_comm_us() const {
+    return exchange_us + gsum_us + barrier_us;
+  }
+};
+
+// Build the per-rank breakdown.  per_rank[r] may be null (rank skipped);
+// acct must have at least per_rank.size() entries.
+std::vector<RankBreakdown> wait_attribution(
+    const std::vector<const Tracer*>& per_rank,
+    const std::vector<Accounting>& acct);
+
+// Print the breakdown as a paper-style table (one row per rank, a mean
+// row at the bottom), times in milliseconds.  `divisor` scales every
+// time column (pass the step count for per-step rollups; 1 for totals).
+void print_wait_attribution(std::ostream& os,
+                            const std::vector<RankBreakdown>& rows,
+                            double divisor = 1.0);
+
+// Flatten one rank's trace into a metrics registry: per-op time totals
+// ("time_us.<op>"), span counts ("count.<op>"), and aggregated counter
+// payloads ("bytes.<op>", "flops.<op>", ...).  Feed the per-rank
+// registries to metrics::aggregate for cross-rank rollups.
+metrics::Registry trace_metrics(const Tracer& tracer);
+
+}  // namespace hyades::cluster

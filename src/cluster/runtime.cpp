@@ -121,6 +121,10 @@ void RankContext::charge_overlap(Microseconds hidden_us) {
   acct_.overlap_us += hidden_us;
 }
 
+void RankContext::charge_imbalance(Microseconds wait_us) {
+  acct_.imbalance_us += wait_us;
+}
+
 Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {
   if (cfg_.interconnect == nullptr) {
     throw std::invalid_argument("Runtime: interconnect model is required");

@@ -44,6 +44,11 @@ struct Accounting {
   // already covered by compute_us, so NOT part of total_us -- a separate
   // bucket that reports how much wire time the rank did not wait for.
   Microseconds overlap_us = 0;
+  // Of comm_us, the portion spent jumping the clock forward to a late
+  // partner's message timestamp (the Lamport advance_to sync): waiting
+  // caused by load imbalance rather than by wire/transfer time.  A
+  // subset of comm_us, tracked for wait-time attribution.
+  Microseconds imbalance_us = 0;
   double flops = 0;
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
@@ -138,6 +143,8 @@ class RankContext {
   // Credit communication time that elapsed under computation (split-phase
   // overlap) to the overlap_us bucket.
   void charge_overlap(Microseconds hidden_us);
+  // Attribute part of a comm wait to partner lateness (load imbalance).
+  void charge_imbalance(Microseconds wait_us);
 
   // Optional tracing: when set, instrumented layers record operation
   // intervals here.  Not owned.

@@ -1,8 +1,10 @@
 #include "comm/comm.hpp"
 
 #include "cluster/trace.hpp"
+#include "support/logging.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -17,12 +19,106 @@ constexpr int kTagGsumLocal = 1900;    // slave -> master, master -> slave
 constexpr int kTagXchgBase = 2000;     // + (seq % window) * kDirections + dir
 
 // In-flight tag disambiguation: each started exchange / global sum draws
-// the next slot of a rotating window, so concurrent handles never share
-// a (source, tag) stream and exchanges may finish out of order.
-constexpr int kXchgSeqWindow = 64;
-constexpr int kGsumSaltWindow = 4;
+// the next slot of a rotating window (Comm::kXchgWindow /
+// Comm::kGsumWindow slots), so concurrent handles never share a
+// (source, tag) stream and exchanges may finish out of order.
 constexpr int kGsumSaltStride = 64;  // leaves room for any butterfly depth
+
+std::atomic<std::uint64_t> g_abandoned_handles{0};
 }  // namespace
+
+std::uint64_t abandoned_handles() {
+  return g_abandoned_handles.load(std::memory_order_relaxed);
+}
+
+void reset_abandoned_handles() {
+  g_abandoned_handles.store(0, std::memory_order_relaxed);
+}
+
+// ---- handle lifetime -----------------------------------------------------
+//
+// A still-active handle reaching its destructor means the caller never
+// called the matching finish: its messages stay queued on the rotating
+// (source, tag) slot, where a later wrapped handle would consume them as
+// its own data.  Destructors cannot throw, so they shout and count; the
+// slot stays marked busy in the Comm, which makes the next wrap onto it
+// fail fast in *_start instead of corrupting state.
+
+ExchangeHandle::~ExchangeHandle() {
+  if (buf_ != nullptr) {
+    g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
+    log_error() << "ExchangeHandle abandoned while active (seq " << seq_
+                << "): exchange_finish was never called; its tag slot is "
+                   "poisoned and messages may be left undrained";
+  }
+}
+
+ExchangeHandle::ExchangeHandle(ExchangeHandle&& o) noexcept
+    : mode_(o.mode_),
+      nb_(o.nb_),
+      buf_(std::exchange(o.buf_, nullptr)),
+      seq_(o.seq_),
+      phase_(o.phase_),
+      arrived_(std::move(o.arrived_)),
+      t_begin(o.t_begin),
+      t_start_end(o.t_start_end),
+      t_phase0(o.t_phase0) {}
+
+ExchangeHandle& ExchangeHandle::operator=(ExchangeHandle&& o) noexcept {
+  if (this != &o) {
+    if (buf_ != nullptr) {
+      g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
+      log_error() << "ExchangeHandle abandoned by move-assignment (seq "
+                  << seq_ << ")";
+    }
+    mode_ = o.mode_;
+    nb_ = o.nb_;
+    buf_ = std::exchange(o.buf_, nullptr);
+    seq_ = o.seq_;
+    phase_ = o.phase_;
+    arrived_ = std::move(o.arrived_);
+    t_begin = o.t_begin;
+    t_start_end = o.t_start_end;
+    t_phase0 = o.t_phase0;
+  }
+  return *this;
+}
+
+GsumHandle::~GsumHandle() {
+  if (active_) {
+    g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
+    log_error() << "GsumHandle abandoned while active (salt " << salt_
+                << "): global_sum_finish was never called; its tag slot is "
+                   "poisoned and messages may be left undrained";
+  }
+}
+
+GsumHandle::GsumHandle(GsumHandle&& o) noexcept
+    : v_(std::move(o.v_)),
+      op_(o.op_),
+      salt_(o.salt_),
+      active_(std::exchange(o.active_, false)),
+      blocking_(o.blocking_),
+      t_begin(o.t_begin),
+      t_start_end(o.t_start_end) {}
+
+GsumHandle& GsumHandle::operator=(GsumHandle&& o) noexcept {
+  if (this != &o) {
+    if (active_) {
+      g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
+      log_error() << "GsumHandle abandoned by move-assignment (salt " << salt_
+                  << ")";
+    }
+    v_ = std::move(o.v_);
+    op_ = o.op_;
+    salt_ = o.salt_;
+    active_ = std::exchange(o.active_, false);
+    blocking_ = o.blocking_;
+    t_begin = o.t_begin;
+    t_start_end = o.t_start_end;
+  }
+  return *this;
+}
 
 Comm::Comm(cluster::RankContext& ctx, int rank_base, int nranks)
     : ctx_(ctx),
@@ -68,12 +164,25 @@ void Comm::combine_into(std::vector<double>& a, const std::vector<double>& b,
 
 GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
                               bool blocking) {
+  // Fail fast on tag-window wrap: if the rotating salt slot is still
+  // held by an unfinished (or abandoned) reduction, a new handle on it
+  // would read the old handle's butterfly messages as its own.
+  const int slot = static_cast<int>(gsum_started_ % kGsumWindow);
+  if (gsum_slot_busy_[static_cast<std::size_t>(slot)]) {
+    throw std::runtime_error(
+        "Comm: global-sum tag window wrapped onto an unfinished handle "
+        "(more than " +
+        std::to_string(kGsumWindow) +
+        " reductions in flight, or an earlier handle was abandoned)");
+  }
+  gsum_slot_busy_[static_cast<std::size_t>(slot)] = true;
+
   GsumHandle h;
   h.v_ = std::move(v);
   h.op_ = op;
   h.active_ = true;
   h.blocking_ = blocking;
-  h.salt_ = static_cast<int>(gsum_started_ % kGsumSaltWindow) * kGsumSaltStride;
+  h.salt_ = slot * kGsumSaltStride;
   ++gsum_started_;
   h.t_begin = ctx_.clock().now();
 
@@ -108,7 +217,10 @@ GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
   if (!blocking) {
     ctx_.charge_comm(h.t_begin);
     if (ctx_.tracer()) {
-      ctx_.tracer()->record("gsum_start", h.t_begin, h.t_start_end);
+      cluster::SpanCounters ctr;
+      ctr.bytes = static_cast<std::int64_t>(h.v_.size() * sizeof(double));
+      ctx_.tracer()->record("gsum_start", cluster::SpanCat::kGsum, h.t_begin,
+                            h.t_start_end, ctr);
     }
   }
   return h;
@@ -146,7 +258,10 @@ void Comm::reduce_finish(GsumHandle& h) {
       combine_into(h.v_, m.data, h.op_);
       if (round == 0) ready = std::max(ready, m.stamp_us);
       // Round timing: both partners proceed from the later of their
-      // clocks plus the modeled symmetric round cost.
+      // clocks plus the modeled symmetric round cost.  The forward jump
+      // onto a later partner stamp is wait caused by partner lateness.
+      ctx_.charge_imbalance(
+          std::max(0.0, m.stamp_us - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
       ctx_.clock().advance(ctx_.net().gsum_round_time(round));
     }
@@ -161,6 +276,7 @@ void Comm::reduce_finish(GsumHandle& h) {
     cluster::Message m = ctx_.recv_raw(master_abs, kTagGsumLocal);
     h.v_ = std::move(m.data);
     ready = std::max(ready, m.stamp_us);
+    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
     ctx_.clock().advance_to(m.stamp_us);
   }
   // Final sync pulls every local clock to the master's and applies the
@@ -168,21 +284,29 @@ void Comm::reduce_finish(GsumHandle& h) {
   ctx_.smp_sync();
 
   ++gsum_seq_;
+  gsum_slot_busy_[static_cast<std::size_t>(h.salt_ / kGsumSaltStride)] =
+      false;
+  cluster::SpanCounters ctr;
+  ctr.bytes = static_cast<std::int64_t>(h.v_.size() * sizeof(double));
   const char* op_name = h.op_ == GsumHandle::Op::kSum ? "gsum" : "gmax";
   if (h.blocking_) {
     ctx_.charge_comm(h.t_begin);
     if (ctx_.tracer()) {
-      ctx_.tracer()->record(op_name, h.t_begin, ctx_.clock().now());
+      ctx_.tracer()->record(op_name, cluster::SpanCat::kGsum, h.t_begin,
+                            ctx_.clock().now(), ctr);
     }
   } else {
     // Communication already in flight while the caller computed is not
     // double-charged: credit it to the overlap bucket.
-    ctx_.charge_overlap(
-        std::max(0.0, std::min(t_entry, ready) - h.t_start_end));
+    const Microseconds hidden =
+        std::max(0.0, std::min(t_entry, ready) - h.t_start_end);
+    ctx_.charge_overlap(hidden);
     ctx_.charge_comm(t_entry);
     if (ctx_.tracer()) {
-      ctx_.tracer()->record(std::string(op_name) + "_wait", t_entry,
-                            ctx_.clock().now());
+      ctr.overlap_us = hidden;
+      ctx_.tracer()->record(std::string(op_name) + "_wait",
+                            cluster::SpanCat::kGsum, t_entry,
+                            ctx_.clock().now(), ctr);
     }
   }
   h.active_ = false;
@@ -258,6 +382,7 @@ void Comm::barrier() {
                     ctx_.clock().now());
       cluster::Message m =
           ctx_.recv_raw(partner_abs, kTagBarrierBase + round);
+      ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
       ctx_.clock().advance(ctx_.net().gsum_round_time(round));
     }
@@ -269,6 +394,7 @@ void Comm::barrier() {
     }
   } else {
     cluster::Message m = ctx_.recv_raw(master_abs, kTagBarrierLocal);
+    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
     ctx_.clock().advance_to(m.stamp_us);
   }
   ctx_.smp_sync();
@@ -276,7 +402,8 @@ void Comm::barrier() {
   ++barrier_seq_;
   ctx_.charge_comm(t0);
   if (ctx_.tracer()) {
-    ctx_.tracer()->record("barrier", t0, ctx_.clock().now());
+    ctx_.tracer()->record("barrier", cluster::SpanCat::kBarrier, t0,
+                          ctx_.clock().now());
   }
 }
 
@@ -284,14 +411,21 @@ void Comm::barrier() {
 
 int Comm::xchg_tag(std::uint64_t seq, int d) const {
   return kTagXchgBase +
-         static_cast<int>(seq % kXchgSeqWindow) * kDirections + d;
+         static_cast<int>(seq % kXchgWindow) * kDirections + d;
 }
 
 void Comm::validate_neighbors(
     const std::array<int, kDirections>& neighbors) const {
   for (int d = 0; d < kDirections; ++d) {
-    if (neighbors[static_cast<std::size_t>(d)] >= nranks_) {
+    const int nb = neighbors[static_cast<std::size_t>(d)];
+    if (nb >= nranks_) {
       throw std::out_of_range("Comm::exchange: neighbor outside group");
+    }
+    // Exactly -1 means "no neighbor"; any other negative is almost
+    // certainly a caller index bug and must not be silently ignored.
+    if (nb < -1) {
+      throw std::out_of_range(
+          "Comm::exchange: negative neighbor (use -1 for none)");
     }
   }
 }
@@ -356,6 +490,7 @@ void Comm::run_seed_phase(const ExchangeHandle::Phase& p, int d,
       throw std::logic_error("Comm::exchange: halo strip size mismatch");
     }
     dst = std::move(m.data);
+    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - t));
     t = std::max(t, m.stamp_us);
     if (p.in_remote) {
       t += net.exchange_transfer_time(p.smp_in);
@@ -370,6 +505,20 @@ ExchangeHandle Comm::exchange_start_mode(
     const std::array<int, kDirections>& neighbors, Buffers& buf,
     ExchangeHandle::Mode mode) {
   validate_neighbors(neighbors);
+  // Fail fast on tag-window wrap (before any send or clock effect): a
+  // wrapped slot still held by an unfinished or abandoned handle means
+  // its (source, tag) streams may hold undrained strips that this new
+  // handle would consume as its own halo data.
+  const auto slot = static_cast<std::size_t>(xchg_started_ % kXchgWindow);
+  if (xchg_slot_busy_[slot]) {
+    throw std::runtime_error(
+        "Comm: exchange tag window wrapped onto an unfinished handle "
+        "(more than " +
+        std::to_string(kXchgWindow) +
+        " exchanges in flight, or an earlier handle was abandoned)");
+  }
+  xchg_slot_busy_[slot] = true;
+
   ExchangeHandle h;
   h.mode_ = mode;
   h.nb_ = neighbors;
@@ -403,6 +552,7 @@ ExchangeHandle Comm::exchange_start_mode(
   // cost for intra-SMP strips; the bulk bytes occupy the SMP's NIU
   // timeline, which successive transfers serialize on.
   const net::Interconnect& net = ctx_.net();
+  std::int64_t out_bytes = 0;
   for (int d = 0; d < kDirections; ++d) {
     const ExchangeHandle::Phase p = h.phase_[static_cast<std::size_t>(d)] =
         plan_phase(d, neighbors, buf);
@@ -420,12 +570,16 @@ ExchangeHandle Comm::exchange_start_mode(
       }
       ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(h.seq_, d),
                     buf.out[static_cast<std::size_t>(d)], stamp);
+      out_bytes += p.out_b;
     }
   }
   h.t_start_end = ctx_.clock().now();
   ctx_.charge_comm(h.t_begin);
   if (ctx_.tracer()) {
-    ctx_.tracer()->record("exchange_start", h.t_begin, h.t_start_end);
+    cluster::SpanCounters ctr;
+    ctr.bytes = out_bytes;
+    ctx_.tracer()->record("exchange_start", cluster::SpanCat::kExchange,
+                          h.t_begin, h.t_start_end, ctr);
   }
   return h;
 }
@@ -464,11 +618,13 @@ void Comm::exchange_finish(ExchangeHandle& h) {
   Buffers& buf = *h.buf_;
 
   if (h.mode_ == ExchangeHandle::Mode::kInterleaved) {
+    std::int64_t bytes = 0;
     // Resume the synchronous algorithm at phase 0's inbound side.
     {
       const ExchangeHandle::Phase& p = h.phase_[0];
       const net::Interconnect& net = ctx_.net();
       Microseconds t = h.t_phase0;
+      if (p.nb_out >= 0) bytes += p.out_b;
       if (p.nb_in >= 0) {
         cluster::Message m =
             ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, 0));
@@ -477,23 +633,31 @@ void Comm::exchange_finish(ExchangeHandle& h) {
           throw std::logic_error("Comm::exchange: halo strip size mismatch");
         }
         dst = std::move(m.data);
+        ctx_.charge_imbalance(std::max(0.0, m.stamp_us - t));
         t = std::max(t, m.stamp_us);
         if (p.in_remote) {
           t += net.exchange_transfer_time(p.smp_in);
         } else {
           t += static_cast<double>(p.in_b) / kShmCopyMBs;
         }
+        bytes += p.in_b;
       }
       ctx_.clock().advance_to(t);
     }
     for (int d = 1; d < kDirections; ++d) {
       const ExchangeHandle::Phase p = plan_phase(d, h.nb_, buf);
       run_seed_phase(p, d, h.seq_, buf);
+      if (p.nb_out >= 0) bytes += p.out_b;
+      if (p.nb_in >= 0) bytes += p.in_b;
     }
     ++xchg_seq_;
+    xchg_slot_busy_[static_cast<std::size_t>(h.seq_ % kXchgWindow)] = false;
     ctx_.charge_comm(h.t_begin);
     if (ctx_.tracer()) {
-      ctx_.tracer()->record("exchange", h.t_begin, ctx_.clock().now());
+      cluster::SpanCounters ctr;
+      ctr.bytes = bytes;
+      ctx_.tracer()->record("exchange", cluster::SpanCat::kExchange,
+                            h.t_begin, ctx_.clock().now(), ctr);
     }
     h.buf_ = nullptr;
     return;
@@ -506,6 +670,7 @@ void Comm::exchange_finish(ExchangeHandle& h) {
   const net::Interconnect& net = ctx_.net();
   const Microseconds t_entry = ctx_.clock().now();
   Microseconds ready = h.t_start_end;
+  std::int64_t in_bytes = 0;
   for (int d = 0; d < kDirections; ++d) {
     const ExchangeHandle::Phase& p = h.phase_[static_cast<std::size_t>(d)];
     if (p.nb_in < 0) continue;
@@ -518,6 +683,8 @@ void Comm::exchange_finish(ExchangeHandle& h) {
       throw std::logic_error("Comm::exchange: halo strip size mismatch");
     }
     dst = std::move(m.data);
+    in_bytes += p.in_b;
+    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
     if (p.in_remote) {
       niu_busy_until_ = std::max(niu_busy_until_, m.stamp_us);
       niu_busy_until_ += net.exchange_transfer_time(p.smp_in);
@@ -531,11 +698,18 @@ void Comm::exchange_finish(ExchangeHandle& h) {
   }
   // Communication that was in flight while the caller computed is not
   // double-charged; credit it to the overlap bucket.
-  ctx_.charge_overlap(std::max(0.0, std::min(t_entry, ready) - h.t_start_end));
+  const Microseconds hidden =
+      std::max(0.0, std::min(t_entry, ready) - h.t_start_end);
+  ctx_.charge_overlap(hidden);
   ++xchg_seq_;
+  xchg_slot_busy_[static_cast<std::size_t>(h.seq_ % kXchgWindow)] = false;
   ctx_.charge_comm(t_entry);
   if (ctx_.tracer()) {
-    ctx_.tracer()->record("exchange_wait", t_entry, ctx_.clock().now());
+    cluster::SpanCounters ctr;
+    ctr.bytes = in_bytes;
+    ctr.overlap_us = hidden;
+    ctx_.tracer()->record("exchange_wait", cluster::SpanCat::kExchange,
+                          t_entry, ctx_.clock().now(), ctr);
   }
   h.buf_ = nullptr;
 }

@@ -73,16 +73,28 @@ struct Buffers {
   std::array<std::vector<double>, kDirections> in;
 };
 
+// Number of split-phase handles destroyed while still active (never
+// finished).  An abandoned handle leaves messages queued on its
+// (source, tag) streams, which a later handle on the same rotating tag
+// slot would consume as its own data -- the destructors log an error and
+// bump this counter, and Comm refuses to reuse the slot (fail fast
+// instead of corrupting state).  Process-wide; reset in tests.
+[[nodiscard]] std::uint64_t abandoned_handles();
+void reset_abandoned_handles();
+
 // In-flight halo exchange.  Obtained from Comm::exchange_start; must be
 // completed with Comm::exchange_finish exactly once.  Movable, not
 // copyable; the Buffers passed to start must outlive the handle.
+// Destroying a still-active handle is a caller bug: the destructor logs
+// an error and counts it in abandoned_handles().
 class ExchangeHandle {
  public:
   ExchangeHandle() = default;
+  ~ExchangeHandle();
   ExchangeHandle(const ExchangeHandle&) = delete;
   ExchangeHandle& operator=(const ExchangeHandle&) = delete;
-  ExchangeHandle(ExchangeHandle&&) = default;
-  ExchangeHandle& operator=(ExchangeHandle&&) = default;
+  ExchangeHandle(ExchangeHandle&& o) noexcept;
+  ExchangeHandle& operator=(ExchangeHandle&& o) noexcept;
 
   [[nodiscard]] bool valid() const { return buf_ != nullptr; }
 
@@ -108,14 +120,16 @@ class ExchangeHandle {
   Microseconds t_phase0 = 0;     // interleaved: phase-0 send-complete time
 };
 
-// In-flight global reduction (sum or max).
+// In-flight global reduction (sum or max).  Like ExchangeHandle,
+// abandoning an active handle is detected by the destructor.
 class GsumHandle {
  public:
   GsumHandle() = default;
+  ~GsumHandle();
   GsumHandle(const GsumHandle&) = delete;
   GsumHandle& operator=(const GsumHandle&) = delete;
-  GsumHandle(GsumHandle&&) = default;
-  GsumHandle& operator=(GsumHandle&&) = default;
+  GsumHandle(GsumHandle&& o) noexcept;
+  GsumHandle& operator=(GsumHandle&& o) noexcept;
 
   [[nodiscard]] bool valid() const { return active_; }
 
@@ -220,6 +234,14 @@ class Comm {
   static void combine_into(std::vector<double>& a,
                            const std::vector<double>& b, GsumHandle::Op op);
 
+  // Rotating tag-window sizes: a started exchange / global sum draws the
+  // next slot; the slot is released when the handle finishes.  Starting a
+  // collective whose slot is still held by an unfinished (or abandoned)
+  // handle throws -- a wrapped slot would silently interleave two
+  // handles' messages on one (source, tag) stream.
+  static constexpr int kXchgWindow = 64;
+  static constexpr int kGsumWindow = 4;
+
   cluster::RankContext& ctx_;
   int rank_base_;
   int nranks_;
@@ -228,6 +250,8 @@ class Comm {
   std::uint64_t gsum_seq_ = 0;
   std::uint64_t gsum_started_ = 0;
   std::uint64_t barrier_seq_ = 0;
+  std::array<bool, kXchgWindow> xchg_slot_busy_{};
+  std::array<bool, kGsumWindow> gsum_slot_busy_{};
   // SMP NIU occupancy frontier for pipelined transfers: bulk bytes ride
   // the NIU while the CPU computes; successive transfers serialize on it
   // (one transfer saturates the PCI bus, Section 4.1).

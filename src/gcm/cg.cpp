@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cluster/trace.hpp"
 #include "gcm/halo.hpp"
 
 namespace hyades::gcm {
@@ -90,7 +91,25 @@ CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
     return res;
   }
 
+  // Per-iteration solver spans: each covers the iteration's virtual-time
+  // interval (dominated by its exchange + two global sums; the arithmetic
+  // is flop-counted here but clock-charged at the end of the DS) with the
+  // iteration's flops as counter payload.  Recording never touches the
+  // clock, so tracing leaves solver timing bit-identical.
+  cluster::Tracer* tracer = comm.ctx().tracer();
+  const auto record_iter = [&](Microseconds t_it, double fl0, int it) {
+    if (tracer == nullptr) return;
+    cluster::SpanCounters ctr;
+    ctr.flops = res.flops - fl0;
+    ctr.cg_iterations = 1;
+    tracer->record("ds_cg_iter", cluster::SpanCat::kSolver, t_it,
+                   comm.ctx().clock().now(), ctr);
+    (void)it;
+  };
+
   for (int it = 0; it < max_iter; ++it) {
+    const Microseconds t_it = comm.ctx().clock().now();
+    const double fl_it0 = res.flops;
     // The paper's per-iteration communication: one exchange...
     exchange2d(comm, dec, d, 1);
     res.flops += op.apply(d, q);
@@ -124,6 +143,7 @@ CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
     if (std::sqrt(rr_new) <= target) {
       res.converged = true;
       res.residual = std::sqrt(rr_new);
+      record_iter(t_it, fl_it0, it);
       return res;
     }
     const double beta = rz_new / rz;
@@ -131,6 +151,7 @@ CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
     xpay_interior(dec, z, beta, d);
     res.flops += 2.0 * cells;
     res.residual = std::sqrt(rr_new);
+    record_iter(t_it, fl_it0, it);
   }
   return res;
 }

@@ -179,6 +179,12 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
     ctx.compute(fl_int, cfg_.fps_mflops);
     ps_flops += fl_int;
     st.tps_interior_us = ctx.clock().now() - t_int;
+    if (ctx.tracer()) {
+      cluster::SpanCounters ctr;
+      ctr.flops = fl_int;
+      ctx.tracer()->record("ps_interior", cluster::SpanCat::kPhase, t_int,
+                           ctx.clock().now(), ctr);
+    }
 
     // Stage 2 (north/south) depends on stage-1 strips, so it is posted
     // here and drained immediately; its latency still pipelines across
@@ -229,12 +235,27 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
   std::swap(state_.gs, state_.gs_nm1);
   if (cfg_.nonhydrostatic) std::swap(state_.gw, state_.gw_nm1);
 
+  const Microseconds t_rim = ctx.clock().now();
   ctx.compute(deferred, cfg_.fps_mflops);
   ps_flops += deferred;
   st.ps_flops = ps_flops;
   st.tps_us = ctx.clock().now() - t_ps;
   st.overlap_us = ctx.accounting().overlap_us - overlap0;
-  if (ctx.tracer()) ctx.tracer()->record("ps", t_ps, ctx.clock().now());
+  if (ctx.tracer()) {
+    if (cfg_.overlap_comm) {
+      // The deferred flops charged here are the rim tendency pass plus
+      // the state update (AB2 / implicit mixing / adjustment) kernels.
+      cluster::SpanCounters rim_ctr;
+      rim_ctr.flops = deferred;
+      ctx.tracer()->record("ps_rim", cluster::SpanCat::kPhase, t_rim,
+                           ctx.clock().now(), rim_ctr);
+    }
+    cluster::SpanCounters ctr;
+    ctr.flops = ps_flops;
+    ctr.overlap_us = st.overlap_us;
+    ctx.tracer()->record("ps", cluster::SpanCat::kPhase, t_ps,
+                         ctx.clock().now(), ctr);
+  }
 
   // ======================= DS: diagnostic step =======================
   const Microseconds t_ds = ctx.clock().now();
@@ -303,7 +324,13 @@ StepStats Timestepper::step(const SurfaceForcing* forcing) {
   ctx.compute(ds_flops, cfg_.fds_mflops);
   st.ds_flops = ds_flops;
   st.tds_us = ctx.clock().now() - t_ds;
-  if (ctx.tracer()) ctx.tracer()->record("ds", t_ds, ctx.clock().now());
+  if (ctx.tracer()) {
+    cluster::SpanCounters ctr;
+    ctr.flops = ds_flops;
+    ctr.cg_iterations = st.cg_iterations + st.cg3_iterations;
+    ctx.tracer()->record("ds", cluster::SpanCat::kPhase, t_ds,
+                         ctx.clock().now(), ctr);
+  }
 
   ++state_.step;
   ++obs_.steps;

@@ -76,12 +76,21 @@ PrimitiveCosts measure_primitives(const net::Interconnect& net,
 
 ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
                                const net::Interconnect& net,
-                               MachineShape shape, int steps, int warmup) {
+                               MachineShape shape, int steps, int warmup,
+                               TraceCapture* capture) {
   if (cfg.tiles() != shape.nranks()) {
     throw std::invalid_argument("measure_model: tiles != ranks");
   }
   ModelMeasurement m;
   m.steps = steps;
+  if (capture != nullptr) {
+    capture->tracers.assign(static_cast<std::size_t>(shape.nranks()),
+                            cluster::Tracer{});
+    capture->acct.assign(static_cast<std::size_t>(shape.nranks()),
+                         cluster::Accounting{});
+    capture->procs_per_smp = shape.procs_per_smp;
+    capture->steps = steps;
+  }
 
   cluster::Runtime rt(machine(net, shape));
   std::mutex mu;
@@ -96,7 +105,23 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
     const gcm::PerfObservables obs0 = model.stepper().observables();
     const double flops0 = ctx.accounting().flops;
     const Microseconds clock0 = ctx.clock().now();
+    const cluster::Accounting acct0 = ctx.accounting();
+    if (capture != nullptr) {
+      // Attach after warmup: spans cover only the measured window.
+      ctx.set_tracer(&capture->tracers[static_cast<std::size_t>(ctx.rank())]);
+    }
     for (int s = 0; s < steps; ++s) (void)model.step();
+    if (capture != nullptr) {
+      const cluster::Accounting& a = ctx.accounting();
+      cluster::Accounting& d =
+          capture->acct[static_cast<std::size_t>(ctx.rank())];
+      d.compute_us = a.compute_us - acct0.compute_us;
+      d.comm_us = a.comm_us - acct0.comm_us;
+      d.overlap_us = a.overlap_us - acct0.overlap_us;
+      d.imbalance_us = a.imbalance_us - acct0.imbalance_us;
+      d.flops = a.flops - acct0.flops;
+      ctx.set_tracer(nullptr);
+    }
     const gcm::PerfObservables& obs = model.stepper().observables();
     const double rank_flops = ctx.accounting().flops - flops0;
     const Microseconds rank_us = ctx.clock().now() - clock0;
@@ -140,6 +165,7 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
   m.step_us = window_us / steps;
   m.per_proc_mflops = busiest;
   m.aggregate_gflops = window_us > 0 ? total_flops / window_us / 1.0e3 : 0.0;
+  if (capture != nullptr) capture->window_us = window_us;
   return m;
 }
 

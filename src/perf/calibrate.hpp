@@ -12,7 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
 #include "gcm/config.hpp"
 #include "net/interconnect.hpp"
 #include "perf/params.hpp"
@@ -48,15 +51,30 @@ struct ModelMeasurement {
   std::int64_t wet_columns = 0;
 };
 
+// Per-rank observability capture of a measure_model run: tracers are
+// attached *after* the warmup steps, so the spans and the accounting
+// deltas cover exactly the measured window.  Tracing only reads the
+// virtual clock, so a captured run's timing (and ModelMeasurement) is
+// bit-identical to an uncaptured one.
+struct TraceCapture {
+  std::vector<cluster::Tracer> tracers;   // one per rank
+  std::vector<cluster::Accounting> acct;  // accounting delta per rank
+  int procs_per_smp = 1;                  // for write_trace_json pids
+  Microseconds window_us = 0;             // slowest rank's measured time
+  long steps = 0;
+};
+
 // Runs cfg (whose px*py must equal shape.nranks()) on the given
 // interconnect: `warmup` steps to pass the Adams-Bashforth start-up and
 // the initial pressure adjustment (which inflate the CG iteration
 // count), then `steps` measured steps.  Nps/nxyz are normalized by the
 // full tile cell count, as in Figure 11 (the paper's nxyz = grid/procs,
-// land included).
+// land included).  When `capture` is non-null it is filled with the
+// measured window's per-rank trace and accounting deltas.
 ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
                                const net::Interconnect& net,
                                MachineShape shape, int steps,
-                               int warmup = 2);
+                               int warmup = 2,
+                               TraceCapture* capture = nullptr);
 
 }  // namespace hyades::perf

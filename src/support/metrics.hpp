@@ -1,0 +1,55 @@
+// A small named-counter registry for per-rank performance metrics.
+//
+// Each rank (or measurement window) fills one Registry with additive
+// counters -- virtual-time buckets, byte counts, flop counts, event
+// counts.  aggregate() folds the per-rank registries into min/mean/max
+// rollups, the shape the wait-time-attribution report and the live
+// Figure-11 breakdown consume.  Counters keep insertion order so tables
+// print in the order the producer declared them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyades::metrics {
+
+class Registry {
+ public:
+  // Add `v` to the named counter (created at 0 on first touch).
+  void inc(const std::string& name, double v = 1.0);
+  // Overwrite the named counter.
+  void set(const std::string& name, double v);
+  // Current value; 0.0 for a counter never touched.
+  [[nodiscard]] double get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  struct Entry {
+    std::string name;
+    double value = 0;
+  };
+  // Insertion-ordered view of all counters.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  // Divide every counter by `n` (per-step rollups from per-run totals).
+  [[nodiscard]] Registry per(double n) const;
+
+ private:
+  Entry* find(const std::string& name);
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+  std::vector<Entry> entries_;  // small-N: linear scan beats a map here
+};
+
+// Cross-rank rollup of one counter.
+struct Rollup {
+  std::string name;
+  double min = 0, max = 0, sum = 0, mean = 0;
+};
+
+// Fold per-rank registries counter-by-counter.  The union of names is
+// taken (a rank missing a counter contributes 0); order follows the
+// first registry that mentions each name.
+std::vector<Rollup> aggregate(const std::vector<const Registry*>& per_rank);
+
+}  // namespace hyades::metrics
