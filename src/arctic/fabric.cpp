@@ -25,7 +25,7 @@ Fabric::Fabric(sim::Scheduler& sched, int endpoints, FabricConfig cfg)
       endpoints_(endpoints),
       levels_(levels_for(endpoints)),
       cfg_(cfg),
-      rng_(cfg.seed) {
+      route_rng_(cfg.seed) {
   if (endpoints < 2) {
     throw std::invalid_argument("Fabric: need at least 2 endpoints");
   }
@@ -96,7 +96,7 @@ void Fabric::inject(int src, int dst, Packet p) {
     throw std::invalid_argument("Fabric::inject: invalid packet format");
   }
   const Route route = compute_route(
-      src, dst, levels_, cfg_.random_uproute ? &rng_ : nullptr);
+      src, dst, levels_, cfg_.random_uproute ? &route_rng_ : nullptr);
   p.src = src;
   p.dst = dst;
   p.uproute = route.encode_uproute();
@@ -104,9 +104,16 @@ void Fabric::inject(int src, int dst, Packet p) {
   p.downroute = route.downroute;
   p.serial = next_serial_++;
   p.seal();
-  if (corrupt_next_) {
-    corrupt_next_ = false;
-    p.payload[0] ^= 0x1u;  // bit flip after sealing: CRC now mismatches
+  // Link-error injection after sealing: a forced word (test hook) wins,
+  // otherwise the fault plan decides per-packet and picks the word.
+  int garble = corrupt_next_word_;
+  corrupt_next_word_ = -1;
+  if (garble < 0 && cfg_.faults.corrupt_injection(p.serial)) {
+    garble = cfg_.faults.corrupt_word(p.serial, 2 + p.payload_words());
+  }
+  if (garble >= 0) {
+    p.corrupt_word(garble);  // CRC now mismatches
+    ++stats_.corrupted;
   }
   ++stats_.injected;
   injection_[static_cast<std::size_t>(src)]->submit(std::move(p));
@@ -118,6 +125,16 @@ void Fabric::on_router_receive(int level, int index, bool from_below,
   // Every stage verifies the CRC (Section 2.2); a failure is flagged, and
   // the packet continues so the endpoint's status bit reports it.
   if (!p.crc_ok()) p.crc_error = true;
+
+  // Transient stage faults from the plan: a drop loses the packet here
+  // (an overflowed input queue); a stall holds it extra time before it
+  // contends for its output port.
+  if (cfg_.faults.drop_at_stage(p.serial, level, index)) {
+    ++stats_.dropped;
+    return;
+  }
+  Microseconds stall_us = cfg_.faults.stall_at_stage(p.serial, level, index);
+  if (stall_us > 0) ++stats_.stalled;
 
   Router& router = *routers_[static_cast<std::size_t>(level)]
                             [static_cast<std::size_t>(index)];
@@ -133,11 +150,11 @@ void Fabric::on_router_receive(int level, int index, bool from_below,
   }
 
   // The packet spends the router stage latency (< 0.15 us, Section 2.2)
-  // crossing the stage before contending for the output port.
-  sched_.schedule_after(sim::from_us(cfg_.link.stage_latency_us),
-                        [port, pkt = std::move(p)]() mutable {
-                          port->submit(std::move(pkt));
-                        });
+  // -- plus any injected stall -- crossing the stage before contending
+  // for the output port.
+  sched_.schedule_after(
+      sim::from_us(cfg_.link.stage_latency_us + stall_us),
+      [port, pkt = std::move(p)]() mutable { port->submit(std::move(pkt)); });
 }
 
 void Fabric::deliver_to_endpoint(int node, Packet&& p) {

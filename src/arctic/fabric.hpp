@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "arctic/fault.hpp"
 #include "arctic/packet.hpp"
 #include "arctic/route.hpp"
 #include "arctic/router.hpp"
@@ -27,7 +28,8 @@ namespace hyades::arctic {
 struct FabricConfig {
   LinkConfig link;
   bool random_uproute = false;  // adaptive up-routing (breaks FIFO pairwise order)
-  std::uint64_t seed = 1;       // for random uproute
+  std::uint64_t seed = 1;       // for random uproute (never consumed by faults)
+  FaultPlan faults;             // deterministic fault injection (default: off)
 };
 
 struct FabricStats {
@@ -35,6 +37,9 @@ struct FabricStats {
   std::uint64_t delivered = 0;
   std::uint64_t crc_flagged = 0;   // packets delivered with the error bit set
   std::uint64_t router_stages = 0; // total stages traversed by all packets
+  std::uint64_t corrupted = 0;     // words garbled by the fault plan
+  std::uint64_t dropped = 0;       // packets lost at a router stage
+  std::uint64_t stalled = 0;       // stages that held a packet extra time
 };
 
 class Fabric {
@@ -53,9 +58,12 @@ class Fabric {
   // called from within a scheduler event (or before the run starts).
   void inject(int src, int dst, Packet p);
 
-  // Corrupt the payload of the next injected packet after it is sealed
-  // (simulates a link error; routers flag it via CRC).
-  void corrupt_next_injection() { corrupt_next_ = true; }
+  // Corrupt wire word `word` of the next injected packet after it is
+  // sealed (simulates a link error; routers flag it via CRC).  Word 0/1
+  // are the header words -- compute_crc covers them, so a garbled
+  // header is flagged just like a garbled payload; word w >= 2 flips a
+  // bit of payload[w - 2].  Defaults to the first payload word.
+  void corrupt_next_injection(int word = 2) { corrupt_next_word_ = word; }
 
   [[nodiscard]] int endpoints() const { return endpoints_; }
   [[nodiscard]] int levels() const { return levels_; }
@@ -81,10 +89,13 @@ class Fabric {
   int levels_;
   int routers_per_level_;
   FabricConfig cfg_;
-  SplitMix64 rng_;
+  // Routing-only RNG stream.  Fault decisions are pure hashes keyed on
+  // the packet serial (see FaultPlan), so enabling faults never
+  // perturbs adaptive route choices.
+  SplitMix64 route_rng_;
   DeliverFn deliver_;
   FabricStats stats_;
-  bool corrupt_next_ = false;
+  int corrupt_next_word_ = -1;  // -1: no forced corruption pending
   std::uint64_t next_serial_ = 0;
 
   std::vector<std::vector<std::unique_ptr<Router>>> routers_;  // [level][index]

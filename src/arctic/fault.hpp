@@ -1,0 +1,65 @@
+// Deterministic fault injection for the Arctic fabric simulator.
+//
+// Mirrors cluster::FaultPlan's philosophy at packet granularity: every
+// decision -- corrupt this packet? which word? drop it at this router
+// stage? stall this stage? -- is a pure hash of (seed, packet serial,
+// stage coordinates), so the fault pattern is reproducible and, crucial
+// for the routing-stream independence requirement, consuming fault
+// decisions never touches the Fabric's sequential routing RNG: adaptive
+// `random_uproute` paths are bit-identical with faults on or off.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace hyades::arctic {
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedfa1ull;
+
+  // Per-packet probability that injection garbles one word (chosen
+  // uniformly over header words + payload; CRC flags it downstream).
+  double corrupt_prob = 0.0;
+  // Per-stage probability that a router input drops the packet (models
+  // a transient router/NIU stall overflowing an input queue).
+  double drop_prob = 0.0;
+  // Per-stage probability of a transient stall, and its length: the
+  // packet is held `stall_us` before contending for its output port.
+  double stall_prob = 0.0;
+  Microseconds stall_us = 2.0;
+
+  [[nodiscard]] bool enabled() const {
+    return corrupt_prob > 0.0 || drop_prob > 0.0 || stall_prob > 0.0;
+  }
+
+  [[nodiscard]] bool corrupt_injection(std::uint64_t serial) const {
+    return corrupt_prob > 0.0 &&
+           hash_unit(seed, {0x636f7272ull, serial}) < corrupt_prob;
+  }
+  // Which word of an n-word packet image (2 header words + payload) the
+  // corruption hits.
+  [[nodiscard]] int corrupt_word(std::uint64_t serial, int nwords) const {
+    return static_cast<int>(hash_mix(seed, {0x776f7264ull, serial}) %
+                            static_cast<std::uint64_t>(nwords));
+  }
+  [[nodiscard]] bool drop_at_stage(std::uint64_t serial, int level,
+                                   int index) const {
+    return drop_prob > 0.0 &&
+           hash_unit(seed, {0x64726f70ull, serial,
+                            static_cast<std::uint64_t>(level),
+                            static_cast<std::uint64_t>(index)}) < drop_prob;
+  }
+  [[nodiscard]] Microseconds stall_at_stage(std::uint64_t serial, int level,
+                                            int index) const {
+    return (stall_prob > 0.0 &&
+            hash_unit(seed, {0x7374616cull, serial,
+                             static_cast<std::uint64_t>(level),
+                             static_cast<std::uint64_t>(index)}) < stall_prob)
+               ? stall_us
+               : 0.0;
+  }
+};
+
+}  // namespace hyades::arctic

@@ -34,6 +34,17 @@ DecodedHeader decode_header(std::uint32_t w0, std::uint32_t w1) {
   return h;
 }
 
+void Packet::corrupt_word(int w) {
+  if (w == 0) {
+    priority =
+        priority == Priority::kHigh ? Priority::kLow : Priority::kHigh;
+  } else if (w == 1) {
+    usr_tag ^= 1u;
+  } else {
+    payload.at(static_cast<std::size_t>(w - 2)) ^= 0x1u;
+  }
+}
+
 std::uint32_t Packet::compute_crc() const {
   const std::uint32_t header[2] = {header_word0(), header_word1()};
   std::uint32_t c = crc32_words(std::span<const std::uint32_t>(header, 2));

@@ -50,6 +50,13 @@ struct Packet {
   [[nodiscard]] std::uint32_t header_word0() const;
   [[nodiscard]] std::uint32_t header_word1() const;
 
+  // Garble wire word `w` after sealing so the CRC no longer matches.
+  // Words 0 and 1 are the header words; the flipped bits (priority,
+  // usr-tag LSB) are outside the routing fields so the packet still
+  // reaches its destination and the endpoint status bit -- not a silent
+  // loss -- reports the error.  Words >= 2 map to payload[w - 2].
+  void corrupt_word(int w);
+
   // CRC over header words + payload.
   [[nodiscard]] std::uint32_t compute_crc() const;
   void seal() { crc = compute_crc(); }

@@ -1,0 +1,31 @@
+#include "cluster/fault.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace hyades::cluster {
+
+FaultPlan::Fate FaultPlan::fate(int src, int dst, std::uint64_t serial,
+                                int attempt) const {
+  // One uniform draw per attempt; the [0, corrupt_prob) slice corrupts,
+  // the adjacent [corrupt_prob, corrupt_prob + drop_prob) slice drops.
+  // Key domains are disjoint by position, so (src=1, dst=2) and
+  // (src=2, dst=1) draw independent streams.
+  const double u = hash_unit(
+      seed, {0x636c757374657231ull,  // domain tag: cluster fault stream
+             static_cast<std::uint64_t>(src), static_cast<std::uint64_t>(dst),
+             serial, static_cast<std::uint64_t>(attempt)});
+  if (u < corrupt_prob) return Fate::kCorrupt;
+  if (u < corrupt_prob + drop_prob) return Fate::kDrop;
+  return Fate::kOk;
+}
+
+Microseconds FaultPlan::backoff(int attempt) const {
+  if (attempt <= 0) return 0.0;
+  Microseconds b = backoff_us;
+  for (int i = 1; i < attempt && b < backoff_max_us; ++i) b *= 2.0;
+  return std::min(b, backoff_max_us);
+}
+
+}  // namespace hyades::cluster

@@ -1,0 +1,69 @@
+// Deterministic fault injection for the threaded cluster world.
+//
+// A FaultPlan decides, per bulk-message attempt, whether the transfer
+// arrives intact, arrives CRC-flagged (Arctic's per-stage CRC marks the
+// packet, the endpoint surfaces a 1-bit status), or is lost outright
+// (a stalled NIU dropping its rx queue).  Decisions are *pure functions*
+// of (seed, src, dst, serial, attempt) hashed through the SplitMix64
+// finalizer -- no shared mutable RNG state -- so an injected fault
+// pattern is bit-identical across runs regardless of host thread
+// scheduling, and consuming fault decisions cannot perturb any other
+// random stream (notably the fabric's random-uproute routing).
+//
+// The plan also models straggler ranks (a configurable compute slowdown
+// on selected ranks) and carries the reliability protocol's timing
+// parameters: the receiver-side virtual-clock timeout that detects a
+// dropped transfer, and the capped exponential backoff applied before
+// each retransmit.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace hyades::cluster {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-attempt fault probabilities for remote (inter-SMP) bulk
+  // messages.  Intra-SMP traffic moves through shared memory and is not
+  // subject to fabric faults.
+  double corrupt_prob = 0.0;  // attempt arrives with the CRC bit set
+  double drop_prob = 0.0;     // attempt never arrives (NIU/router stall)
+
+  // Reliability protocol timing (virtual microseconds).
+  Microseconds timeout_us = 500.0;      // drop detection watchdog
+  Microseconds backoff_us = 25.0;       // base retransmit backoff
+  Microseconds backoff_max_us = 800.0;  // exponential backoff cap
+
+  // Hard cap on attempts per message: fault probabilities below 1 make
+  // runaway retries astronomically unlikely, so hitting the cap means
+  // the link is effectively dead and the protocol gives up (throws).
+  int max_attempts = 64;
+
+  // Straggler modeling: the given rank computes `straggler_factor`
+  // times slower (its partners absorb the lateness as imbalance wait).
+  int straggler_rank = -1;
+  double straggler_factor = 1.0;
+
+  enum class Fate { kOk, kCorrupt, kDrop };
+
+  [[nodiscard]] bool enabled() const {
+    return corrupt_prob > 0.0 || drop_prob > 0.0;
+  }
+  [[nodiscard]] bool has_straggler() const {
+    return straggler_rank >= 0 && straggler_factor > 1.0;
+  }
+
+  // The fate of attempt number `attempt` of message `serial` from
+  // src -> dst.  Pure function of the keys and the seed.
+  [[nodiscard]] Fate fate(int src, int dst, std::uint64_t serial,
+                          int attempt) const;
+
+  // Capped exponential backoff before retransmit number `attempt`
+  // (attempt 1 is the first retransmit): base * 2^(attempt-1), capped.
+  [[nodiscard]] Microseconds backoff(int attempt) const;
+};
+
+}  // namespace hyades::cluster

@@ -23,6 +23,21 @@ struct Message {
   int tag = 0;
   std::vector<double> data;
   Microseconds stamp_us = 0;  // sender-computed arrival time
+
+  // Reliability protocol metadata (comm/reliable.hpp).  A raw send
+  // leaves the defaults: serial 0, attempt 0, no CRC error, no recovery
+  // cost -- so the fault-free path is unchanged.
+  std::uint64_t serial = 0;     // per (src -> dst) transfer sequence number
+  int attempt = 0;              // 0 = first transmission
+  bool crc_error = false;       // the endpoint's 1-bit CRC status
+  Microseconds recovery_us = 0;  // stamp delay caused by retransmits
+
+  // Arrival time the transfer would have had without faults; callers
+  // attributing wait time use this so recovery cost lands in the
+  // retrans bucket, not in imbalance.
+  [[nodiscard]] Microseconds clean_stamp() const {
+    return stamp_us - recovery_us;
+  }
 };
 
 class MessageBus {

@@ -27,6 +27,7 @@ std::vector<RankBreakdown> wait_attribution(
     b.barrier_us = t.total_cat(SpanCat::kBarrier);
     b.overlap_us = a.overlap_us;
     b.imbalance_us = a.imbalance_us;
+    b.retrans_us = a.retrans_us;
     b.comm_us = a.comm_us;
     b.total_us = a.total_us();
     rows.push_back(b);
@@ -40,7 +41,7 @@ void print_wait_attribution(std::ostream& os,
   if (divisor == 0.0) divisor = 1.0;
   Table t({"rank", "compute (ms)", "exchange (ms)", "gsum (ms)",
            "barrier (ms)", "overlap-hidden (ms)", "imbalance-wait (ms)",
-           "total (ms)"});
+           "retrans (ms)", "total (ms)"});
   const auto ms = [divisor](Microseconds us) {
     return Table::fmt(us / divisor / 1000.0, 3);
   };
@@ -48,13 +49,14 @@ void print_wait_attribution(std::ostream& os,
   for (const RankBreakdown& b : rows) {
     t.add_row({Table::fmt_int(b.rank), ms(b.compute_us), ms(b.exchange_us),
                ms(b.gsum_us), ms(b.barrier_us), ms(b.overlap_us),
-               ms(b.imbalance_us), ms(b.total_us)});
+               ms(b.imbalance_us), ms(b.retrans_us), ms(b.total_us)});
     sum.compute_us += b.compute_us;
     sum.exchange_us += b.exchange_us;
     sum.gsum_us += b.gsum_us;
     sum.barrier_us += b.barrier_us;
     sum.overlap_us += b.overlap_us;
     sum.imbalance_us += b.imbalance_us;
+    sum.retrans_us += b.retrans_us;
     sum.total_us += b.total_us;
   }
   if (!rows.empty()) {
@@ -64,7 +66,8 @@ void print_wait_attribution(std::ostream& os,
     };
     t.add_row({"mean", mean(sum.compute_us), mean(sum.exchange_us),
                mean(sum.gsum_us), mean(sum.barrier_us), mean(sum.overlap_us),
-               mean(sum.imbalance_us), mean(sum.total_us)});
+               mean(sum.imbalance_us), mean(sum.retrans_us),
+               mean(sum.total_us)});
   }
   t.print(os, "wait-time attribution (overlap-hidden is a credit, not part "
               "of total; imbalance-wait is a subset of comm)");

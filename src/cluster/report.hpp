@@ -25,6 +25,7 @@ struct RankBreakdown {
   Microseconds barrier_us = 0;    // SpanCat::kBarrier total
   Microseconds overlap_us = 0;    // comm hidden under compute (credit)
   Microseconds imbalance_us = 0;  // of the comm waits: partner lateness
+  Microseconds retrans_us = 0;    // of the comm waits: fault recovery
   Microseconds comm_us = 0;       // Accounting::comm_us (cross-check)
   Microseconds total_us = 0;      // compute + comm
 

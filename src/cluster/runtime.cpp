@@ -4,7 +4,16 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cluster/fault.hpp"
+#include "support/logging.hpp"
+
 namespace hyades::cluster {
+
+namespace {
+// Straggler detection is logged once per rank with a global limiter so
+// a long run does not repeat the same line every compute call.
+RateLimiter g_straggler_warn_limiter(/*burst=*/4, /*every=*/1u << 20);
+}  // namespace
 
 void AbortableBarrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -55,11 +64,23 @@ void RankContext::compute(double flops, double mflops) {
   if (flops < 0 || mflops <= 0) {
     throw std::invalid_argument("RankContext::compute: bad arguments");
   }
-  const Microseconds dt = flops / mflops;  // MFlop/s == flops per us
+  Microseconds dt = flops / mflops;  // MFlop/s == flops per us
+  const FaultPlan* plan = faults();
+  if (plan != nullptr && plan->has_straggler() &&
+      plan->straggler_rank == rank_) {
+    dt *= plan->straggler_factor;
+    if (flops > 0 && g_straggler_warn_limiter.admit()) {
+      log_warn() << "fault: rank " << rank_ << " is a configured straggler ("
+                 << plan->straggler_factor << "x slower) at t="
+                 << clock_.now() << " us";
+    }
+  }
   clock_.advance(dt);
   acct_.compute_us += dt;
   acct_.flops += flops;
 }
+
+const FaultPlan* RankContext::faults() const { return rt_.config().faults; }
 
 void RankContext::send_raw(int to, int tag, std::vector<double> data,
                            Microseconds arrival_stamp) {
@@ -68,6 +89,11 @@ void RankContext::send_raw(int to, int tag, std::vector<double> data,
   m.tag = tag;
   m.data = std::move(data);
   m.stamp_us = arrival_stamp;
+  rt_.bus().send(to, std::move(m));
+}
+
+void RankContext::send_msg(int to, Message m) {
+  m.src = rank_;
   rt_.bus().send(to, std::move(m));
 }
 
@@ -123,6 +149,10 @@ void RankContext::charge_overlap(Microseconds hidden_us) {
 
 void RankContext::charge_imbalance(Microseconds wait_us) {
   acct_.imbalance_us += wait_us;
+}
+
+void RankContext::charge_retrans(Microseconds recovery_us) {
+  acct_.retrans_us += recovery_us;
 }
 
 Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {

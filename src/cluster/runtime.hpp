@@ -32,6 +32,12 @@ struct MachineConfig {
   // attributes to the shared-memory local sum (Section 4.2).
   Microseconds smp_barrier_us = 0.25;
 
+  // Optional fault injection (cluster/fault.hpp).  Null (the default)
+  // means the fault machinery is compiled out of every hot path: runs
+  // are bit-identical to a build that predates the fault layer.  Not
+  // owned; must outlive the Runtime.
+  const struct FaultPlan* faults = nullptr;
+
   [[nodiscard]] int nranks() const { return smp_count * procs_per_smp; }
 };
 
@@ -49,7 +55,16 @@ struct Accounting {
   // caused by load imbalance rather than by wire/transfer time.  A
   // subset of comm_us, tracked for wait-time attribution.
   Microseconds imbalance_us = 0;
+  // Of comm_us, virtual time spent recovering from injected faults:
+  // NAK round trips, retransmit backoff, and repeated transfers.  Like
+  // imbalance_us, a subset attribution -- zero on fault-free runs.
+  Microseconds retrans_us = 0;
   double flops = 0;
+
+  // Fault-recovery event counts (all zero on fault-free runs).
+  std::int64_t retransmits = 0;   // sender-side retries performed
+  std::int64_t crc_rejects = 0;   // receiver-side CRC-flagged attempts NAK'd
+  std::int64_t drops_detected = 0;  // attempts recovered via timeout
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
   // Sustained MFlop/sec over the accounted interval.
@@ -119,6 +134,10 @@ class RankContext {
   // Raw timestamped transport (the comm library computes stamps).
   void send_raw(int to, int tag, std::vector<double> data,
                 Microseconds arrival_stamp);
+  // Full-control variant for the reliability layer: src is filled in,
+  // all other Message fields (tag, stamp, serial, attempt, crc_error,
+  // recovery_us) are taken from `m` as given.
+  void send_msg(int to, Message m);
   Message recv_raw(int from, int tag);
   // Non-blocking variant: returns the message if it has been posted,
   // nullopt otherwise.  Never advances the virtual clock -- arrival
@@ -145,6 +164,11 @@ class RankContext {
   void charge_overlap(Microseconds hidden_us);
   // Attribute part of a comm wait to partner lateness (load imbalance).
   void charge_imbalance(Microseconds wait_us);
+  // Attribute fault-recovery cost (NAK + backoff + retransfer time).
+  void charge_retrans(Microseconds recovery_us);
+
+  // The machine's fault plan, or nullptr when fault injection is off.
+  [[nodiscard]] const struct FaultPlan* faults() const;
 
   // Optional tracing: when set, instrumented layers record operation
   // intervals here.  Not owned.

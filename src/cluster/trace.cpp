@@ -54,6 +54,7 @@ const char* span_cat_name(SpanCat cat) {
     case SpanCat::kGsum: return "gsum";
     case SpanCat::kBarrier: return "barrier";
     case SpanCat::kSolver: return "solver";
+    case SpanCat::kFault: return "fault";
     case SpanCat::kOther: return "other";
   }
   return "other";
@@ -69,6 +70,9 @@ SpanCat span_cat_of(const std::string& op) {
   }
   if (op == "barrier") return SpanCat::kBarrier;
   if (op.rfind("ds_cg", 0) == 0) return SpanCat::kSolver;
+  if (op.rfind("retransmit", 0) == 0 || op.rfind("rollback", 0) == 0) {
+    return SpanCat::kFault;
+  }
   return SpanCat::kOther;
 }
 

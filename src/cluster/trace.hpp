@@ -31,6 +31,7 @@ enum class SpanCat : std::uint8_t {
   kGsum,      // gsum, gmax, gsum_start, gsum_wait, gmax_wait
   kBarrier,   // barrier
   kSolver,    // ds_cg_iter -- per-iteration CG spans
+  kFault,     // retransmit, rollback -- fault-recovery intervals
   kOther,
 };
 

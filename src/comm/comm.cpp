@@ -195,10 +195,10 @@ GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
   ctx_.smp_sync();
   if (ppp > 1) {
     if (!ctx_.is_master()) {
-      ctx_.send_raw(master_abs, kTagGsumLocal, h.v_, ctx_.clock().now());
+      rel_.send(master_abs, kTagGsumLocal, h.v_, ctx_.clock().now());
     } else {
       for (int lr = 1; lr < ppp; ++lr) {
-        cluster::Message m = ctx_.recv_raw(master_abs + lr, kTagGsumLocal);
+        cluster::Message m = rel_.recv(master_abs + lr, kTagGsumLocal);
         combine_into(h.v_, m.data, h.op_);
       }
     }
@@ -210,7 +210,7 @@ GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
   if (ctx_.is_master() && group_smps() > 1) {
     const int partner_gsmp = gsmp ^ 1;
     const int partner_abs = rank_base_ + partner_gsmp * ppp;
-    ctx_.send_raw(partner_abs, kTagGsumBase + h.salt_, h.v_,
+    rel_.send(partner_abs, kTagGsumBase + h.salt_, h.v_,
                   ctx_.clock().now());
   }
   h.t_start_end = ctx_.clock().now();
@@ -250,33 +250,33 @@ void Comm::reduce_finish(GsumHandle& h) {
       const int partner_abs = rank_base_ + partner_gsmp * ppp;
       if (round > 0) {
         // Round 0 was posted by reduce_start.
-        ctx_.send_raw(partner_abs, kTagGsumBase + h.salt_ + round, h.v_,
+        rel_.send(partner_abs, kTagGsumBase + h.salt_ + round, h.v_,
                       ctx_.clock().now());
       }
       cluster::Message m =
-          ctx_.recv_raw(partner_abs, kTagGsumBase + h.salt_ + round);
+          rel_.recv(partner_abs, kTagGsumBase + h.salt_ + round);
       combine_into(h.v_, m.data, h.op_);
       if (round == 0) ready = std::max(ready, m.stamp_us);
       // Round timing: both partners proceed from the later of their
       // clocks plus the modeled symmetric round cost.  The forward jump
       // onto a later partner stamp is wait caused by partner lateness.
       ctx_.charge_imbalance(
-          std::max(0.0, m.stamp_us - ctx_.clock().now()));
+          std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
       ctx_.clock().advance(ctx_.net().gsum_round_time(round));
     }
     // Local distribution.
     if (ppp > 1) {
       for (int lr = 1; lr < ppp; ++lr) {
-        ctx_.send_raw(master_abs + lr, kTagGsumLocal, h.v_,
+        rel_.send(master_abs + lr, kTagGsumLocal, h.v_,
                       ctx_.clock().now());
       }
     }
   } else {
-    cluster::Message m = ctx_.recv_raw(master_abs, kTagGsumLocal);
+    cluster::Message m = rel_.recv(master_abs, kTagGsumLocal);
     h.v_ = std::move(m.data);
     ready = std::max(ready, m.stamp_us);
-    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
+    ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
     ctx_.clock().advance_to(m.stamp_us);
   }
   // Final sync pulls every local clock to the master's and applies the
@@ -365,10 +365,10 @@ void Comm::barrier() {
   ctx_.smp_sync();
   if (ppp > 1) {
     if (!ctx_.is_master()) {
-      ctx_.send_raw(master_abs, kTagBarrierLocal, empty, ctx_.clock().now());
+      rel_.send(master_abs, kTagBarrierLocal, empty, ctx_.clock().now());
     } else {
       for (int lr = 1; lr < ppp; ++lr) {
-        (void)ctx_.recv_raw(master_abs + lr, kTagBarrierLocal);
+        (void)rel_.recv(master_abs + lr, kTagBarrierLocal);
       }
     }
   }
@@ -378,23 +378,23 @@ void Comm::barrier() {
     for (int round = 0; round < rounds; ++round) {
       const int partner_gsmp = gsmp ^ (1 << round);
       const int partner_abs = rank_base_ + partner_gsmp * ppp;
-      ctx_.send_raw(partner_abs, kTagBarrierBase + round, empty,
+      rel_.send(partner_abs, kTagBarrierBase + round, empty,
                     ctx_.clock().now());
       cluster::Message m =
-          ctx_.recv_raw(partner_abs, kTagBarrierBase + round);
-      ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
+          rel_.recv(partner_abs, kTagBarrierBase + round);
+      ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
       ctx_.clock().advance(ctx_.net().gsum_round_time(round));
     }
     if (ppp > 1) {
       for (int lr = 1; lr < ppp; ++lr) {
-        ctx_.send_raw(master_abs + lr, kTagBarrierLocal, empty,
+        rel_.send(master_abs + lr, kTagBarrierLocal, empty,
                       ctx_.clock().now());
       }
     }
   } else {
-    cluster::Message m = ctx_.recv_raw(master_abs, kTagBarrierLocal);
-    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
+    cluster::Message m = rel_.recv(master_abs, kTagBarrierLocal);
+    ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
     ctx_.clock().advance_to(m.stamp_us);
   }
   ctx_.smp_sync();
@@ -480,17 +480,17 @@ void Comm::run_seed_phase(const ExchangeHandle::Phase& p, int d,
     t += static_cast<double>(p.out_b) / kShmCopyMBs;
   }
   if (p.nb_out >= 0) {
-    ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(seq, d),
+    rel_.send(abs_rank(p.nb_out), xchg_tag(seq, d),
                   buf.out[static_cast<std::size_t>(d)], t);
   }
   if (p.nb_in >= 0) {
-    cluster::Message m = ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(seq, d));
+    cluster::Message m = rel_.recv(abs_rank(p.nb_in), xchg_tag(seq, d));
     auto& dst = buf.in[static_cast<std::size_t>(opposite(d))];
     if (m.data.size() != dst.size()) {
       throw std::logic_error("Comm::exchange: halo strip size mismatch");
     }
     dst = std::move(m.data);
-    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - t));
+    ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - t));
     t = std::max(t, m.stamp_us);
     if (p.in_remote) {
       t += net.exchange_transfer_time(p.smp_in);
@@ -539,7 +539,7 @@ ExchangeHandle Comm::exchange_start_mode(
       t += static_cast<double>(p.out_b) / kShmCopyMBs;
     }
     if (p.nb_out >= 0) {
-      ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(h.seq_, 0),
+      rel_.send(abs_rank(p.nb_out), xchg_tag(h.seq_, 0),
                     buf.out[0], t);
     }
     h.t_phase0 = t;
@@ -568,7 +568,7 @@ ExchangeHandle Comm::exchange_start_mode(
         ctx_.clock().advance(static_cast<double>(p.out_b) / kShmCopyMBs);
         stamp = ctx_.clock().now();
       }
-      ctx_.send_raw(abs_rank(p.nb_out), xchg_tag(h.seq_, d),
+      rel_.send(abs_rank(p.nb_out), xchg_tag(h.seq_, d),
                     buf.out[static_cast<std::size_t>(d)], stamp);
       out_bytes += p.out_b;
     }
@@ -601,7 +601,7 @@ bool Comm::exchange_test(ExchangeHandle& h) {
     const ExchangeHandle::Phase& p = h.phase_[static_cast<std::size_t>(d)];
     if (p.nb_in < 0 || h.arrived_[static_cast<std::size_t>(d)]) continue;
     std::optional<cluster::Message> m =
-        ctx_.try_recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
+        rel_.try_recv(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
     if (m) {
       h.arrived_[static_cast<std::size_t>(d)] = std::move(*m);
     } else {
@@ -627,13 +627,13 @@ void Comm::exchange_finish(ExchangeHandle& h) {
       if (p.nb_out >= 0) bytes += p.out_b;
       if (p.nb_in >= 0) {
         cluster::Message m =
-            ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, 0));
+            rel_.recv(abs_rank(p.nb_in), xchg_tag(h.seq_, 0));
         auto& dst = buf.in[static_cast<std::size_t>(opposite(0))];
         if (m.data.size() != dst.size()) {
           throw std::logic_error("Comm::exchange: halo strip size mismatch");
         }
         dst = std::move(m.data);
-        ctx_.charge_imbalance(std::max(0.0, m.stamp_us - t));
+        ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - t));
         t = std::max(t, m.stamp_us);
         if (p.in_remote) {
           t += net.exchange_transfer_time(p.smp_in);
@@ -677,14 +677,14 @@ void Comm::exchange_finish(ExchangeHandle& h) {
     cluster::Message m =
         h.arrived_[static_cast<std::size_t>(d)]
             ? std::move(*h.arrived_[static_cast<std::size_t>(d)])
-            : ctx_.recv_raw(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
+            : rel_.recv(abs_rank(p.nb_in), xchg_tag(h.seq_, d));
     auto& dst = buf.in[static_cast<std::size_t>(opposite(d))];
     if (m.data.size() != dst.size()) {
       throw std::logic_error("Comm::exchange: halo strip size mismatch");
     }
     dst = std::move(m.data);
     in_bytes += p.in_b;
-    ctx_.charge_imbalance(std::max(0.0, m.stamp_us - ctx_.clock().now()));
+    ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
     if (p.in_remote) {
       niu_busy_until_ = std::max(niu_busy_until_, m.stamp_us);
       niu_busy_until_ += net.exchange_transfer_time(p.smp_in);

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "cluster/runtime.hpp"
+#include "comm/reliable.hpp"
 
 namespace hyades::comm {
 
@@ -210,6 +211,12 @@ class Comm {
   [[nodiscard]] std::uint64_t gsums_done() const { return gsum_seq_; }
   [[nodiscard]] std::uint64_t barriers_done() const { return barrier_seq_; }
 
+  // Reliability-protocol counters for this rank's transfers through this
+  // communicator (all zero when no FaultPlan is attached).
+  [[nodiscard]] const ReliableStats& fault_stats() const {
+    return rel_.stats();
+  }
+
  private:
   [[nodiscard]] int abs_rank(int group_rank) const {
     return rank_base_ + group_rank;
@@ -243,6 +250,9 @@ class Comm {
   static constexpr int kGsumWindow = 4;
 
   cluster::RankContext& ctx_;
+  // All bulk transport goes through the end-to-end reliability layer;
+  // with no FaultPlan it degenerates to the raw bus operations.
+  Reliable rel_{ctx_};
   int rank_base_;
   int nranks_;
   std::uint64_t xchg_seq_ = 0;      // completed exchanges

@@ -1,0 +1,121 @@
+// End-to-end reliable delivery for the comm library's bulk transfers.
+//
+// The paper's fabric detects corruption (per-stage CRC surfaces a 1-bit
+// status to software) but leaves recovery to the software layer.  This
+// class is that layer: every remote message carries a per-(src, dst)
+// sequence number, and the receive path checks the CRC status bit and
+// discards flagged attempts -- modeling a NAK back to the sender -- so
+// corrupted data can never reach halo buffers or global sums.  Dropped
+// transfers are recovered by a receiver-side virtual-clock timeout.
+// Retransmits apply a capped exponential backoff.
+//
+// Simulation mechanics: when a FaultPlan is attached to the machine, the
+// *sender* precomputes the whole recovery episode (the fate of each
+// attempt is a pure hash of (seed, src, dst, serial, attempt), so sender
+// and tests agree without any handshake):
+//
+//   * a corrupted attempt is enqueued as a real message with garbled
+//     payload (NaNs) and crc_error set -- the bus's FIFO-per-(src, tag)
+//     guarantee delivers it before the eventual good attempt, forcing
+//     the receive path to actually exercise the discard logic;
+//   * a dropped attempt enqueues nothing; its cost is the timeout;
+//   * the final good attempt carries the pristine payload, the total
+//     recovery_us delay folded into its arrival stamp, and the attempt
+//     number, from which the receiver reconstructs drop counts.
+//
+// With no FaultPlan every call degenerates to the raw bus operation with
+// zero extra clock or accounting effects: fault-free runs stay
+// bit-identical to the pre-fault-layer library (regression-locked).
+//
+// Recovery cost lands in Accounting::retrans_us plus a kFault trace
+// span per recovered transfer; warnings are rate-limited so a fault
+// storm cannot flood the log.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/fault.hpp"
+#include "cluster/runtime.hpp"
+#include "support/logging.hpp"
+
+namespace hyades::comm {
+
+// Thrown when a transfer exhausts FaultPlan::max_attempts -- with
+// per-attempt fault probability p < 1 this is a (1-p)^-64 event, i.e.
+// the modeled link is effectively dead, which no retry policy fixes.
+struct DeliveryFailure : std::runtime_error {
+  DeliveryFailure(int rank, int peer, std::uint64_t serial, int attempts)
+      : std::runtime_error("reliable delivery: rank " + std::to_string(rank) +
+                           " -> " + std::to_string(peer) + " serial " +
+                           std::to_string(serial) + " still faulted after " +
+                           std::to_string(attempts) + " attempts"),
+        rank(rank), peer(peer), serial(serial), attempts(attempts) {}
+  int rank, peer;
+  std::uint64_t serial;
+  int attempts;
+};
+
+// Per-rank counters for the reliability protocol (the sender and
+// receiver sides of this rank's transfers).  Mirrored into the rank's
+// Accounting; exposed separately for tests and the fault-sweep bench.
+struct ReliableStats {
+  std::uint64_t sent = 0;            // reliable transfers originated
+  std::uint64_t retransmits = 0;     // extra attempts beyond the first
+  std::uint64_t crc_rejects = 0;     // flagged attempts discarded (NAK'd)
+  std::uint64_t drops_detected = 0;  // attempts recovered via timeout
+  Microseconds retrans_us = 0;       // total recovery delay charged
+  std::uint64_t warns_emitted = 0;   // recovery warnings actually logged
+  std::uint64_t warns_suppressed = 0;  // swallowed by the rate limiter
+};
+
+class Reliable {
+ public:
+  explicit Reliable(cluster::RankContext& ctx) : ctx_(ctx) {}
+
+  // Send `data` to absolute rank `to` with fault-free arrival time
+  // `stamp`.  Applies the fault/retransmit simulation iff a FaultPlan is
+  // enabled and the destination is on another SMP.
+  void send(int to, int tag, std::vector<double> data, Microseconds stamp);
+
+  // Receive the next good message from (from, tag): drains CRC-flagged
+  // ghost attempts (counting a NAK each), validates serial/attempt
+  // bookkeeping (fail fast on protocol corruption), charges recovery
+  // cost and records the kFault span.
+  cluster::Message recv(int from, int tag);
+
+  // Non-blocking variant: drains any ghosts already queued; returns the
+  // good message if present, nullopt otherwise.  Never advances the
+  // virtual clock.
+  std::optional<cluster::Message> try_recv(int from, int tag);
+
+  [[nodiscard]] const ReliableStats& stats() const { return stats_; }
+
+ private:
+  // Handle one arrived attempt.  Returns the message if it is a good
+  // (unflagged) attempt, nullopt if it was a ghost that was discarded.
+  std::optional<cluster::Message> accept(cluster::Message m, int from,
+                                         int tag);
+  void warn_recovery(const char* what, int from, std::uint64_t serial,
+                     int attempt, Microseconds t);
+
+  cluster::RankContext& ctx_;
+  ReliableStats stats_;
+  // Next outbound serial per destination rank.
+  std::map<int, std::uint64_t> next_serial_;
+  // Serial of the ghost sequence currently being drained per
+  // (src, tag) stream, for fail-fast continuity checks.
+  struct StreamState {
+    std::uint64_t serial = std::numeric_limits<std::uint64_t>::max();
+    int last_attempt = -1;    // -1: no ghost drained for this stream
+    std::int64_t ghosts = 0;  // flagged attempts seen for `serial`
+  };
+  std::map<std::pair<int, int>, StreamState> streams_;
+  RateLimiter warn_limiter_{/*burst=*/5, /*every=*/256};
+};
+
+}  // namespace hyades::comm

@@ -85,6 +85,9 @@ CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
 
   double rr = comm.global_sum(dot_interior(dec, r, r));
   res.flops += 2.0 * cells;
+  if (!std::isfinite(rr) || !std::isfinite(rz)) {
+    throw SolverDivergence("cg_solve", 0, rr);
+  }
   if (std::sqrt(rr) <= target) {
     res.converged = true;
     res.residual = std::sqrt(rr);
@@ -138,6 +141,9 @@ CgResult cg_solve(comm::Comm& comm, const Decomp& dec,
       comm.global_sum(sums);
       rz_new = sums[0];
       rr_new = sums[1];
+    }
+    if (!std::isfinite(rr_new) || !std::isfinite(rz_new)) {
+      throw SolverDivergence("cg_solve", it + 1, rr_new);
     }
     res.iterations = it + 1;
     if (std::sqrt(rr_new) <= target) {

@@ -9,10 +9,30 @@
 // sees bitwise-identical convergence decisions.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 #include "comm/comm.hpp"
 #include "gcm/elliptic.hpp"
 
 namespace hyades::gcm {
+
+// Thrown when a residual norm turns non-finite mid-solve: NaNs in the
+// state (e.g. garbled data that somehow slipped past the CRC/reliability
+// layer) or a genuinely diverging solve.  Aborting with a diagnostic
+// beats silently iterating on garbage until max_iter.  Collective-safe:
+// the residual comes from a global sum, so every rank throws together.
+struct SolverDivergence : std::runtime_error {
+  SolverDivergence(const char* solver, int iteration, double residual_sq)
+      : std::runtime_error(std::string(solver) +
+                           ": non-finite residual at iteration " +
+                           std::to_string(iteration) + " (<r,r> = " +
+                           std::to_string(residual_sq) + ")"),
+        iteration(iteration),
+        residual_sq(residual_sq) {}
+  int iteration;
+  double residual_sq;
+};
 
 struct CgResult {
   int iterations = 0;

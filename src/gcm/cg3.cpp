@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gcm/cg.hpp"  // SolverDivergence
 #include "gcm/halo.hpp"
 
 namespace hyades::gcm {
@@ -89,6 +90,9 @@ Cg3Result cg3_solve(comm::Comm& comm, const Decomp& dec,
   const double target = tol * std::sqrt(std::max(bb, 1e-300));
   double rr = comm.global_sum(dot_interior(dec, nz, r, r));
   res.flops += 6.0 * cells;
+  if (!std::isfinite(rr) || !std::isfinite(rz)) {
+    throw SolverDivergence("cg3_solve", 0, rr);
+  }
   if (std::sqrt(rr) <= target) {
     res.converged = true;
     res.residual = std::sqrt(rr);
@@ -114,6 +118,9 @@ Cg3Result cg3_solve(comm::Comm& comm, const Decomp& dec,
     comm.global_sum(sums);
     const double rz_new = sums[0];
     const double rr_new = sums[1];
+    if (!std::isfinite(rr_new) || !std::isfinite(rz_new)) {
+      throw SolverDivergence("cg3_solve", it + 1, rr_new);
+    }
     res.iterations = it + 1;
     res.residual = std::sqrt(rr_new);
     if (res.residual <= target) {

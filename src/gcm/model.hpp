@@ -28,7 +28,19 @@ class Model {
 
   // Advance one step / many steps (collective).
   StepStats step(const SurfaceForcing* forcing = nullptr);
-  void run(int steps);
+
+  // Outcome of a Model::run, for the fault-tolerance machinery: how many
+  // steps actually executed (replays included) and how many rollbacks
+  // were taken.  Fault-free runs report steps_run == steps requested.
+  struct RunStats {
+    int steps_run = 0;
+    int rollbacks = 0;
+  };
+  // Run `steps` steps.  With cfg.retry_budget >= 0, degrades gracefully
+  // under communication faults: a step in which any rank exceeds the
+  // retransmit budget is rolled back to the last in-memory checkpoint
+  // and replayed (see ModelConfig's fault-tolerance knobs).
+  RunStats run(int steps);
 
   // ---- diagnostics (collective; identical result on every rank) ------
   double mean_theta();

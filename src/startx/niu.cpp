@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace hyades::startx {
 
@@ -57,7 +58,10 @@ void StartXNiu::pio_inject_at(sim::SimTime cpu_done, int dst,
 
 PioMessage StartXNiu::pio_pop() {
   if (pio_rx_.empty()) {
-    throw std::logic_error("pio_pop: rx queue empty");
+    // Fail fast with context: popping an empty hardware queue is a
+    // driver-protocol bug, and "which node" is the first question.
+    throw std::logic_error("pio_pop: rx queue empty on node " +
+                           std::to_string(node_));
   }
   PioMessage m = std::move(pio_rx_.front());
   pio_rx_.pop_front();
@@ -122,9 +126,32 @@ void StartXNiu::on_delivery(arctic::Packet&& p) {
   sched_.schedule_after(
       sim::from_us(cfg_.rx_latency_us), [this, pkt = std::move(p)]() mutable {
         if (pkt.usr_tag & kViFlag) {
+          // Never trust any word of a CRC-flagged packet -- payload[0]
+          // is the chunk byte count, and crediting a garbled count
+          // would silently corrupt stream completion.  Discard; the
+          // stream stalls until the sender retransmits.
+          if (pkt.crc_error) {
+            ++vi_crc_discards_;
+            return;
+          }
+          if (pkt.payload.empty()) {
+            throw std::logic_error(
+                "on_delivery: node " + std::to_string(node_) +
+                " got VI packet serial " + std::to_string(pkt.serial) +
+                " with empty payload");
+          }
+          const auto chunk = static_cast<std::int64_t>(pkt.payload[0]);
+          if (chunk > kViDataBytesPerPacket ||
+              chunk > 4 * (pkt.payload_words() - 1)) {
+            throw std::logic_error(
+                "on_delivery: node " + std::to_string(node_) +
+                " got VI packet serial " + std::to_string(pkt.serial) +
+                " claiming " + std::to_string(chunk) + " bytes in " +
+                std::to_string(pkt.payload_words()) + " payload words");
+          }
           const auto tag = static_cast<std::uint16_t>(pkt.usr_tag & kTagMask);
           ViStream& s = vi_[tag];
-          s.received += static_cast<std::int64_t>(pkt.payload[0]);
+          s.received += chunk;
           s.last_arrival = sched_.now();
           vi_check_done(tag);
         } else {
@@ -161,7 +188,13 @@ std::vector<std::unique_ptr<StartXNiu>> attach_all(sim::Scheduler& sched,
     nius.push_back(std::make_unique<StartXNiu>(sched, fabric, n, cfg));
   }
   fabric.set_delivery_handler(
-      [raw = nius.data()](int node, arctic::Packet&& p) {
+      [raw = nius.data(), n = nius.size()](int node, arctic::Packet&& p) {
+        if (node < 0 || static_cast<std::size_t>(node) >= n) {
+          throw std::logic_error(
+              "attach_all: fabric delivered packet serial " +
+              std::to_string(p.serial) + " to nonexistent node " +
+              std::to_string(node));
+        }
         raw[node]->on_delivery(std::move(p));
       });
   return nius;

@@ -95,6 +95,13 @@ class StartXNiu {
   // Bytes received so far for a tag (for tests).
   [[nodiscard]] std::int64_t vi_received(std::uint16_t tag) const;
 
+  // VI chunks discarded because the packet arrived CRC-flagged: the DMA
+  // engine must not deposit garbled data (or trust a garbled byte-count
+  // word), so the stream stalls until a retransmit arrives.
+  [[nodiscard]] std::uint64_t vi_crc_discards() const {
+    return vi_crc_discards_;
+  }
+
   // ---- misc ------------------------------------------------------------
   // Time to memcpy `bytes` on the host (cached copy), used by the VI
   // chunking protocol.
@@ -120,6 +127,7 @@ class StartXNiu {
   };
   std::map<std::uint16_t, ViStream> vi_;
   sim::SimTime vi_tx_free_at_ = 0;  // Tx DMA engine availability
+  std::uint64_t vi_crc_discards_ = 0;
 
   void vi_check_done(std::uint16_t tag);
 };

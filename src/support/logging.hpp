@@ -2,6 +2,8 @@
 // runs ranks on threads, so log lines must not interleave mid-line.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -45,5 +47,37 @@ inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn);
 inline detail::LogStream log_error() {
   return detail::LogStream(LogLevel::kError);
 }
+
+// Admission control for high-frequency warning sites (fault storms can
+// produce one recovery event per packet).  The first `burst` events are
+// admitted, after which only every `every`-th event passes; suppressed()
+// reports how many were swallowed so a summary line can say so.
+// Thread-safe: each rank-thread may share one limiter.
+class RateLimiter {
+ public:
+  explicit RateLimiter(std::uint64_t burst = 5, std::uint64_t every = 100)
+      : burst_(burst), every_(every == 0 ? 1 : every) {}
+
+  // True if the caller should emit this event's log line.
+  bool admit() {
+    const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+    const bool ok = n < burst_ || (n - burst_) % every_ == 0;
+    if (!ok) suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  [[nodiscard]] std::uint64_t seen() const {
+    return seen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t burst_;
+  std::uint64_t every_;
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
 
 }  // namespace hyades

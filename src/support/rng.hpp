@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 
 namespace hyades {
 
@@ -36,5 +37,32 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+// Stateless counter-mode hashing built on the SplitMix64 finalizer.  A
+// fault decision keyed on (seed, src, dst, serial, attempt) must be a
+// pure function of its keys: shared mutable RNG state would make the
+// decision depend on which rank-thread asked first (nondeterministic
+// under real scheduling) and would perturb consumers of the sequential
+// stream (the fabric's random-uproute decisions must be bit-identical
+// with faults on or off).
+[[nodiscard]] inline std::uint64_t hash_mix(std::uint64_t seed,
+                                            std::initializer_list<std::uint64_t> keys) {
+  std::uint64_t h = seed;
+  for (std::uint64_t k : keys) {
+    h += 0x9e3779b97f4a7c15ull + k;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h = h ^ (h >> 31);
+  }
+  return h;
+}
+
+// Uniform double in [0, 1) derived from hash_mix (same mantissa recipe
+// as SplitMix64::next_double).
+[[nodiscard]] inline double hash_unit(std::uint64_t seed,
+                                      std::initializer_list<std::uint64_t> keys) {
+  return static_cast<double>(hash_mix(seed, keys) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
 
 }  // namespace hyades

@@ -40,6 +40,22 @@ TEST(Crc32, DetectsSingleBitFlip) {
   }
 }
 
+TEST(Crc32, WordInterfaceIncrementalMatchesOneShot) {
+  // The packet CRC chains crc32_words over header words then payload;
+  // any split of the stream must give the one-shot result.
+  const std::vector<std::uint32_t> all = {0x0BADF00Du, 0xCAFEBABEu, 7u, 0u,
+                                          0xFFFFFFFFu, 0x80000001u};
+  const std::uint32_t one_shot = crc32_words(all);
+  for (std::size_t split = 0; split <= all.size(); ++split) {
+    const std::vector<std::uint32_t> head(all.begin(),
+                                          all.begin() + static_cast<long>(split));
+    const std::vector<std::uint32_t> tail(all.begin() + static_cast<long>(split),
+                                          all.end());
+    EXPECT_EQ(crc32_words(tail, crc32_words(head)), one_shot)
+        << "split at word " << split;
+  }
+}
+
 TEST(Crc32, WordInterfaceMatchesByteInterface) {
   const std::vector<std::uint32_t> words = {0xDEADBEEFu, 0x12345678u};
   std::vector<std::uint8_t> bytes(8);

@@ -139,6 +139,98 @@ TEST(Fabric, CrcCorruptionFlaggedNotDropped) {
   EXPECT_EQ(rig.fabric.stats().crc_flagged, 1u);
 }
 
+TEST(Fabric, CorruptHeaderWordsFlaggedAndStillDelivered) {
+  // compute_crc covers the header words too: garbling either one must be
+  // flagged just like a payload flip, and the chosen bits (priority,
+  // usr-tag LSB) leave the routing fields intact so the packet still
+  // reaches its destination.
+  for (int word = 0; word < 4; ++word) {
+    Rig rig(16);
+    rig.fabric.corrupt_next_injection(word);
+    rig.fabric.inject(0, 15, small_packet(/*tag=*/4));
+    rig.sched.run();
+    ASSERT_EQ(rig.deliveries.size(), 1u) << "word " << word;
+    EXPECT_EQ(rig.deliveries[0].node, 15) << "word " << word;
+    EXPECT_TRUE(rig.deliveries[0].packet.crc_error) << "word " << word;
+  }
+}
+
+TEST(Fabric, FaultPlanCorruptionDeterministic) {
+  auto flagged_serials = [] {
+    FabricConfig cfg;
+    cfg.faults.corrupt_prob = 0.05;
+    Rig rig(16, cfg);
+    for (int i = 0; i < 400; ++i) rig.fabric.inject(0, 15, small_packet());
+    rig.sched.run();
+    std::vector<std::uint64_t> flagged;
+    for (const auto& del : rig.deliveries) {
+      if (del.packet.crc_error) flagged.push_back(del.packet.serial);
+    }
+    EXPECT_EQ(rig.fabric.stats().corrupted, flagged.size());
+    return flagged;
+  };
+  const auto first = flagged_serials();
+  EXPECT_GT(first.size(), 5u);   // ~20 expected at p=0.05
+  EXPECT_LT(first.size(), 60u);
+  // Same seed, same injection sequence: bit-identical fault pattern.
+  EXPECT_EQ(first, flagged_serials());
+}
+
+TEST(Fabric, FaultPlanDropsLosePackets) {
+  FabricConfig cfg;
+  cfg.faults.drop_prob = 0.02;
+  Rig rig(16, cfg);
+  for (int i = 0; i < 500; ++i) rig.fabric.inject(0, 15, small_packet());
+  rig.sched.run();
+  const FabricStats& st = rig.fabric.stats();
+  EXPECT_GT(st.dropped, 0u);
+  EXPECT_EQ(st.delivered + st.dropped, st.injected);
+  EXPECT_EQ(rig.deliveries.size(), st.delivered);
+}
+
+TEST(Fabric, FaultPlanStallDelaysButDelivers) {
+  auto last_arrival = [](double stall_prob) {
+    FabricConfig cfg;
+    cfg.faults.stall_prob = stall_prob;
+    cfg.faults.stall_us = 2.0;
+    Rig rig(16, cfg);
+    for (int i = 0; i < 20; ++i) rig.fabric.inject(0, 15, small_packet());
+    rig.sched.run();
+    EXPECT_EQ(rig.deliveries.size(), 20u);
+    return rig.sched.now();
+  };
+  const sim::SimTime clean = last_arrival(0.0);
+  const sim::SimTime stalled = last_arrival(1.0);
+  // Every stage held each packet 2 us extra; the tail packet must land
+  // at least one full stall later.
+  EXPECT_GE(stalled - clean, sim::from_us(2.0));
+}
+
+TEST(Fabric, FaultStreamLeavesAdaptiveRoutingUntouched) {
+  // The independent-streams requirement: fault decisions are pure hashes
+  // of the packet serial and never consume the routing RNG, so the
+  // adaptive up-route choices are bit-identical with faults on or off.
+  auto uproutes = [](double corrupt_prob) {
+    FabricConfig cfg;
+    cfg.random_uproute = true;
+    cfg.seed = 99;
+    cfg.faults.corrupt_prob = corrupt_prob;
+    Rig rig(16, cfg);
+    for (int i = 0; i < 100; ++i) rig.fabric.inject(0, 15, small_packet());
+    rig.sched.run();
+    std::map<std::uint64_t, std::uint16_t> by_serial;
+    for (const auto& del : rig.deliveries) {
+      by_serial[del.packet.serial] = del.packet.uproute;
+    }
+    return by_serial;
+  };
+  const auto clean = uproutes(0.0);
+  const auto faulty = uproutes(0.3);
+  ASSERT_EQ(clean.size(), 100u);
+  ASSERT_EQ(faulty.size(), 100u);
+  EXPECT_EQ(clean, faulty);
+}
+
 TEST(Fabric, RandomUprouteStillDelivers) {
   FabricConfig cfg;
   cfg.random_uproute = true;

@@ -1,0 +1,365 @@
+// Tier-2 robustness suite: the end-to-end reliability protocol, the
+// regression-locked fault-tolerance invariant (recoverable faults change
+// only virtual timing, never the model state), checkpoint/rollback
+// recovery, and the rate-limited recovery logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cluster/fault.hpp"
+#include "cluster/runtime.hpp"
+#include "comm/comm.hpp"
+#include "comm/reliable.hpp"
+#include "gcm/cg.hpp"
+#include "gcm/model.hpp"
+#include "net/arctic_model.hpp"
+#include "support/logging.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades {
+namespace {
+
+// gcm::testing::run_ranks with a FaultPlan attached to the machine.
+template <typename Fn>
+void run_faulty(int nranks, const cluster::FaultPlan& plan, Fn&& body) {
+  cluster::MachineConfig mc;
+  mc.smp_count = nranks;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &gcm::testing::test_net();
+  mc.faults = &plan;
+  cluster::Runtime rt(mc);
+  rt.run([&](cluster::RankContext& ctx) {
+    comm::Comm comm(ctx);
+    body(ctx, comm);
+  });
+}
+
+// Keep fault-storm warnings out of the test log.
+struct QuietLog {
+  LogLevel before = log_level();
+  QuietLog() { set_log_level(LogLevel::kError); }
+  ~QuietLog() { set_log_level(before); }
+};
+
+bool bits_equal(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+// Bitwise comparison of the prognostic state (the fields a checkpoint
+// carries and the invariant protects).
+void expect_state_bits_equal(const gcm::State& a, const gcm::State& b,
+                             const char* what) {
+  EXPECT_TRUE(bits_equal(a.u.data(), b.u.data(), a.u.size())) << what << " u";
+  EXPECT_TRUE(bits_equal(a.v.data(), b.v.data(), a.v.size())) << what << " v";
+  EXPECT_TRUE(bits_equal(a.w.data(), b.w.data(), a.w.size())) << what << " w";
+  EXPECT_TRUE(bits_equal(a.theta.data(), b.theta.data(), a.theta.size()))
+      << what << " theta";
+  EXPECT_TRUE(bits_equal(a.salt.data(), b.salt.data(), a.salt.size()))
+      << what << " salt";
+  EXPECT_TRUE(bits_equal(a.ps.data(), b.ps.data(), a.ps.size()))
+      << what << " ps";
+  EXPECT_TRUE(
+      bits_equal(a.gu_nm1.data(), b.gu_nm1.data(), a.gu_nm1.size()))
+      << what << " gu_nm1";
+  EXPECT_EQ(a.step, b.step) << what;
+}
+
+// Run `steps` of a small closed-basin (gyre) ocean under `plan`,
+// collecting every rank's final state and summed fault accounting.
+struct GyreRun {
+  std::map<int, gcm::State> state;       // by rank
+  std::uint64_t retransmits = 0;         // summed over ranks (sender side)
+  std::uint64_t crc_rejects = 0;         // summed (receiver side)
+  std::uint64_t drops_detected = 0;
+  Microseconds retrans_us = 0;
+  int rollbacks = 0;
+};
+
+GyreRun run_gyre(int steps, const cluster::FaultPlan& plan,
+                 int retry_budget = -1, int checkpoint_interval = 0) {
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(2, 2);
+  cfg.topography = gcm::ModelConfig::Topography::kBasin;
+  cfg.retry_budget = retry_budget;
+  cfg.checkpoint_interval = checkpoint_interval;
+  GyreRun out;
+  std::mutex mu;
+  run_faulty(4, plan, [&](cluster::RankContext& ctx, comm::Comm& comm) {
+    gcm::Model m(cfg, comm);
+    m.initialize();
+    const gcm::Model::RunStats rs = m.run(steps);
+    const comm::ReliableStats& fs = comm.fault_stats();
+    std::lock_guard<std::mutex> lock(mu);
+    out.state.emplace(ctx.rank(), m.state());
+    out.retransmits += fs.retransmits;
+    out.crc_rejects += fs.crc_rejects;
+    out.drops_detected += fs.drops_detected;
+    out.retrans_us += fs.retrans_us;
+    out.rollbacks = std::max(out.rollbacks, rs.rollbacks);
+  });
+  return out;
+}
+
+TEST(FaultPlan, FateIsAPureFunction) {
+  cluster::FaultPlan plan;
+  plan.seed = 42;
+  plan.corrupt_prob = 0.2;
+  plan.drop_prob = 0.1;
+  int corrupt = 0, drop = 0;
+  for (std::uint64_t serial = 0; serial < 2000; ++serial) {
+    const auto f = plan.fate(0, 1, serial, 0);
+    EXPECT_EQ(f, plan.fate(0, 1, serial, 0));  // repeatable
+    if (f == cluster::FaultPlan::Fate::kCorrupt) ++corrupt;
+    if (f == cluster::FaultPlan::Fate::kDrop) ++drop;
+  }
+  // Rates in the right ballpark (loose 3-sigma-ish bounds).
+  EXPECT_GT(corrupt, 300);
+  EXPECT_LT(corrupt, 520);
+  EXPECT_GT(drop, 120);
+  EXPECT_LT(drop, 290);
+  // Different keys give a different stream.
+  int agree = 0;
+  for (std::uint64_t serial = 0; serial < 2000; ++serial) {
+    if (plan.fate(0, 1, serial, 0) == plan.fate(1, 0, serial, 0)) ++agree;
+  }
+  EXPECT_LT(agree, 2000);
+}
+
+TEST(FaultPlan, BackoffIsCappedExponential) {
+  cluster::FaultPlan plan;
+  plan.backoff_us = 25.0;
+  plan.backoff_max_us = 800.0;
+  EXPECT_DOUBLE_EQ(plan.backoff(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.backoff(1), 25.0);
+  EXPECT_DOUBLE_EQ(plan.backoff(2), 50.0);
+  EXPECT_DOUBLE_EQ(plan.backoff(3), 100.0);
+  EXPECT_DOUBLE_EQ(plan.backoff(6), 800.0);   // 25 * 2^5 = 800: at cap
+  EXPECT_DOUBLE_EQ(plan.backoff(7), 800.0);   // capped
+  EXPECT_DOUBLE_EQ(plan.backoff(60), 800.0);  // no overflow at the cap
+}
+
+TEST(Reliable, TimeoutAndBackoffScheduling) {
+  // The receiver's arrival stamp must equal the fault-free stamp plus
+  // the per-attempt NAK / timeout / backoff / retransfer costs -- walked
+  // here independently from the same pure fate function.
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.seed = 7;
+  plan.corrupt_prob = 0.25;
+  plan.drop_prob = 0.25;
+  constexpr int kMessages = 40;
+  constexpr int kWords = 64;
+  constexpr Microseconds kStamp = 1000.0;
+
+  const net::Interconnect& net = gcm::testing::test_net();
+  const Microseconds nak_us = net.small_message(8).half_rtt();
+  const Microseconds resend_us =
+      net.transfer_time(kWords * static_cast<std::int64_t>(sizeof(double)));
+
+  run_faulty(2, plan, [&](cluster::RankContext& ctx, comm::Comm&) {
+    comm::Reliable rel(ctx);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kMessages; ++i) {
+        rel.send(1, /*tag=*/5, std::vector<double>(kWords, i), kStamp);
+      }
+      return;
+    }
+    std::uint64_t ghosts_seen = 0, drops_seen = 0;
+    for (int i = 0; i < kMessages; ++i) {
+      const cluster::Message m = rel.recv(0, /*tag=*/5);
+      // Payload intact despite the recovery episode.
+      ASSERT_EQ(m.data.size(), static_cast<std::size_t>(kWords));
+      EXPECT_EQ(m.data[0], static_cast<double>(i));
+      EXPECT_FALSE(m.crc_error);
+      // Walk the expected schedule from the same pure fates.
+      Microseconds expect = kStamp;
+      int attempt = 0;
+      for (;; ++attempt) {
+        const auto f = plan.fate(0, 1, static_cast<std::uint64_t>(i), attempt);
+        if (f == cluster::FaultPlan::Fate::kOk) break;
+        if (f == cluster::FaultPlan::Fate::kCorrupt) {
+          ++ghosts_seen;
+          expect += nak_us + plan.backoff(attempt + 1) + resend_us;
+        } else {
+          ++drops_seen;
+          expect += plan.timeout_us + nak_us + plan.backoff(attempt + 1) +
+                    resend_us;
+        }
+      }
+      EXPECT_EQ(m.attempt, attempt);
+      EXPECT_NEAR(m.stamp_us, expect, 1e-9) << "message " << i;
+      EXPECT_NEAR(m.recovery_us, expect - kStamp, 1e-9);
+      EXPECT_NEAR(m.clean_stamp(), kStamp, 1e-9);
+    }
+    const comm::ReliableStats& st = rel.stats();
+    EXPECT_EQ(st.crc_rejects, ghosts_seen);
+    EXPECT_EQ(st.drops_detected, drops_seen);
+    EXPECT_GT(ghosts_seen + drops_seen, 10u);  // the storm actually stormed
+    EXPECT_EQ(ctx.accounting().crc_rejects,
+              static_cast<std::int64_t>(ghosts_seen));
+    EXPECT_EQ(ctx.accounting().drops_detected,
+              static_cast<std::int64_t>(drops_seen));
+    EXPECT_GT(ctx.accounting().retrans_us, 0.0);
+  });
+}
+
+TEST(Reliable, DeadLinkExhaustsAttemptsAndThrows) {
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.corrupt_prob = 1.0;  // every attempt faulted: the link is dead
+  plan.max_attempts = 8;
+  EXPECT_THROW(
+      run_faulty(2, plan,
+                 [&](cluster::RankContext& ctx, comm::Comm&) {
+                   if (ctx.rank() != 0) return;
+                   comm::Reliable rel(ctx);
+                   rel.send(1, 5, std::vector<double>(8, 1.0), 100.0);
+                 }),
+      comm::DeliveryFailure);
+}
+
+TEST(Reliable, WarnRateLimiterEngagesUnderFaultStorm) {
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_prob = 0.45;
+  run_faulty(2, plan, [&](cluster::RankContext& ctx, comm::Comm&) {
+    comm::Reliable rel(ctx);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 4000; ++i) {
+        rel.send(1, 5, std::vector<double>(4, 0.0), 100.0);
+      }
+      return;
+    }
+    for (int i = 0; i < 4000; ++i) (void)rel.recv(0, 5);
+    const comm::ReliableStats& st = rel.stats();
+    // ~1800 recovery events against a burst-5/every-256 limiter: the
+    // storm must be throttled, not silenced.
+    EXPECT_GT(st.warns_emitted, 0u);
+    EXPECT_GT(st.warns_suppressed, 100u);
+    EXPECT_GT(st.warns_suppressed, 10u * st.warns_emitted);
+  });
+}
+
+TEST(Robustness, FaultSweepDeterminism) {
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt_prob = 2e-3;
+  plan.drop_prob = 5e-4;
+  const GyreRun a = run_gyre(20, plan);
+  const GyreRun b = run_gyre(20, plan);
+  EXPECT_GT(a.retransmits, 0u);
+  // Same seed -> same retransmit count, same recovery cost, same state.
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.crc_rejects, b.crc_rejects);
+  EXPECT_EQ(a.drops_detected, b.drops_detected);
+  EXPECT_DOUBLE_EQ(a.retrans_us, b.retrans_us);
+  for (int r = 0; r < 4; ++r) {
+    expect_state_bits_equal(a.state.at(r), b.state.at(r), "rerun");
+  }
+}
+
+TEST(Robustness, BitIdenticalStateUnderRecoverableFaults) {
+  // The governing invariant: a 200-step gyre run at 1e-3 corruption per
+  // packet (plus drops) ends in a final prognostic state bit-identical
+  // to the fault-free run -- recoverable faults cost only virtual time,
+  // and every injected fault shows up in the accounting.
+  QuietLog quiet;
+  const cluster::FaultPlan clean;  // disabled
+  cluster::FaultPlan faulty;
+  faulty.seed = 1234;
+  faulty.corrupt_prob = 1e-3;
+  faulty.drop_prob = 2e-4;
+  const GyreRun a = run_gyre(200, clean);
+  const GyreRun b = run_gyre(200, faulty);
+  EXPECT_EQ(a.retransmits, 0u);
+  EXPECT_EQ(a.retrans_us, 0.0);
+  EXPECT_GT(b.retransmits, 0u);
+  EXPECT_GT(b.retrans_us, 0.0);
+  // Every injected fault is accounted: retransmits = rejects + drops.
+  EXPECT_EQ(b.retransmits, b.crc_rejects + b.drops_detected);
+  for (int r = 0; r < 4; ++r) {
+    expect_state_bits_equal(a.state.at(r), b.state.at(r), "faulty-vs-clean");
+  }
+}
+
+TEST(Robustness, CheckpointRollbackRoundTrip) {
+  // With a zero retransmit budget every faulted step is rolled back and
+  // replayed (fresh serials draw fresh fates, so replays converge).  The
+  // final state must still be bit-identical to the fault-free run.
+  QuietLog quiet;
+  const cluster::FaultPlan clean;
+  cluster::FaultPlan faulty;
+  faulty.seed = 77;
+  // Low enough that most steps are clean (a zero budget rolls back every
+  // faulted step, and replays must converge), high enough that a 60-step
+  // run sees several rollbacks.
+  faulty.corrupt_prob = 2.5e-4;
+  faulty.drop_prob = 5e-5;
+  const GyreRun a = run_gyre(60, clean);
+  const GyreRun b = run_gyre(60, faulty, /*retry_budget=*/0,
+                             /*checkpoint_interval=*/10);
+  EXPECT_GT(b.retransmits, 0u);
+  EXPECT_GT(b.rollbacks, 0);
+  for (int r = 0; r < 4; ++r) {
+    expect_state_bits_equal(a.state.at(r), b.state.at(r), "rollback");
+  }
+}
+
+TEST(Robustness, SolverGuardAbortsOnNaN) {
+  // A NaN escaping into the prognostic state must abort the CG solve
+  // with a diagnostic, not silently iterate to max_iter on garbage.
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(1, 1);
+  gcm::testing::run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    gcm::Model m(cfg, comm);
+    m.initialize();
+    (void)m.step();
+    // Poison an interior velocity cell (halo cells would be refreshed by
+    // the next exchange on a single-rank periodic tile).
+    const auto h = static_cast<std::size_t>(m.decomp().halo);
+    m.state().u(h + 2, h + 2, 1) = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW((void)m.step(), gcm::SolverDivergence);
+  });
+}
+
+TEST(Robustness, StragglerRankRunsConfiguredlySlower) {
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.straggler_rank = 0;
+  plan.straggler_factor = 3.0;
+  Microseconds t0 = 0, t1 = 0;
+  run_faulty(2, plan, [&](cluster::RankContext& ctx, comm::Comm&) {
+    ctx.compute(/*flops=*/5000.0, /*mflops=*/50.0);
+    (ctx.rank() == 0 ? t0 : t1) = ctx.clock().now();
+  });
+  EXPECT_DOUBLE_EQ(t1, 100.0);
+  EXPECT_DOUBLE_EQ(t0, 300.0);  // 3x slower
+}
+
+TEST(Robustness, RollbackGivesUpAfterConsecutiveFailures) {
+  // An unrecoverable fault pattern (every step over budget) must abort
+  // after max_rollbacks consecutive rollbacks, not loop forever.
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.seed = 5;
+  plan.corrupt_prob = 0.5;  // nearly every step has retransmits
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(2, 2);
+  cfg.retry_budget = 0;
+  cfg.max_rollbacks = 3;
+  EXPECT_THROW(
+      run_faulty(4, plan,
+                 [&](cluster::RankContext&, comm::Comm& comm) {
+                   gcm::Model m(cfg, comm);
+                   m.initialize();
+                   (void)m.run(20);
+                 }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyades

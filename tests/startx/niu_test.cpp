@@ -53,6 +53,17 @@ TEST(PioMode, PopOnEmptyThrows) {
   EXPECT_THROW(rig.niu(3).pio_pop(), std::logic_error);
 }
 
+TEST(PioMode, PopOnEmptyReportsNode) {
+  Rig rig;
+  try {
+    rig.niu(3).pio_pop();
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("node 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PioMode, RejectsBadPayloadAndTag) {
   Rig rig;
   EXPECT_THROW(rig.niu(0).pio_inject_at(0, 1, 1, {0u}),
@@ -137,6 +148,30 @@ TEST(ViMode, BackToBackSendsSerializeOnTxEngine) {
   // The second stream must wait for the first (single Tx DMA engine /
   // saturated PCI bus), so it finishes roughly a full stream later.
   EXPECT_GT(sim::to_us(done2), sim::to_us(done1) + 0.8 * 50000.0 / 110.0);
+}
+
+TEST(ViMode, CorruptChunkDiscardedNotCredited) {
+  Rig rig;
+  // Corrupt the first VI packet on the wire.  The NIU must not deposit
+  // the chunk or trust its (garbled) byte-count word: the chunk is
+  // discarded and the stream stalls short of completion.
+  rig.fabric.corrupt_next_injection();
+  rig.niu(0).vi_send_at(0, 15, 4, 200);  // 3 packets: 84 + 84 + 32 bytes
+  rig.sched.run();
+  EXPECT_EQ(rig.niu(15).vi_crc_discards(), 1u);
+  EXPECT_EQ(rig.niu(15).vi_received(4), 200 - 84);
+}
+
+TEST(ViMode, OverlongChunkClaimFailsFast) {
+  Rig rig;
+  // A (clean-CRC) VI packet whose byte-count word claims more data than
+  // the packet carries is a protocol bug; crediting it would silently
+  // complete the stream early.
+  arctic::Packet p;
+  p.usr_tag = (1u << 10) | 5u;  // VI flag | tag 5
+  p.payload = {1000u, 0u};      // claims 1000 bytes in one data word
+  rig.fabric.inject(0, 15, std::move(p));
+  EXPECT_THROW(rig.sched.run(), std::logic_error);
 }
 
 TEST(ViMode, ZeroByteSendCompletesImmediately) {

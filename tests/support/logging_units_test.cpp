@@ -60,5 +60,30 @@ TEST(Logging, SuppressedBelowThreshold) {
   SUCCEED();
 }
 
+TEST(RateLimiter, BurstThenEveryNth) {
+  RateLimiter lim(/*burst=*/3, /*every=*/10);
+  int admitted = 0;
+  for (int i = 0; i < 33; ++i) {
+    if (lim.admit()) ++admitted;
+  }
+  // First 3 pass, then events 3, 13, 23 of the remaining 30.
+  EXPECT_EQ(admitted, 6);
+  EXPECT_EQ(lim.seen(), 33u);
+  EXPECT_EQ(lim.suppressed(), 27u);
+}
+
+TEST(RateLimiter, ThreadSafeCountsAreExact) {
+  RateLimiter lim(/*burst=*/5, /*every=*/100);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) (void)lim.admit();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lim.seen(), 4000u);
+  EXPECT_EQ(lim.seen() - lim.suppressed(), 5u + 3995u / 100u + 1u);
+}
+
 }  // namespace
 }  // namespace hyades
