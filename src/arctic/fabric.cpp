@@ -1,8 +1,16 @@
 #include "arctic/fabric.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace hyades::arctic {
+
+UnreachableError::UnreachableError(int src_, int dst_)
+    : std::runtime_error("Fabric: no surviving path from endpoint " +
+                         std::to_string(src_) + " to endpoint " +
+                         std::to_string(dst_)),
+      src(src_),
+      dst(dst_) {}
 
 // A router stage: up to kRadix down-side outputs plus (below the top
 // level) kRadix up-side outputs.  Input handling lives in
@@ -31,7 +39,13 @@ Fabric::Fabric(sim::Scheduler& sched, int endpoints, FabricConfig cfg)
   }
   routers_per_level_ = 1;
   for (int l = 0; l < levels_ - 1; ++l) routers_per_level_ *= kRadix;
+  health_ = TopologyHealth(levels_, routers_per_level_);
   wire_topology();
+  // Permanent kills from the fault plan fire through the virtual clock.
+  for (const KillEvent& kill : cfg_.faults.kills) {
+    sched_.schedule_after(sim::from_us(kill.at_us),
+                          [this, kill] { apply_kill(kill); });
+  }
 }
 
 Fabric::~Fabric() = default;
@@ -95,8 +109,24 @@ void Fabric::inject(int src, int dst, Packet p) {
   if (!p.valid_format()) {
     throw std::invalid_argument("Fabric::inject: invalid packet format");
   }
-  const Route route = compute_route(
-      src, dst, levels_, cfg_.random_uproute ? &route_rng_ : nullptr);
+  // Healthy fabrics take the fast path; with anything dead the degraded
+  // search routes around the dead set (consuming the same RNG stream, so
+  // the two paths are bit-identical when nothing is dead).
+  Route route;
+  if (health_.any_dead()) {
+    const RoutedPath routed = compute_route_degraded(
+        src, dst, levels_, health_,
+        cfg_.random_uproute ? &route_rng_ : nullptr);
+    if (routed.status == RouteStatus::kUnreachable) {
+      ++stats_.unreachable_routes;
+      throw UnreachableError(src, dst);
+    }
+    route = routed.route;
+    ++stats_.degraded_routes;
+  } else {
+    route = compute_route(src, dst, levels_,
+                          cfg_.random_uproute ? &route_rng_ : nullptr);
+  }
   p.src = src;
   p.dst = dst;
   p.uproute = route.encode_uproute();
@@ -122,6 +152,13 @@ void Fabric::inject(int src, int dst, Packet p) {
 void Fabric::on_router_receive(int level, int index, bool from_below,
                                Packet&& p) {
   ++stats_.router_stages;
+  // A packet that reaches dead hardware is lost -- in-flight traffic
+  // routed before the kill cannot be rescued, only retransmitted by the
+  // end-to-end protocol above.
+  if (health_.router_dead(level, index)) {
+    ++stats_.dead_component_drops;
+    return;
+  }
   // Every stage verifies the CRC (Section 2.2); a failure is flagged, and
   // the packet continues so the endpoint's status bit reports it.
   if (!p.crc_ok()) p.crc_error = true;
@@ -144,9 +181,23 @@ void Fabric::on_router_receive(int level, int index, bool from_below,
   // its route demands more up levels than this stage.
   OutputPort* port = nullptr;
   if (from_below && route.up_levels > level) {
-    port = router.up[route.up_ports[static_cast<std::size_t>(level)]].get();
+    const int u = route.up_ports[static_cast<std::size_t>(level)];
+    if (health_.up_link_dead(level, index, u)) {
+      ++stats_.dead_component_drops;  // cable died under an in-flight packet
+      return;
+    }
+    port = router.up[static_cast<std::size_t>(u)].get();
   } else {
-    port = router.down[static_cast<std::size_t>(route.down_port(level))].get();
+    const int q = route.down_port(level);
+    // The down hop at level > 0 rides the cable registered as the up
+    // link of the router below (endpoint links at level 0 never die).
+    if (level > 0 &&
+        health_.up_link_dead(level - 1, with_digit(index, level - 1, q),
+                             digit(index, level - 1))) {
+      ++stats_.dead_component_drops;
+      return;
+    }
+    port = router.down[static_cast<std::size_t>(q)].get();
   }
 
   // The packet spends the router stage latency (< 0.15 us, Section 2.2)
@@ -173,6 +224,20 @@ double Fabric::bisection_bandwidth_mbytes_per_sec() const {
 
 sim::SimTime Fabric::injection_free_at(int node) const {
   return injection_[static_cast<std::size_t>(node)]->free_at();
+}
+
+void Fabric::apply_kill(const KillEvent& kill) {
+  if (kill.kind == KillEvent::Kind::kRouter) {
+    if (!health_.router_dead(kill.level, kill.index)) {
+      health_.kill_router(kill.level, kill.index);
+      ++stats_.routers_killed;
+    }
+  } else {
+    if (!health_.up_link_dead(kill.level, kill.index, kill.port)) {
+      health_.kill_up_link(kill.level, kill.index, kill.port);
+      ++stats_.links_killed;
+    }
+  }
 }
 
 }  // namespace hyades::arctic

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "arctic/fault.hpp"
@@ -40,6 +41,19 @@ struct FabricStats {
   std::uint64_t corrupted = 0;     // words garbled by the fault plan
   std::uint64_t dropped = 0;       // packets lost at a router stage
   std::uint64_t stalled = 0;       // stages that held a packet extra time
+  std::uint64_t links_killed = 0;   // permanent link deaths applied
+  std::uint64_t routers_killed = 0; // permanent router deaths applied
+  std::uint64_t dead_component_drops = 0;  // packets lost into dead hardware
+  std::uint64_t degraded_routes = 0;   // injections routed around a dead set
+  std::uint64_t unreachable_routes = 0;  // injections with no surviving path
+};
+
+// Thrown by inject() when the dead set disconnects src from dst.
+class UnreachableError : public std::runtime_error {
+ public:
+  UnreachableError(int src, int dst);
+  int src;
+  int dst;
 };
 
 class Fabric {
@@ -77,6 +91,15 @@ class Fabric {
   // Backpressure query: when the endpoint's injection link next frees.
   [[nodiscard]] sim::SimTime injection_free_at(int node) const;
 
+  // Apply a permanent kill immediately (plan kills are scheduled through
+  // the virtual clock in the constructor; tests and operators may also
+  // kill components directly).  Packets already queued toward the dead
+  // component are lost when they reach it; subsequent injections route
+  // around it.
+  void apply_kill(const KillEvent& kill);
+
+  [[nodiscard]] const TopologyHealth& health() const { return health_; }
+
  private:
   struct Router;
 
@@ -95,6 +118,7 @@ class Fabric {
   SplitMix64 route_rng_;
   DeliverFn deliver_;
   FabricStats stats_;
+  TopologyHealth health_;
   int corrupt_next_word_ = -1;  // -1: no forced corruption pending
   std::uint64_t next_serial_ = 0;
 

@@ -1,0 +1,51 @@
+#include "arctic/fault.hpp"
+
+#include <stdexcept>
+
+#include "arctic/route.hpp"
+
+namespace hyades::arctic {
+
+std::vector<KillEvent> seeded_link_kills(std::uint64_t seed, int count,
+                                         int n_levels, int routers_per_level,
+                                         Microseconds window_us) {
+  if (n_levels < 2) {
+    throw std::invalid_argument(
+        "seeded_link_kills: a 1-level tree has no inter-router links");
+  }
+  // One up link per router keeps every schedule survivable; that caps
+  // the number of killable links.
+  const int slots = (n_levels - 1) * routers_per_level;
+  if (count < 0 || count > slots) {
+    throw std::invalid_argument("seeded_link_kills: count out of range");
+  }
+  std::vector<KillEvent> kills;
+  kills.reserve(static_cast<std::size_t>(count));
+  std::vector<char> used(static_cast<std::size_t>(slots), 0);
+  std::uint64_t probe = 0;
+  for (int i = 0; i < count; ++i) {
+    // Rejection-sample an unused router slot; pure hash of (seed, probe)
+    // so the schedule depends on nothing but the seed.
+    int slot = 0;
+    for (;;) {
+      slot = static_cast<int>(hash_mix(seed, {0x6b696c6cull, probe++}) %
+                              static_cast<std::uint64_t>(slots));
+      if (used[static_cast<std::size_t>(slot)] == 0) break;
+    }
+    used[static_cast<std::size_t>(slot)] = 1;
+    KillEvent k;
+    k.kind = KillEvent::Kind::kLink;
+    k.level = slot / routers_per_level;
+    k.index = slot % routers_per_level;
+    k.port = static_cast<int>(
+        hash_mix(seed, {0x706f7274ull, static_cast<std::uint64_t>(i)}) %
+        static_cast<std::uint64_t>(kRadix));
+    k.at_us =
+        hash_unit(seed, {0x7768656eull, static_cast<std::uint64_t>(i)}) *
+        window_us;
+    kills.push_back(k);
+  }
+  return kills;
+}
+
+}  // namespace hyades::arctic

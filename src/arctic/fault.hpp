@@ -10,11 +10,25 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "support/rng.hpp"
 #include "support/units.hpp"
 
 namespace hyades::arctic {
+
+// A permanent hard failure: at `at_us` of virtual time a fabric
+// component dies and stays dead for the rest of the run.  Links are
+// addressed by their lower endpoint (up port `port` of router
+// (level, index)); both directions of the cable die together.
+struct KillEvent {
+  enum class Kind { kLink, kRouter };
+  Kind kind = Kind::kLink;
+  int level = 0;
+  int index = 0;
+  int port = 0;  // up port for kLink; ignored for kRouter
+  Microseconds at_us = 0.0;
+};
 
 struct FaultPlan {
   std::uint64_t seed = 0x5eedfa1ull;
@@ -30,9 +44,17 @@ struct FaultPlan {
   double stall_prob = 0.0;
   Microseconds stall_us = 2.0;
 
+  // Permanent component deaths, applied by the fabric at their
+  // scheduled virtual times.  Unlike the probabilistic fates above these
+  // are an explicit list, but the helper below derives one from a seed
+  // with the same pure-hash discipline.
+  std::vector<KillEvent> kills;
+
   [[nodiscard]] bool enabled() const {
-    return corrupt_prob > 0.0 || drop_prob > 0.0 || stall_prob > 0.0;
+    return corrupt_prob > 0.0 || drop_prob > 0.0 || stall_prob > 0.0 ||
+           has_kills();
   }
+  [[nodiscard]] bool has_kills() const { return !kills.empty(); }
 
   [[nodiscard]] bool corrupt_injection(std::uint64_t serial) const {
     return corrupt_prob > 0.0 &&
@@ -61,5 +83,15 @@ struct FaultPlan {
                : 0.0;
   }
 };
+
+// Derive `count` seeded link-kill events for an n-level tree with
+// `routers_per_level` routers per level.  Pure hash of (seed, kill
+// ordinal): same seed => same schedule, independent of everything else.
+// Kill times are spread uniformly over [0, window_us).  At most one up
+// link per router is killed, so in a full fat tree the schedule is
+// always survivable (the other three up ports remain).
+std::vector<KillEvent> seeded_link_kills(std::uint64_t seed, int count,
+                                         int n_levels, int routers_per_level,
+                                         Microseconds window_us);
 
 }  // namespace hyades::arctic

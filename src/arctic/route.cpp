@@ -75,4 +75,164 @@ int router_hops(int src, int dst, int n_levels) {
   return compute_route(src, dst, n_levels).router_hops();
 }
 
+TopologyHealth::TopologyHealth(int n_levels, int routers_per_level)
+    : levels_(n_levels),
+      routers_per_level_(routers_per_level),
+      router_dead_(static_cast<std::size_t>(n_levels * routers_per_level), 0),
+      link_dead_(
+          static_cast<std::size_t>(n_levels * routers_per_level * kRadix), 0) {
+  if (n_levels < 1 || routers_per_level < 1) {
+    throw std::invalid_argument("TopologyHealth: bad shape");
+  }
+}
+
+void TopologyHealth::kill_router(int level, int index) {
+  if (level < 0 || level >= levels_ || index < 0 ||
+      index >= routers_per_level_) {
+    throw std::out_of_range("TopologyHealth::kill_router: bad coordinates");
+  }
+  char& d =
+      router_dead_[static_cast<std::size_t>(level * routers_per_level_ + index)];
+  if (d == 0) {
+    d = 1;
+    ++dead_routers_;
+  }
+}
+
+void TopologyHealth::kill_up_link(int level, int index, int up_port) {
+  if (level < 0 || level >= levels_ - 1 || index < 0 ||
+      index >= routers_per_level_ || up_port < 0 || up_port >= kRadix) {
+    throw std::out_of_range("TopologyHealth::kill_up_link: bad coordinates");
+  }
+  char& d = link_dead_[static_cast<std::size_t>(
+      (level * routers_per_level_ + index) * kRadix + up_port)];
+  if (d == 0) {
+    d = 1;
+    ++dead_links_;
+  }
+}
+
+namespace {
+
+// Replace base-4 digit `pos` of `value` with `d`.
+int with_digit(int value, int pos, int d) {
+  const int mask = 3 << (2 * pos);
+  return (value & ~mask) | (d << (2 * pos));
+}
+
+// compute_route's deterministic up-port choice at level l.
+int default_up_port(int src, int dst, int l) {
+  return (digit(src, 0) + digit(src, l + 1) + digit(dst, l + 1) +
+          digit(dst, 0)) &
+         (kRadix - 1);
+}
+
+// The descent from apex router (k, apex) toward dst is forced: the
+// level-l router must take down port digit(dst, l).  True when every
+// router and cable on the way down is live.  A down hop from (l, r)
+// to (l-1, below) rides the same physical cable as `below`'s up port
+// digit(r, l-1), which is how link kills are addressed.
+bool descent_clear(int apex, int k, int dst, const TopologyHealth& h) {
+  int r = apex;
+  for (int l = k; l >= 1; --l) {
+    const int below = with_digit(r, l - 1, digit(dst, l));
+    if (h.up_link_dead(l - 1, below, digit(r, l - 1))) return false;
+    if (h.router_dead(l - 1, below)) return false;
+    r = below;
+  }
+  return true;
+}
+
+// Depth-first search over the up-port choice vector for climb height k.
+// At each level the candidates are probed in deterministic fallback
+// order: the default (or RNG-drawn) preference first, then +1, +2, +3
+// mod 4 -- so the route picked is a pure function of (src, dst, dead
+// set, preference vector).
+bool climb(int dst, int k, int level, int r,
+           std::array<std::uint8_t, kMaxLevels>& up, const int* pref,
+           const TopologyHealth& h) {
+  if (level == k) return descent_clear(r, k, dst, h);
+  for (int j = 0; j < kRadix; ++j) {
+    const int u = (pref[level] + j) & (kRadix - 1);
+    if (h.up_link_dead(level, r, u)) continue;
+    const int above = with_digit(r, level, u);
+    if (h.router_dead(level + 1, above)) continue;
+    up[static_cast<std::size_t>(level)] = static_cast<std::uint8_t>(u);
+    if (climb(dst, k, level + 1, above, up, pref, h)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RoutedPath compute_route_degraded(int src, int dst, int n_levels,
+                                  const TopologyHealth& health,
+                                  SplitMix64* rng) {
+  // Minimal climb height, exactly as compute_route finds it.
+  int p = 0;
+  for (int l = n_levels - 1; l >= 1; --l) {
+    if (digit(src, l) != digit(dst, l)) {
+      p = l;
+      break;
+    }
+  }
+
+  // Per-level starting preference: compute_route's own choice, so a
+  // fully healthy search reproduces its route bit for bit.  In
+  // random-uproute mode only the minimal-climb levels draw from the
+  // stream (the same p draws compute_route makes), keeping stream
+  // consumption independent of the dead set; over-climb levels fall
+  // back to the deterministic pairwise hash.
+  std::array<int, kMaxLevels + 1> pref{};
+  for (int l = 0; l < n_levels - 1; ++l) {
+    pref[static_cast<std::size_t>(l)] =
+        (l < p && rng != nullptr)
+            ? static_cast<int>(rng->next_below(kRadix))
+            : default_up_port(src, dst, l);
+  }
+
+  RoutedPath out;
+  const int src_leaf = src >> 2;
+  const int dst_leaf = dst >> 2;
+  if (health.router_dead(0, src_leaf) || health.router_dead(0, dst_leaf)) {
+    return out;  // an endpoint's leaf router is gone: partitioned
+  }
+
+  // Try the minimal climb first, then exploit the fat tree's extra
+  // diversity by over-climbing one level at a time.
+  for (int k = p; k <= n_levels - 1; ++k) {
+    std::array<std::uint8_t, kMaxLevels> up{};
+    if (!climb(dst, k, 0, src_leaf, up, pref.data(), health)) continue;
+    out.status = RouteStatus::kOk;
+    out.route.up_levels = k;
+    out.route.up_ports = up;
+    std::uint16_t down = 0;
+    for (int l = 0; l <= k; ++l) {
+      down = static_cast<std::uint16_t>(down | (digit(dst, l) << (2 * l)));
+    }
+    out.route.downroute = down;
+    return out;
+  }
+  return out;
+}
+
+bool route_survives(int src, int dst, const Route& route,
+                    const TopologyHealth& health) {
+  int r = src >> 2;
+  if (health.router_dead(0, r)) return false;
+  for (int l = 0; l < route.up_levels; ++l) {
+    const int u = route.up_ports[static_cast<std::size_t>(l)];
+    if (health.up_link_dead(l, r, u)) return false;
+    r = with_digit(r, l, u);
+    if (health.router_dead(l + 1, r)) return false;
+  }
+  for (int l = route.up_levels; l >= 1; --l) {
+    const int below = with_digit(r, l - 1, route.down_port(l));
+    if (health.up_link_dead(l - 1, below, digit(r, l - 1))) return false;
+    if (health.router_dead(l - 1, below)) return false;
+    r = below;
+  }
+  return r == (dst >> 2) && route.down_port(0) == digit(dst, 0);
+}
+
 }  // namespace hyades::arctic

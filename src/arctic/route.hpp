@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "support/rng.hpp"
 
@@ -55,5 +56,72 @@ Route compute_route(int src, int dst, int n_levels, SplitMix64* rng = nullptr);
 
 // Router stages on the deterministic path between src and dst.
 int router_hops(int src, int dst, int n_levels);
+
+// ---- degraded-mode routing (hard failures) ----------------------------
+
+// Health view of one fabric: which routers are dead and which
+// inter-router links are dead.  A link is identified by its *lower*
+// endpoint: up port `u` of router (level, index); the reverse (down)
+// direction of the same physical cable dies with it.  Endpoint
+// injection/delivery links are not killable -- a node that loses its
+// leaf router is simply partitioned.
+class TopologyHealth {
+ public:
+  TopologyHealth() = default;
+  TopologyHealth(int n_levels, int routers_per_level);
+
+  void kill_router(int level, int index);
+  void kill_up_link(int level, int index, int up_port);
+
+  [[nodiscard]] bool router_dead(int level, int index) const {
+    return !router_dead_.empty() &&
+           router_dead_[static_cast<std::size_t>(level * routers_per_level_ +
+                                                 index)] != 0;
+  }
+  [[nodiscard]] bool up_link_dead(int level, int index, int up_port) const {
+    return !link_dead_.empty() &&
+           link_dead_[static_cast<std::size_t>(
+               (level * routers_per_level_ + index) * kRadix + up_port)] != 0;
+  }
+  [[nodiscard]] bool any_dead() const {
+    return dead_routers_ + dead_links_ > 0;
+  }
+  [[nodiscard]] int dead_routers() const { return dead_routers_; }
+  [[nodiscard]] int dead_links() const { return dead_links_; }
+  [[nodiscard]] int levels() const { return levels_; }
+
+ private:
+  int levels_ = 0;
+  int routers_per_level_ = 0;
+  std::vector<char> router_dead_;  // [level * routers_per_level + index]
+  std::vector<char> link_dead_;    // [router slot * kRadix + up port]
+  int dead_routers_ = 0;
+  int dead_links_ = 0;
+};
+
+enum class RouteStatus { kOk, kUnreachable };
+
+struct RoutedPath {
+  RouteStatus status = RouteStatus::kUnreachable;
+  Route route;
+};
+
+// Topology-aware routing that excludes dead up-ports and routers using
+// the fat tree's path diversity.  The search tries the minimal climb
+// height first, then over-climbs one level at a time; at each level the
+// candidate up ports are probed in a deterministic fallback order
+// starting from the port compute_route would have picked (so with
+// nothing dead the result -- and, in random-uproute mode, the RNG
+// stream consumption -- is bit-identical to compute_route).  Returns
+// kUnreachable exactly when the dead set disconnects src from dst under
+// up*/down* routing.
+RoutedPath compute_route_degraded(int src, int dst, int n_levels,
+                                  const TopologyHealth& health,
+                                  SplitMix64* rng = nullptr);
+
+// True when `route` carries a packet from src to dst over live routers
+// and links only (used by tests to validate degraded routes).
+bool route_survives(int src, int dst, const Route& route,
+                    const TopologyHealth& health);
 
 }  // namespace hyades::arctic

@@ -28,4 +28,20 @@ Microseconds FaultPlan::backoff(int attempt) const {
   return std::min(b, backoff_max_us);
 }
 
+const NodeKill* FaultPlan::node_kill(int rank, int epoch) const {
+  for (const NodeKill& k : node_kills) {
+    if (k.rank == rank && k.epoch == epoch) return &k;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::link_dead(int smp_a, int smp_b, Microseconds now_us) const {
+  for (const LinkKill& k : link_kills) {
+    const bool match = (k.smp_a == smp_a && k.smp_b == smp_b) ||
+                       (k.smp_a == smp_b && k.smp_b == smp_a);
+    if (match && now_us >= k.at_us) return true;
+  }
+  return false;
+}
+
 }  // namespace hyades::cluster

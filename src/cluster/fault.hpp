@@ -18,10 +18,64 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "support/units.hpp"
 
 namespace hyades::cluster {
+
+// A permanent node fail-stop: during epoch `epoch`, the SMP node
+// hosting `rank` dies -- every rank it hosts stops at its first
+// communication point at or after virtual time `at_us` and never speaks
+// again.  Restarted epochs (epoch > kill.epoch) run the node normally:
+// the operator replaced the board.
+struct NodeKill {
+  int rank = -1;
+  Microseconds at_us = 0.0;
+  int epoch = 0;
+};
+
+// A permanent inter-SMP link death: from `at_us` on, bulk transfers
+// between the two SMPs ride a longer route-around path (the fat tree's
+// surviving diversity) and pay `FaultPlan::reroute_penalty_us` extra
+// latency per transfer.  Timing-only: payload bits are untouched.
+struct LinkKill {
+  int smp_a = -1;
+  int smp_b = -1;
+  Microseconds at_us = 0.0;
+};
+
+// The collectively agreed fail-stop verdict.  detected_us is plan-pure
+// (kill time + heartbeat deadline), never a racing observer's clock, so
+// every survivor publishes the identical verdict.
+struct NodeDownVerdict {
+  int rank = -1;
+  int epoch = 0;
+  Microseconds detected_us = 0.0;
+};
+
+// Thrown by every bus operation once a NodeDown verdict is declared:
+// the surviving ranks unwind their epoch and the resilient driver
+// restarts from the last durable checkpoint.
+class NodeDownError : public std::runtime_error {
+ public:
+  explicit NodeDownError(const NodeDownVerdict& v)
+      : std::runtime_error("node down: rank " + std::to_string(v.rank) +
+                           " (epoch " + std::to_string(v.epoch) +
+                           ", detected at t=" + std::to_string(v.detected_us) +
+                           " us)"),
+        verdict(v) {}
+  NodeDownVerdict verdict;
+};
+
+// Thrown inside a rank that reaches its own scheduled fail-stop point;
+// deliberately NOT a std::exception so only the resilient driver's
+// explicit handler treats it as "this rank went silent".
+struct RankFailStop {
+  NodeKill kill;
+};
 
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -47,14 +101,51 @@ struct FaultPlan {
   int straggler_rank = -1;
   double straggler_factor = 1.0;
 
+  // ---- hard failures --------------------------------------------------
+  // Permanent fail-stops and link deaths (explicit schedules, same
+  // determinism discipline as the probabilistic fates: everything below
+  // is a pure function of the plan).
+  std::vector<NodeKill> node_kills;
+  std::vector<LinkKill> link_kills;
+
+  // Membership: a peer silent past `heartbeat_deadline_us` of virtual
+  // time (no message, no heartbeat on the reserved tag) is declared
+  // down.  Before declaring, the detector fires `dead_peer_probes`
+  // heartbeat probes -- escalation, not retry-budget burn.
+  Microseconds heartbeat_deadline_us = 2000.0;
+  int dead_peer_probes = 3;
+
+  // Virtual cost of one collective restart-from-checkpoint (relaunch +
+  // state reload), charged to every rank of the new epoch.
+  Microseconds restart_cost_us = 5000.0;
+
+  // Extra per-transfer latency between SMP pairs whose direct link died
+  // (the route-around path crosses more router stages).
+  Microseconds reroute_penalty_us = 3.0;
+
   enum class Fate { kOk, kCorrupt, kDrop };
 
   [[nodiscard]] bool enabled() const {
+    return has_fates() || has_node_kills() || has_link_kills();
+  }
+  // Probabilistic per-attempt fates (corrupt/drop) are configured; the
+  // reliability layer runs its retransmit episode simulation only then.
+  [[nodiscard]] bool has_fates() const {
     return corrupt_prob > 0.0 || drop_prob > 0.0;
   }
   [[nodiscard]] bool has_straggler() const {
     return straggler_rank >= 0 && straggler_factor > 1.0;
   }
+  [[nodiscard]] bool has_node_kills() const { return !node_kills.empty(); }
+  [[nodiscard]] bool has_link_kills() const { return !link_kills.empty(); }
+
+  // The kill scheduled for `rank` in `epoch`, or nullptr.
+  [[nodiscard]] const NodeKill* node_kill(int rank, int epoch) const;
+
+  // True when the direct link between the two SMPs is dead at virtual
+  // time `now_us` (kills are permanent, symmetric in the SMP pair).
+  [[nodiscard]] bool link_dead(int smp_a, int smp_b,
+                               Microseconds now_us) const;
 
   // The fate of attempt number `attempt` of message `serial` from
   // src -> dst.  Pure function of the keys and the seed.

@@ -1,0 +1,97 @@
+#include "cluster/membership.hpp"
+
+#include <algorithm>
+
+#include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
+#include "support/logging.hpp"
+
+namespace hyades::cluster {
+
+namespace {
+// Membership escalations warn at most a handful of times per process: a
+// heartbeat storm against a dead peer must not flood the log.
+RateLimiter g_membership_warn_limiter(/*burst=*/4, /*every=*/256);
+}  // namespace
+
+Membership::Membership(RankContext& ctx, const FaultPlan& plan)
+    : ctx_(ctx),
+      plan_(plan),
+      last_heard_(static_cast<std::size_t>(ctx.nranks()), 0.0) {}
+
+void Membership::note_alive(int peer, Microseconds stamp_us) {
+  Microseconds& t = last_heard_[static_cast<std::size_t>(peer)];
+  t = std::max(t, stamp_us);
+}
+
+Microseconds Membership::last_heard(int peer) const {
+  return last_heard_[static_cast<std::size_t>(peer)];
+}
+
+const NodeKill* Membership::kill_on_smp(int smp) const {
+  for (const NodeKill& k : plan_.node_kills) {
+    if (k.epoch == ctx_.epoch() && ctx_.smp_of(k.rank) == smp) return &k;
+  }
+  return nullptr;
+}
+
+void Membership::maybe_fail_self() {
+  const NodeKill* kill = kill_on_smp(ctx_.smp());
+  if (kill != nullptr && ctx_.clock().now() >= kill->at_us) {
+    throw RankFailStop{*kill};
+  }
+}
+
+const NodeKill* Membership::scheduled_kill(int rank) const {
+  return kill_on_smp(ctx_.smp_of(rank));
+}
+
+const NodeKill* Membership::killed_peer(int peer) const {
+  const NodeKill* kill = kill_on_smp(ctx_.smp_of(peer));
+  if (kill == nullptr) return nullptr;
+  // Failure-detector assumption: the heartbeat deadline exceeds the
+  // virtual-clock skew between partners within a step, so a silent peer
+  // whose kill time lies within [now, now + deadline] may already have
+  // reached it on its own (slightly ahead) clock.  Without the slack a
+  // receiver resting just below the kill time would wait forever.
+  if (ctx_.clock().now() + plan_.heartbeat_deadline_us < kill->at_us) {
+    return nullptr;
+  }
+  return kill;
+}
+
+void Membership::escalate(int peer, const NodeKill& kill) {
+  // Idle-time probes on the reserved tag: fire-and-forget heartbeats the
+  // dead peer will never answer, each costed one small-message send
+  // through the virtual clock.
+  const Microseconds probe_cost = ctx_.net().small_message(16).os;
+  for (int i = 0; i < plan_.dead_peer_probes; ++i) {
+    ctx_.send_raw(peer, kTagMembership, {static_cast<double>(ctx_.rank())},
+                  ctx_.clock().now() + ctx_.net().small_message(16).half_rtt());
+    ctx_.clock().advance(probe_cost);
+  }
+
+  // Plan-pure verdict: the detection time is the kill time plus the
+  // membership deadline, not this rank's (scheduling-dependent) clock.
+  NodeDownVerdict verdict;
+  verdict.rank = peer;
+  verdict.epoch = ctx_.epoch();
+  verdict.detected_us = kill.at_us + plan_.heartbeat_deadline_us;
+
+  const Microseconds began = ctx_.clock().now();
+  ctx_.clock().advance_to(verdict.detected_us);
+  if (ctx_.tracer() != nullptr) {
+    ctx_.tracer()->record("node_down", SpanCat::kNodeDown, began,
+                          ctx_.clock().now());
+  }
+  if (g_membership_warn_limiter.admit()) {
+    log_warn() << "membership: rank " << ctx_.rank() << " declares rank "
+               << peer << " DOWN (epoch " << verdict.epoch << ", silent since t="
+               << kill.at_us << " us, deadline " << plan_.heartbeat_deadline_us
+               << " us)";
+  }
+  ctx_.declare_node_down(verdict);
+  throw NodeDownError(verdict);
+}
+
+}  // namespace hyades::cluster

@@ -1,0 +1,79 @@
+// Heartbeat/membership service: converts a peer's permanent silence
+// into a collectively agreed NodeDown verdict.
+//
+// Liveness information is piggybacked on normal traffic (every accepted
+// bulk message refreshes the sender's last-heard time); when a sender's
+// retransmit watchdog keeps firing against one peer, it asks this
+// service instead of burning the whole retry budget.  The service fires
+// `FaultPlan::dead_peer_probes` idle-time heartbeat probes on the
+// reserved tag (costed through the virtual clock like any small
+// message) and, if the plan confirms the peer's scheduled fail-stop,
+// escalates: the plan-pure verdict {rank, epoch, kill time + heartbeat
+// deadline} is published by poisoning the MessageBus, every survivor
+// unwinds with NodeDownError, and the resilient driver restarts the
+// epoch from the last durable checkpoint.
+//
+// Verdicts are pure functions of the fault plan -- never of a racing
+// observer's clock -- so whichever rank detects first publishes exactly
+// the verdict every other survivor would have.
+#pragma once
+
+#include <vector>
+
+#include "cluster/fault.hpp"
+#include "support/units.hpp"
+
+namespace hyades::cluster {
+
+class RankContext;
+
+// Reserved bus tag for heartbeat probes; sits between the coupler
+// (4000s) and portable (8000s) tag spaces and far below the epoch tag
+// stride.
+inline constexpr int kTagMembership = 5000;
+
+class Membership {
+ public:
+  Membership(RankContext& ctx, const FaultPlan& plan);
+
+  // Piggybacked liveness: an accepted message stamped `stamp_us`
+  // proves the sender was alive then.
+  void note_alive(int peer, Microseconds stamp_us);
+  [[nodiscard]] Microseconds last_heard(int peer) const;
+
+  // Fail-stop self-check, called at every communication point.  If the
+  // plan kills this rank in the current epoch and the virtual clock has
+  // reached the kill time, the rank dies here (throws RankFailStop) --
+  // it never sends or receives again.
+  void maybe_fail_self();
+
+  // The scheduled kill explaining `peer`'s silence at the current
+  // virtual time, or nullptr when the peer should still be alive (its
+  // silence is transient loss; keep retrying).  Kills are node-granular:
+  // a kill naming any rank of the peer's SMP explains the peer.
+  [[nodiscard]] const NodeKill* killed_peer(int peer) const;
+
+  // The kill (if any) scheduled this epoch for the node hosting `rank`,
+  // regardless of whether its time has come -- the resilient driver uses
+  // this to classify collateral errors on a dying node.
+  [[nodiscard]] const NodeKill* scheduled_kill(int rank) const;
+
+  // Escalate a silent peer into the collective verdict: probe it
+  // `dead_peer_probes` times on the reserved tag, advance to the
+  // plan-pure detection time, record a kNodeDown span, poison the bus,
+  // and unwind this rank's epoch by throwing NodeDownError.
+  [[noreturn]] void escalate(int peer, const NodeKill& kill);
+
+ private:
+  // The kill (if any) scheduled for the current epoch on the given SMP.
+  // Node kills are SMP-granular -- a crashed node takes every rank it
+  // hosts with it -- so both the self-check and peer diagnosis match on
+  // the SMP, not the exact rank.
+  [[nodiscard]] const NodeKill* kill_on_smp(int smp) const;
+
+  RankContext& ctx_;
+  const FaultPlan& plan_;
+  std::vector<Microseconds> last_heard_;
+};
+
+}  // namespace hyades::cluster

@@ -14,6 +14,7 @@ MessageBus::MessageBus(int nranks) {
 }
 
 void MessageBus::send(int to, Message m) {
+  if (down()) throw NodeDownError(down_verdict());
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(to));
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -27,18 +28,20 @@ Message MessageBus::recv(int me, int from, int tag, int timeout_ms) {
   std::unique_lock<std::mutex> lock(box.mu);
   auto& q = box.queues[{from, tag}];
   if (!box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                       [&] { return !q.empty(); })) {
+                       [&] { return !q.empty() || down(); })) {
     throw std::runtime_error("MessageBus::recv: timeout (rank " +
                              std::to_string(me) + " waiting on " +
                              std::to_string(from) + " tag " +
                              std::to_string(tag) + ")");
   }
+  if (down()) throw NodeDownError(down_verdict());
   Message m = std::move(q.front());
   q.pop_front();
   return m;
 }
 
 std::optional<Message> MessageBus::try_recv(int me, int from, int tag) {
+  if (down()) throw NodeDownError(down_verdict());
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
   std::lock_guard<std::mutex> lock(box.mu);
   auto it = box.queues.find({from, tag});
@@ -46,6 +49,28 @@ std::optional<Message> MessageBus::try_recv(int me, int from, int tag) {
   Message m = std::move(it->second.front());
   it->second.pop_front();
   return m;
+}
+
+void MessageBus::declare_down(const NodeDownVerdict& verdict) {
+  {
+    std::lock_guard<std::mutex> lock(verdict_mu_);
+    if (down_.load(std::memory_order_relaxed)) return;  // first verdict wins
+    verdict_ = verdict;
+    down_.store(true, std::memory_order_release);
+  }
+  // Wake every rank blocked in recv so the abort is prompt.
+  for (auto& box : boxes_) box->cv.notify_all();
+}
+
+NodeDownVerdict MessageBus::down_verdict() const {
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  return verdict_;
+}
+
+void MessageBus::reset_down() {
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  verdict_ = NodeDownVerdict{};
+  down_.store(false, std::memory_order_release);
 }
 
 bool MessageBus::poll(int me, int from, int tag) {

@@ -6,14 +6,17 @@
 // Arctic's FIFO guarantee for messages on the same path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "cluster/fault.hpp"
 #include "support/units.hpp"
 
 namespace hyades::cluster {
@@ -31,12 +34,13 @@ struct Message {
   int attempt = 0;              // 0 = first transmission
   bool crc_error = false;       // the endpoint's 1-bit CRC status
   Microseconds recovery_us = 0;  // stamp delay caused by retransmits
+  Microseconds reroute_us = 0;   // stamp delay from a dead-link route-around
 
   // Arrival time the transfer would have had without faults; callers
-  // attributing wait time use this so recovery cost lands in the
-  // retrans bucket, not in imbalance.
+  // attributing wait time use this so recovery and reroute cost land in
+  // their own buckets, not in imbalance.
   [[nodiscard]] Microseconds clean_stamp() const {
-    return stamp_us - recovery_us;
+    return stamp_us - recovery_us - reroute_us;
   }
 };
 
@@ -60,6 +64,24 @@ class MessageBus {
   // Non-blocking probe (for tests).
   [[nodiscard]] bool poll(int me, int from, int tag);
 
+  // ---- NodeDown poison -------------------------------------------------
+  // Declaring a verdict poisons the bus: every subsequent send/recv/
+  // try_recv on any rank throws NodeDownError carrying the verdict, and
+  // ranks blocked in recv wake immediately.  That turns one rank's
+  // detection into a prompt collective abort of the epoch without any
+  // real-time timeouts.  First verdict wins; later declarations are
+  // ignored (every survivor derives the identical plan-pure verdict
+  // anyway).
+  void declare_down(const NodeDownVerdict& verdict);
+  [[nodiscard]] bool down() const {
+    return down_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] NodeDownVerdict down_verdict() const;
+  // Clear the poison before relaunching the next epoch.  Queued mail
+  // from the aborted epoch is left in place: the epoch number woven
+  // into message tags (RankContext) makes it unmatchable dead letters.
+  void reset_down();
+
  private:
   struct Mailbox {
     std::mutex mu;
@@ -67,6 +89,9 @@ class MessageBus {
     std::map<std::pair<int, int>, std::deque<Message>> queues;
   };
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<bool> down_{false};
+  mutable std::mutex verdict_mu_;
+  NodeDownVerdict verdict_;
 };
 
 }  // namespace hyades::cluster

@@ -26,6 +26,10 @@ struct RankBreakdown {
   Microseconds overlap_us = 0;    // comm hidden under compute (credit)
   Microseconds imbalance_us = 0;  // of the comm waits: partner lateness
   Microseconds retrans_us = 0;    // of the comm waits: fault recovery
+  Microseconds reroute_us = 0;    // of the comm waits: dead-link detours
+  Microseconds restart_us = 0;    // restart-from-checkpoint (not in total)
+  std::int64_t degraded_sends = 0;  // transfers on a route-around path
+  std::int64_t restarts = 0;        // epochs restarted into
   Microseconds comm_us = 0;       // Accounting::comm_us (cross-check)
   Microseconds total_us = 0;      // compute + comm
 

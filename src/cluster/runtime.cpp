@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "cluster/fault.hpp"
+#include "cluster/membership.hpp"
 #include "support/logging.hpp"
 
 namespace hyades::cluster {
@@ -43,7 +44,10 @@ void AbortableBarrier::reset() {
   waiting_ = 0;
 }
 
-RankContext::RankContext(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+RankContext::RankContext(Runtime& rt, int rank)
+    : rt_(rt), rank_(rank), epoch_(rt.epoch()) {}
+
+RankContext::~RankContext() = default;
 
 int RankContext::nranks() const { return rt_.config().nranks(); }
 int RankContext::smp() const { return rank_ / rt_.config().procs_per_smp; }
@@ -86,7 +90,7 @@ void RankContext::send_raw(int to, int tag, std::vector<double> data,
                            Microseconds arrival_stamp) {
   Message m;
   m.src = rank_;
-  m.tag = tag;
+  m.tag = tag + epoch_ * kEpochTagStride;
   m.data = std::move(data);
   m.stamp_us = arrival_stamp;
   rt_.bus().send(to, std::move(m));
@@ -94,15 +98,21 @@ void RankContext::send_raw(int to, int tag, std::vector<double> data,
 
 void RankContext::send_msg(int to, Message m) {
   m.src = rank_;
+  m.tag += epoch_ * kEpochTagStride;
   rt_.bus().send(to, std::move(m));
 }
 
 Message RankContext::recv_raw(int from, int tag) {
-  return rt_.bus().recv(rank_, from, tag);
+  Message m = rt_.bus().recv(rank_, from, tag + epoch_ * kEpochTagStride);
+  m.tag -= epoch_ * kEpochTagStride;
+  return m;
 }
 
 std::optional<Message> RankContext::try_recv_raw(int from, int tag) {
-  return rt_.bus().try_recv(rank_, from, tag);
+  std::optional<Message> m =
+      rt_.bus().try_recv(rank_, from, tag + epoch_ * kEpochTagStride);
+  if (m.has_value()) m->tag -= epoch_ * kEpochTagStride;
+  return m;
 }
 
 void RankContext::smp_sync() {
@@ -155,6 +165,27 @@ void RankContext::charge_retrans(Microseconds recovery_us) {
   acct_.retrans_us += recovery_us;
 }
 
+void RankContext::charge_reroute(Microseconds reroute_us) {
+  acct_.reroute_us += reroute_us;
+  ++acct_.degraded_sends;
+}
+
+void RankContext::charge_restart(Microseconds restart_us) {
+  acct_.restart_us += restart_us;
+  ++acct_.restarts;
+}
+
+Membership* RankContext::membership() {
+  const FaultPlan* plan = faults();
+  if (plan == nullptr || !plan->has_node_kills()) return nullptr;
+  if (!membership_) membership_ = std::make_unique<Membership>(*this, *plan);
+  return membership_.get();
+}
+
+void RankContext::declare_node_down(const NodeDownVerdict& verdict) {
+  rt_.bus().declare_down(verdict);
+}
+
 Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {
   if (cfg_.interconnect == nullptr) {
     throw std::invalid_argument("Runtime: interconnect model is required");
@@ -198,6 +229,18 @@ void Runtime::run(const std::function<void(RankContext&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  // A NodeDown verdict is the root cause of an aborted epoch; sibling
+  // ranks unwinding through the poisoned bus or an aborted SMP barrier
+  // produce collateral runtime_errors.  Surface the verdict first.
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const NodeDownError&) {
+      throw;
+    } catch (...) {
+    }
+  }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -59,12 +59,21 @@ struct Accounting {
   // NAK round trips, retransmit backoff, and repeated transfers.  Like
   // imbalance_us, a subset attribution -- zero on fault-free runs.
   Microseconds retrans_us = 0;
+  // Of comm_us, extra transfer latency paid because a dead inter-SMP
+  // link forced traffic onto a longer route-around path.
+  Microseconds reroute_us = 0;
+  // Virtual time spent in collective restart-from-checkpoint after a
+  // NodeDown verdict (relaunch + state reload).  Charged once per
+  // restart per rank; NOT a subset of comm_us.
+  Microseconds restart_us = 0;
   double flops = 0;
 
   // Fault-recovery event counts (all zero on fault-free runs).
   std::int64_t retransmits = 0;   // sender-side retries performed
   std::int64_t crc_rejects = 0;   // receiver-side CRC-flagged attempts NAK'd
   std::int64_t drops_detected = 0;  // attempts recovered via timeout
+  std::int64_t degraded_sends = 0;  // transfers that rode a route-around
+  std::int64_t restarts = 0;        // epochs this rank restarted into
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
   // Sustained MFlop/sec over the accounted interval.
@@ -74,6 +83,13 @@ struct Accounting {
 };
 
 class Runtime;
+class Membership;
+
+// Tag stride between epochs: rank-level transport offsets every tag by
+// epoch * stride, so messages from an aborted epoch can never match a
+// restarted epoch's receives (they age out as dead letters).  All
+// protocol tag spaces live far below this stride.
+inline constexpr int kEpochTagStride = 1 << 16;
 
 // A cyclic thread barrier that can be aborted: when a rank dies with an
 // exception, abort() wakes every sibling blocked in arrive_and_wait()
@@ -112,6 +128,9 @@ struct SmpShared {
 class RankContext {
  public:
   RankContext(Runtime& rt, int rank);
+  ~RankContext();
+  RankContext(const RankContext&) = delete;
+  RankContext& operator=(const RankContext&) = delete;
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int nranks() const;
@@ -166,9 +185,26 @@ class RankContext {
   void charge_imbalance(Microseconds wait_us);
   // Attribute fault-recovery cost (NAK + backoff + retransfer time).
   void charge_retrans(Microseconds recovery_us);
+  // Attribute dead-link route-around latency (also counts the send).
+  void charge_reroute(Microseconds reroute_us);
+  // Attribute one collective restart-from-checkpoint (counts it too).
+  void charge_restart(Microseconds restart_us);
 
   // The machine's fault plan, or nullptr when fault injection is off.
   [[nodiscard]] const struct FaultPlan* faults() const;
+
+  // The epoch this rank is executing (inherited from the Runtime at
+  // construction).  Epoch e shifts every transport tag by
+  // e * kEpochTagStride -- see kEpochTagStride.
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  // Membership/heartbeat service; non-null only when the fault plan
+  // schedules node kills.  Created lazily on first use.
+  [[nodiscard]] Membership* membership();
+
+  // Publish a NodeDown verdict: poisons the machine's bus so every
+  // rank's next transport call unwinds with NodeDownError.
+  void declare_node_down(const NodeDownVerdict& verdict);
 
   // Optional tracing: when set, instrumented layers record operation
   // intervals here.  Not owned.
@@ -178,9 +214,11 @@ class RankContext {
  private:
   Runtime& rt_;
   int rank_;
+  int epoch_ = 0;
   VirtualClock clock_;
   Accounting acct_;
   class Tracer* tracer_ = nullptr;
+  std::unique_ptr<Membership> membership_;
 };
 
 class Runtime {
@@ -205,8 +243,14 @@ class Runtime {
   }
   [[nodiscard]] Microseconds max_clock() const;
 
+  // Epoch for the next run(); ranks inherit it at construction.  The
+  // resilient driver bumps it before each restart.
+  void set_epoch(int epoch) { epoch_ = epoch; }
+  [[nodiscard]] int epoch() const { return epoch_; }
+
  private:
   MachineConfig cfg_;
+  int epoch_ = 0;
   MessageBus bus_;
   std::vector<std::unique_ptr<SmpShared>> smps_;
   std::vector<Accounting> acct_;

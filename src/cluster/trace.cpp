@@ -55,6 +55,7 @@ const char* span_cat_name(SpanCat cat) {
     case SpanCat::kBarrier: return "barrier";
     case SpanCat::kSolver: return "solver";
     case SpanCat::kFault: return "fault";
+    case SpanCat::kNodeDown: return "node_down";
     case SpanCat::kOther: return "other";
   }
   return "other";
@@ -72,6 +73,9 @@ SpanCat span_cat_of(const std::string& op) {
   if (op.rfind("ds_cg", 0) == 0) return SpanCat::kSolver;
   if (op.rfind("retransmit", 0) == 0 || op.rfind("rollback", 0) == 0) {
     return SpanCat::kFault;
+  }
+  if (op.rfind("node_down", 0) == 0 || op.rfind("restart", 0) == 0) {
+    return SpanCat::kNodeDown;
   }
   return SpanCat::kOther;
 }

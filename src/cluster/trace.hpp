@@ -32,6 +32,7 @@ enum class SpanCat : std::uint8_t {
   kBarrier,   // barrier
   kSolver,    // ds_cg_iter -- per-iteration CG spans
   kFault,     // retransmit, rollback -- fault-recovery intervals
+  kNodeDown,  // node_down, restart -- hard-failure detection/recovery
   kOther,
 };
 

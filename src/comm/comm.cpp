@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -43,13 +44,23 @@ void reset_abandoned_handles() {
 // its own data.  Destructors cannot throw, so they shout and count; the
 // slot stays marked busy in the Comm, which makes the next wrap onto it
 // fail fast in *_start instead of corrupting state.
+//
+// During exception unwinding (an epoch aborting on a NodeDown verdict
+// tears down whole call stacks holding live handles) abandonment is the
+// expected teardown path, not a caller bug: the counter still ticks, but
+// the log line drops to a rate-limitable warning.
 
 ExchangeHandle::~ExchangeHandle() {
   if (buf_ != nullptr) {
     g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
-    log_error() << "ExchangeHandle abandoned while active (seq " << seq_
-                << "): exchange_finish was never called; its tag slot is "
-                   "poisoned and messages may be left undrained";
+    if (std::uncaught_exceptions() > 0) {
+      log_warn() << "ExchangeHandle abandoned during unwinding (seq " << seq_
+                 << "): epoch abort tore down an in-flight exchange";
+    } else {
+      log_error() << "ExchangeHandle abandoned while active (seq " << seq_
+                  << "): exchange_finish was never called; its tag slot is "
+                     "poisoned and messages may be left undrained";
+    }
   }
 }
 
@@ -87,9 +98,14 @@ ExchangeHandle& ExchangeHandle::operator=(ExchangeHandle&& o) noexcept {
 GsumHandle::~GsumHandle() {
   if (active_) {
     g_abandoned_handles.fetch_add(1, std::memory_order_relaxed);
-    log_error() << "GsumHandle abandoned while active (salt " << salt_
-                << "): global_sum_finish was never called; its tag slot is "
-                   "poisoned and messages may be left undrained";
+    if (std::uncaught_exceptions() > 0) {
+      log_warn() << "GsumHandle abandoned during unwinding (salt " << salt_
+                 << "): epoch abort tore down an in-flight reduction";
+    } else {
+      log_error() << "GsumHandle abandoned while active (salt " << salt_
+                  << "): global_sum_finish was never called; its tag slot is "
+                     "poisoned and messages may be left undrained";
+    }
   }
 }
 

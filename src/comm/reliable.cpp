@@ -1,9 +1,12 @@
 #include "comm/reliable.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
+#include "cluster/membership.hpp"
 #include "cluster/trace.hpp"
 
 namespace hyades::comm {
@@ -11,16 +14,46 @@ namespace hyades::comm {
 namespace {
 // A NAK is one small control message back to the sender.
 constexpr int kNakPayloadBytes = 8;
+
+// Real-time patience while polling for a silent peer.  The grace period
+// filters transient thread-scheduling lag before the plan is consulted
+// about a scheduled fail-stop; the hard deadline turns a protocol bug
+// (waiting on a peer that is neither sending nor scheduled to die) into
+// a descriptive error instead of a hang.
+constexpr auto kDeadPeerGrace = std::chrono::milliseconds(50);
+constexpr auto kRecvDeadline = std::chrono::seconds(30);
+constexpr auto kRecvPollSleep = std::chrono::microseconds(50);
 }  // namespace
 
 void Reliable::send(int to, int tag, std::vector<double> data,
                     Microseconds stamp) {
   const cluster::FaultPlan* plan = ctx_.faults();
+  if (cluster::Membership* ms = ctx_.membership()) ms->maybe_fail_self();
   const bool remote = ctx_.smp_of(to) != ctx_.smp();
-  if (plan == nullptr || !plan->enabled() || !remote) {
-    // Fault-free / intra-SMP fast path: exactly the raw transport, no
-    // extra clock, accounting, or metadata effects.
-    ctx_.send_raw(to, tag, std::move(data), stamp);
+
+  // Dead inter-SMP link: the transfer survives on a route-around path
+  // through the fat tree's remaining diversity, paying extra latency.
+  // Timing-only -- the payload is untouched, so runs differ from the
+  // healthy schedule purely in stamps (state stays bit-identical).
+  Microseconds reroute_us = 0;
+  if (plan != nullptr && remote && plan->has_link_kills() &&
+      plan->link_dead(ctx_.smp(), ctx_.smp_of(to), ctx_.clock().now())) {
+    reroute_us = plan->reroute_penalty_us;
+  }
+
+  if (plan == nullptr || !plan->has_fates() || !remote) {
+    if (reroute_us == 0) {
+      // Fault-free / intra-SMP fast path: exactly the raw transport, no
+      // extra clock, accounting, or metadata effects.
+      ctx_.send_raw(to, tag, std::move(data), stamp);
+      return;
+    }
+    cluster::Message m;
+    m.tag = tag;
+    m.data = std::move(data);
+    m.stamp_us = stamp + reroute_us;
+    m.reroute_us = reroute_us;
+    ctx_.send_msg(to, std::move(m));
     return;
   }
 
@@ -34,7 +67,8 @@ void Reliable::send(int to, int tag, std::vector<double> data,
   // Walk the attempt sequence; every fate is a pure function of
   // (seed, src, dst, serial, attempt), so this run of decisions is
   // reproducible independent of thread scheduling.
-  Microseconds t = stamp;  // arrival time of the current attempt
+  const Microseconds base = stamp + reroute_us;
+  Microseconds t = base;  // arrival time of the current attempt
   int attempt = 0;
   for (;; ++attempt) {
     if (attempt >= plan->max_attempts) {
@@ -58,7 +92,8 @@ void Reliable::send(int to, int tag, std::vector<double> data,
       ghost.serial = serial;
       ghost.attempt = attempt;
       ghost.crc_error = true;
-      ghost.recovery_us = t - stamp;
+      ghost.recovery_us = t - base;
+      ghost.reroute_us = reroute_us;
       ctx_.send_msg(to, std::move(ghost));
       // Receiver NAKs on arrival; the sender backs off and retransfers.
       t += nak_us + plan->backoff(attempt + 1) + resend_us;
@@ -77,7 +112,8 @@ void Reliable::send(int to, int tag, std::vector<double> data,
   good.stamp_us = t;
   good.serial = serial;
   good.attempt = attempt;
-  good.recovery_us = t - stamp;
+  good.recovery_us = t - base;
+  good.reroute_us = reroute_us;
   ctx_.send_msg(to, std::move(good));
 
   ++stats_.sent;
@@ -137,6 +173,13 @@ std::optional<cluster::Message> Reliable::accept(cluster::Message m, int from,
           ")");
     }
   }
+  if (m.reroute_us > 0) {
+    // The transfer rode a route-around path past a dead link; attribute
+    // the detour separately from fault recovery.
+    ctx_.charge_reroute(m.reroute_us);
+    ++stats_.degraded_sends;
+    stats_.reroute_us += m.reroute_us;
+  }
   if (m.attempt > 0) {
     // Attempts not seen as ghosts were dropped in flight and recovered
     // by the timeout watchdog.
@@ -164,17 +207,61 @@ std::optional<cluster::Message> Reliable::accept(cluster::Message m, int from,
 }
 
 cluster::Message Reliable::recv(int from, int tag) {
+  cluster::Membership* ms = ctx_.membership();
+  if (ms == nullptr) {
+    for (;;) {
+      std::optional<cluster::Message> good =
+          accept(ctx_.recv_raw(from, tag), from, tag);
+      if (good) return std::move(*good);
+    }
+  }
+
+  // Node kills are scheduled: a blocking receive is a communication
+  // point (this rank may be due to die here) and must not hang on a
+  // peer that fail-stopped.  Poll the bus; on sustained silence ask the
+  // membership service whether the plan explains it, and escalate to
+  // the collective NodeDown verdict instead of waiting out the bus's
+  // real-time watchdog.
+  ms->maybe_fail_self();
+  const auto started = std::chrono::steady_clock::now();
+  auto empty_since = started;
+  bool was_empty = false;
   for (;;) {
-    std::optional<cluster::Message> good =
-        accept(ctx_.recv_raw(from, tag), from, tag);
-    if (good) return std::move(*good);
+    std::optional<cluster::Message> m = ctx_.try_recv_raw(from, tag);
+    if (m) {
+      was_empty = false;
+      ms->note_alive(from, m->stamp_us);
+      std::optional<cluster::Message> good = accept(std::move(*m), from, tag);
+      if (good) return std::move(*good);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (!was_empty) {
+      was_empty = true;
+      empty_since = now;
+    }
+    if (now - empty_since >= kDeadPeerGrace) {
+      if (const cluster::NodeKill* kill = ms->killed_peer(from)) {
+        ms->escalate(from, *kill);  // throws NodeDownError
+      }
+    }
+    if (now - started >= kRecvDeadline) {
+      throw std::runtime_error(
+          "reliable recv: rank " + std::to_string(ctx_.rank()) +
+          " timed out waiting for rank " + std::to_string(from) + " tag " +
+          std::to_string(tag) + " (peer silent but not scheduled to die)");
+    }
+    std::this_thread::sleep_for(kRecvPollSleep);
   }
 }
 
 std::optional<cluster::Message> Reliable::try_recv(int from, int tag) {
+  cluster::Membership* ms = ctx_.membership();
+  if (ms != nullptr) ms->maybe_fail_self();
   for (;;) {
     std::optional<cluster::Message> m = ctx_.try_recv_raw(from, tag);
     if (!m) return std::nullopt;
+    if (ms != nullptr) ms->note_alive(from, m->stamp_us);
     std::optional<cluster::Message> good = accept(std::move(*m), from, tag);
     if (good) return good;
   }

@@ -30,6 +30,19 @@
 // Recovery cost lands in Accounting::retrans_us plus a kFault trace
 // span per recovered transfer; warnings are rate-limited so a fault
 // storm cannot flood the log.
+//
+// Hard failures (PR 4) hook in at the same choke point:
+//
+//   * every send/recv is a communication point: a rank whose scheduled
+//     fail-stop time has passed dies here (Membership::maybe_fail_self);
+//   * a dead inter-SMP link (FaultPlan::link_kills) adds the
+//     route-around penalty to the arrival stamp and flags the message,
+//     so the receiver can attribute the detour (reroute_us bucket);
+//   * a blocking recv from a silent peer does not burn the retry budget
+//     or the bus's 30 s real-time watchdog: once the plan confirms the
+//     peer's scheduled fail-stop, the receiver escalates to the
+//     membership service, which publishes the collective NodeDown
+//     verdict (poisons the bus) and unwinds this epoch.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +82,8 @@ struct ReliableStats {
   std::uint64_t crc_rejects = 0;     // flagged attempts discarded (NAK'd)
   std::uint64_t drops_detected = 0;  // attempts recovered via timeout
   Microseconds retrans_us = 0;       // total recovery delay charged
+  std::uint64_t degraded_sends = 0;  // transfers received via route-around
+  Microseconds reroute_us = 0;       // total route-around delay charged
   std::uint64_t warns_emitted = 0;   // recovery warnings actually logged
   std::uint64_t warns_suppressed = 0;  // swallowed by the rate limiter
 };

@@ -1,9 +1,16 @@
 #include "gcm/model.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "arctic/crc.hpp"
 
 #include "gcm/eos.hpp"
 #include "gcm/physics.hpp"
@@ -327,7 +334,11 @@ Array2D<double> Model::gather_speed(int k) {
 }
 
 namespace {
-constexpr std::uint64_t kCheckpointMagic = 0x4859414445533032ull;  // "HYADES02"
+// "HYADES03": version 3 adds the self-describing header -- payload byte
+// count and a CRC-32 (the same arctic polynomial the fabric uses end to
+// end) -- so a truncated or bit-flipped file fails fast at load instead
+// of silently seeding a diverged restart.
+constexpr std::uint64_t kCheckpointMagic = 0x4859414445533033ull;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -337,70 +348,171 @@ std::uint64_t read_u64(std::istream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
-void write_doubles(std::ostream& os, const double* p, std::size_t n) {
-  os.write(reinterpret_cast<const char*>(p),
-           static_cast<std::streamsize>(n * sizeof(double)));
+
+std::string hex_u64(std::uint64_t v) {
+  std::ostringstream ss;
+  ss << "0x" << std::hex << v;
+  return ss.str();
 }
-void read_doubles(std::istream& is, double* p, std::size_t n) {
-  is.read(reinterpret_cast<char*>(p),
-          static_cast<std::streamsize>(n * sizeof(double)));
+
+struct ConfigWord {
+  const char* name;
+  std::uint64_t value;
+};
+
+std::array<ConfigWord, 7> config_words(const ModelConfig& cfg) {
+  return {{{"nx", static_cast<std::uint64_t>(cfg.nx)},
+           {"ny", static_cast<std::uint64_t>(cfg.ny)},
+           {"nz", static_cast<std::uint64_t>(cfg.nz)},
+           {"px", static_cast<std::uint64_t>(cfg.px)},
+           {"py", static_cast<std::uint64_t>(cfg.py)},
+           {"halo", static_cast<std::uint64_t>(cfg.halo)},
+           {"isomorph",
+            static_cast<std::uint64_t>(cfg.isomorph == Isomorph::kOcean ? 0
+                                                                        : 1)}}};
 }
 }  // namespace
 
-void Model::save_checkpoint(const std::string& prefix) const {
-  const std::string path =
-      prefix + ".rank" + std::to_string(comm_.group_rank());
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  write_u64(os, kCheckpointMagic);
-  for (std::uint64_t v :
-       {static_cast<std::uint64_t>(cfg_.nx), static_cast<std::uint64_t>(cfg_.ny),
-        static_cast<std::uint64_t>(cfg_.nz), static_cast<std::uint64_t>(cfg_.px),
-        static_cast<std::uint64_t>(cfg_.py),
-        static_cast<std::uint64_t>(cfg_.halo),
-        static_cast<std::uint64_t>(cfg_.isomorph == Isomorph::kOcean ? 0 : 1),
-        static_cast<std::uint64_t>(state_.step)}) {
-    write_u64(os, v);
+std::string Model::checkpoint_path(const std::string& prefix,
+                                   int group_rank) {
+  return prefix + ".rank" + std::to_string(group_rank);
+}
+
+long Model::checkpoint_step(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("checkpoint_step: cannot open " + path);
   }
+  const std::uint64_t magic = read_u64(is);
+  if (!is || magic != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint_step: bad magic in " + path +
+                             " (got " + hex_u64(magic) + ", want HYADES03 " +
+                             hex_u64(kCheckpointMagic) + ")");
+  }
+  for (int i = 0; i < 7; ++i) (void)read_u64(is);  // config words
+  const std::uint64_t step = read_u64(is);
+  if (!is) {
+    throw std::runtime_error("checkpoint_step: truncated header in " + path);
+  }
+  return static_cast<long>(step);
+}
+
+void Model::save_checkpoint(const std::string& prefix) const {
+  const std::string path = checkpoint_path(prefix, comm_.group_rank());
+  // Serialize the state payload in memory first, so the header can carry
+  // its byte count and CRC-32.
+  std::vector<std::uint8_t> payload;
+  const auto append = [&payload](const double* p, std::size_t n) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(p);
+    payload.insert(payload.end(), b, b + n * sizeof(double));
+  };
   for (const Array3D<double>* f :
        {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
         &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
         &state_.gw_nm1, &state_.phi_nh}) {
-    write_doubles(os, f->data(), f->size());
+    append(f->data(), f->size());
   }
-  write_doubles(os, state_.ps.data(), state_.ps.size());
-  if (!os) throw std::runtime_error("save_checkpoint: write failed: " + path);
+  append(state_.ps.data(), state_.ps.size());
+  const std::uint32_t crc = arctic::crc32(payload);
+
+  // Atomic publish: write the whole file under a temporary name, then
+  // rename onto the real path.  A crash mid-write leaves the previous
+  // complete checkpoint in place, never a half-written file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("save_checkpoint: cannot open " + tmp);
+    write_u64(os, kCheckpointMagic);
+    for (const ConfigWord& w : config_words(cfg_)) write_u64(os, w.value);
+    write_u64(os, static_cast<std::uint64_t>(state_.step));
+    write_u64(os, static_cast<std::uint64_t>(payload.size()));
+    write_u64(os, static_cast<std::uint64_t>(crc));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    os.close();
+    if (!os) throw std::runtime_error("save_checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_checkpoint: cannot rename " + tmp +
+                             " onto " + path);
+  }
 }
 
 void Model::load_checkpoint(const std::string& prefix) {
-  const std::string path =
-      prefix + ".rank" + std::to_string(comm_.group_rank());
+  const std::string path = checkpoint_path(prefix, comm_.group_rank());
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  if (read_u64(is) != kCheckpointMagic) {
-    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  const std::uint64_t magic = read_u64(is);
+  if (!is || magic != kCheckpointMagic) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path +
+                             " (got " + hex_u64(magic) + ", want HYADES03 " +
+                             hex_u64(kCheckpointMagic) + ")");
   }
-  const std::uint64_t expect[] = {
-      static_cast<std::uint64_t>(cfg_.nx),  static_cast<std::uint64_t>(cfg_.ny),
-      static_cast<std::uint64_t>(cfg_.nz),  static_cast<std::uint64_t>(cfg_.px),
-      static_cast<std::uint64_t>(cfg_.py),
-      static_cast<std::uint64_t>(cfg_.halo),
-      static_cast<std::uint64_t>(cfg_.isomorph == Isomorph::kOcean ? 0 : 1)};
-  for (std::uint64_t e : expect) {
-    if (read_u64(is) != e) {
+  for (const ConfigWord& w : config_words(cfg_)) {
+    const std::uint64_t got = read_u64(is);
+    if (!is) {
+      throw std::runtime_error("load_checkpoint: truncated header in " + path);
+    }
+    if (got != w.value) {
       throw std::runtime_error(
-          "load_checkpoint: configuration mismatch in " + path);
+          "load_checkpoint: configuration mismatch in " + path + ": " +
+          w.name + " is " + std::to_string(got) + " in the file, model has " +
+          std::to_string(w.value));
     }
   }
-  state_.step = static_cast<long>(read_u64(is));
+  const std::uint64_t step = read_u64(is);
+  const std::uint64_t payload_bytes = read_u64(is);
+  const std::uint64_t crc_stored = read_u64(is);
+  if (!is) {
+    throw std::runtime_error("load_checkpoint: truncated header in " + path);
+  }
+
+  std::size_t expect_bytes = 0;
+  for (const Array3D<double>* f :
+       {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
+        &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
+        &state_.gw_nm1, &state_.phi_nh}) {
+    expect_bytes += f->size() * sizeof(double);
+  }
+  expect_bytes += state_.ps.size() * sizeof(double);
+  if (payload_bytes != expect_bytes) {
+    throw std::runtime_error(
+        "load_checkpoint: payload size mismatch in " + path + ": header says " +
+        std::to_string(payload_bytes) + " bytes, model state needs " +
+        std::to_string(expect_bytes));
+  }
+
+  std::vector<std::uint8_t> payload(payload_bytes);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_bytes) {
+    throw std::runtime_error(
+        "load_checkpoint: truncated " + path + " (payload has " +
+        std::to_string(is.gcount() > 0 ? is.gcount() : 0) + " of " +
+        std::to_string(payload_bytes) + " bytes)");
+  }
+  const std::uint32_t crc = arctic::crc32(payload);
+  if (crc != static_cast<std::uint32_t>(crc_stored)) {
+    throw std::runtime_error(
+        "load_checkpoint: CRC mismatch in " + path + " (stored " +
+        hex_u64(crc_stored) + ", computed " + hex_u64(crc) +
+        "): the checkpoint is corrupt");
+  }
+
+  // Header and payload verified; only now touch the model state.
+  state_.step = static_cast<long>(step);
+  std::size_t off = 0;
+  const auto extract = [&payload, &off](double* p, std::size_t n) {
+    std::memcpy(p, payload.data() + off, n * sizeof(double));
+    off += n * sizeof(double);
+  };
   for (Array3D<double>* f :
        {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
         &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
         &state_.gw_nm1, &state_.phi_nh}) {
-    read_doubles(is, f->data(), f->size());
+    extract(f->data(), f->size());
   }
-  read_doubles(is, state_.ps.data(), state_.ps.size());
-  if (!is) throw std::runtime_error("load_checkpoint: truncated " + path);
+  extract(state_.ps.data(), state_.ps.size());
 }
 
 Array2D<double> Model::gather_ps() {

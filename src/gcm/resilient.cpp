@@ -1,0 +1,171 @@
+#include "gcm/resilient.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "cluster/membership.hpp"
+#include "comm/comm.hpp"
+#include "gcm/model.hpp"
+#include "support/logging.hpp"
+
+namespace hyades::gcm {
+
+namespace {
+
+std::string slot_prefix(const std::string& prefix, int slot) {
+  return prefix + (slot == 0 ? ".a" : ".b");
+}
+
+// A slot is usable only when every rank's file exists, parses, and
+// reports the same step -- an epoch abort mid-rotation leaves the slot
+// it was rewriting mixed, and the scan rejects it.
+struct SlotScan {
+  bool consistent = false;
+  long step = -1;
+};
+
+SlotScan scan_slot(const std::string& prefix, int nranks) {
+  SlotScan scan;
+  long step = -1;
+  for (int r = 0; r < nranks; ++r) {
+    long s = -1;
+    try {
+      s = Model::checkpoint_step(Model::checkpoint_path(prefix, r));
+    } catch (const std::runtime_error&) {
+      return scan;  // missing or unreadable file
+    }
+    if (r == 0) {
+      step = s;
+    } else if (s != step) {
+      return scan;  // mixed steps
+    }
+  }
+  scan.consistent = step >= 0;
+  scan.step = step;
+  return scan;
+}
+
+}  // namespace
+
+ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
+                             int steps, const ResilientConfig& rcfg) {
+  if (rcfg.ckpt_prefix.empty()) {
+    throw std::invalid_argument("run_resilient: ckpt_prefix is required");
+  }
+  if (rcfg.ckpt_every < 1) {
+    throw std::invalid_argument("run_resilient: ckpt_every must be >= 1");
+  }
+  if (rcfg.max_restarts < 0) {
+    throw std::invalid_argument("run_resilient: max_restarts must be >= 0");
+  }
+  const int nranks = rt.config().nranks();
+  if (rcfg.tracers != nullptr &&
+      rcfg.tracers->size() < static_cast<std::size_t>(nranks)) {
+    throw std::invalid_argument("run_resilient: tracer list shorter than ranks");
+  }
+
+  // Clear both slots up front: a stale checkpoint left by an earlier run
+  // (possibly of a different configuration) must never be mistaken for
+  // this run's restart point.
+  for (int slot = 0; slot < 2; ++slot) {
+    for (int r = 0; r < nranks; ++r) {
+      std::remove(
+          Model::checkpoint_path(slot_prefix(rcfg.ckpt_prefix, slot), r)
+              .c_str());
+    }
+  }
+
+  ResilientStats st;
+  Microseconds clock_base = 0;  // virtual start time of a restarted epoch
+  std::string load_prefix;      // slot to restart from; empty = fresh start
+
+  for (int epoch = 0;; ++epoch) {
+    rt.set_epoch(epoch);
+    rt.bus().reset_down();
+
+    try {
+      rt.run([&](cluster::RankContext& ctx) {
+        if (rcfg.tracers != nullptr) {
+          ctx.set_tracer(
+              &(*rcfg.tracers)[static_cast<std::size_t>(ctx.rank())]);
+        }
+        try {
+          comm::Comm comm(ctx);
+          Model model(mcfg, comm);
+          if (load_prefix.empty()) {
+            model.initialize(rcfg.init_seed);
+            // Durable step-0 checkpoint BEFORE the first communication:
+            // even a kill firing in the first step restarts from a
+            // complete, mutually consistent slot.
+            model.save_checkpoint(slot_prefix(rcfg.ckpt_prefix, 0));
+          } else {
+            model.load_checkpoint(load_prefix);
+            const cluster::FaultPlan* plan = ctx.faults();
+            const Microseconds began = ctx.clock().now();
+            ctx.clock().advance_to(clock_base);
+            ctx.charge_restart(plan != nullptr ? plan->restart_cost_us : 0.0);
+            if (ctx.tracer() != nullptr) {
+              ctx.tracer()->record("restart", cluster::SpanCat::kNodeDown,
+                                   began, ctx.clock().now());
+            }
+          }
+          while (model.state().step < steps) {
+            (void)model.step();
+            const long s = model.state().step;
+            if (s < steps && s % rcfg.ckpt_every == 0) {
+              // The barrier makes the rotation a collective cut at step
+              // s; double buffering covers an abort mid-rotation.
+              model.comm().barrier();
+              const int slot = static_cast<int>((s / rcfg.ckpt_every) % 2);
+              model.save_checkpoint(slot_prefix(rcfg.ckpt_prefix, slot));
+            }
+          }
+          if (rcfg.on_complete) rcfg.on_complete(ctx, model);
+        } catch (const cluster::RankFailStop&) {
+          // This rank's node fail-stopped at a communication point: go
+          // silent.  Wake an SMP sibling blocked on the shared barrier;
+          // survivors detect the silence through the membership service.
+          if (ctx.procs_per_smp() > 1) {
+            rt.smp_shared(ctx.smp()).barrier.abort();
+          }
+        } catch (const cluster::NodeDownError&) {
+          throw;  // collective epoch abort; Runtime::run surfaces it first
+        } catch (const std::runtime_error&) {
+          // A dying sibling aborts the shared SMP barrier; ranks of the
+          // killed node treat that collateral as their own death.  Any
+          // other runtime_error on a surviving node is a real failure.
+          cluster::Membership* ms = ctx.membership();
+          if (ms != nullptr && ms->scheduled_kill(ctx.rank()) != nullptr) {
+            return;
+          }
+          throw;
+        }
+      });
+      st.steps = steps;
+      return st;
+    } catch (const cluster::NodeDownError& e) {
+      st.verdicts.push_back(e.verdict);
+      if (++st.restarts > rcfg.max_restarts) {
+        throw RestartExhausted(st.restarts, e.verdict);
+      }
+      const SlotScan a = scan_slot(slot_prefix(rcfg.ckpt_prefix, 0), nranks);
+      const SlotScan b = scan_slot(slot_prefix(rcfg.ckpt_prefix, 1), nranks);
+      if (!a.consistent && !b.consistent) {
+        throw std::runtime_error(
+            "run_resilient: no consistent checkpoint slot to restart from");
+      }
+      const bool use_a = a.consistent && (!b.consistent || a.step >= b.step);
+      load_prefix = slot_prefix(rcfg.ckpt_prefix, use_a ? 0 : 1);
+      st.restart_steps.push_back(use_a ? a.step : b.step);
+      const cluster::FaultPlan* plan = rt.config().faults;
+      clock_base = e.verdict.detected_us +
+                   (plan != nullptr ? plan->restart_cost_us : 0.0);
+      log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
+                 << e.verdict.rank << " down at t=" << e.verdict.detected_us
+                 << " us); restarting from step "
+                 << st.restart_steps.back();
+    }
+  }
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,85 @@
+// Restart-from-checkpoint resilience: the driver that survives hard
+// node failures.
+//
+// run_resilient executes a gyre-style model run in *epochs*.  Within an
+// epoch every rank steps its tile normally, saving a durable checkpoint
+// every `ckpt_every` steps into one of two alternating on-disk slots
+// (double buffering: while one slot is being rewritten the other always
+// holds a complete, mutually consistent set of rank files).  When a
+// scheduled node kill fires, the dying node's ranks go silent at their
+// next communication point; a surviving partner's receive escalates
+// through the membership service, the plan-pure NodeDown verdict poisons
+// the message bus, and every survivor unwinds its epoch.  The driver
+// then scans both checkpoint slots, picks the newest step present and
+// identical on *every* rank, bumps the epoch (which shifts every
+// transport tag by kEpochTagStride, so stale pre-failure messages can
+// never be mistaken for restarted traffic), and relaunches all ranks
+// from that step.  After `max_restarts` aborted epochs it gives up with
+// a typed RestartExhausted error -- it never hangs.
+//
+// Determinism: stepping is bit-deterministic and checkpoints are bit
+// exact, so any survivable kill schedule finishes with final state
+// bit-identical to the failure-free run; with no kills scheduled the
+// epoch loop runs exactly once and adds no comm, clock, or accounting
+// effects beyond the periodic checkpoint barrier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/fault.hpp"
+#include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
+#include "gcm/config.hpp"
+
+namespace hyades::gcm {
+
+struct ResilientConfig {
+  std::string ckpt_prefix;  // required: durable checkpoint path prefix
+  int ckpt_every = 8;       // steps between durable checkpoints (>= 1)
+  int max_restarts = 3;     // aborted epochs tolerated before giving up
+  std::uint64_t init_seed = 7;
+
+  // Optional per-rank tracers (size >= nranks): ranks attach them so
+  // node_down / restart spans land in the trace.  Not owned.
+  std::vector<cluster::Tracer>* tracers = nullptr;
+
+  // Optional per-rank hook invoked right after a rank finishes the last
+  // step of the *completed* epoch (aborted epochs never reach it).
+  // Tests use it to capture the final model state for bit-identity
+  // checks; it must be thread-safe across ranks.
+  std::function<void(cluster::RankContext&, class Model&)> on_complete;
+};
+
+struct ResilientStats {
+  int steps = 0;     // steps of the completed run
+  int restarts = 0;  // epochs aborted by a NodeDown verdict
+  std::vector<cluster::NodeDownVerdict> verdicts;  // one per restart
+  std::vector<long> restart_steps;  // checkpoint step each epoch resumed from
+};
+
+// Thrown when a run aborts more than max_restarts times: the failure is
+// not survivable by restarting (e.g. the plan kills a node every epoch).
+struct RestartExhausted : std::runtime_error {
+  RestartExhausted(int restarts, const cluster::NodeDownVerdict& v)
+      : std::runtime_error(
+            "run_resilient: giving up after " + std::to_string(restarts) +
+            " restarts (last verdict: rank " + std::to_string(v.rank) +
+            " down in epoch " + std::to_string(v.epoch) + " at t=" +
+            std::to_string(v.detected_us) + " us)"),
+        restarts(restarts), last_verdict(v) {}
+  int restarts;
+  cluster::NodeDownVerdict last_verdict;
+};
+
+// Run `steps` model steps across all of rt's ranks (one tile per rank;
+// mcfg.px * mcfg.py must equal rt's rank count), surviving scheduled
+// node kills by restarting from the newest consistent checkpoint.
+// Collective over the whole machine; returns once on the driver thread.
+ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
+                             int steps, const ResilientConfig& rcfg);
+
+}  // namespace hyades::gcm

@@ -26,6 +26,18 @@ StartXNiu::StartXNiu(sim::Scheduler& sched, arctic::Fabric& fabric, int node,
                      StartXConfig cfg)
     : sched_(sched), fabric_(fabric), node_(node), cfg_(cfg) {}
 
+void StartXNiu::inject_checked(const char* proto, int dst,
+                               arctic::Packet&& p) {
+  try {
+    fabric_.inject(node_, dst, std::move(p));
+  } catch (const arctic::UnreachableError& e) {
+    throw std::runtime_error("startx niu " + std::to_string(node_) + ": " +
+                             proto + " to node " + std::to_string(dst) +
+                             " failed, destination partitioned (" + e.what() +
+                             ")");
+  }
+}
+
 Microseconds StartXNiu::pio_send_overhead(int payload_bytes) const {
   return pio_accesses(payload_bytes) * cfg_.mmap_write_us;
 }
@@ -52,7 +64,7 @@ void StartXNiu::pio_inject_at(sim::SimTime cpu_done, int dst,
   const sim::SimTime inject_at =
       std::max(cpu_done, sched_.now()) + sim::from_us(cfg_.tx_latency_us);
   sched_.schedule_at(inject_at, [this, dst, pkt = std::move(p)]() mutable {
-    fabric_.inject(node_, dst, std::move(pkt));
+    inject_checked("pio", dst, std::move(pkt));
   });
 }
 
@@ -94,7 +106,7 @@ void StartXNiu::vi_send_at(sim::SimTime start, int dst, std::uint16_t tag,
     p.payload.resize(static_cast<std::size_t>(1 + std::max(data_words, 1)));
     p.payload[0] = static_cast<std::uint32_t>(chunk);
     sched_.schedule_at(t, [this, dst, pkt = std::move(p)]() mutable {
-      fabric_.inject(node_, dst, std::move(pkt));
+      inject_checked("vi", dst, std::move(pkt));
     });
     sent += chunk;
     t += sim::from_us(static_cast<double>(chunk) / rate);

@@ -130,6 +130,12 @@ class StartXNiu {
   std::uint64_t vi_crc_discards_ = 0;
 
   void vi_check_done(std::uint16_t tag);
+
+  // Inject with link-down context: a fabric UnreachableError (the dead
+  // set disconnects the destination) is rethrown naming this NIU and
+  // the protocol that hit it, so the operator sees which node's traffic
+  // is partitioned rather than a bare fabric coordinate.
+  void inject_checked(const char* proto, int dst, arctic::Packet&& p);
 };
 
 // Construct one NIU per fabric endpoint and wire the fabric's delivery

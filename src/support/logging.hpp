@@ -58,10 +58,20 @@ class RateLimiter {
   explicit RateLimiter(std::uint64_t burst = 5, std::uint64_t every = 100)
       : burst_(burst), every_(every == 0 ? 1 : every) {}
 
+  // The pure admission rule for event number `n` (0-based): inside the
+  // burst window, or on a stride boundary past it.  With burst == 0 the
+  // very first event is still admitted (0 % every == 0) -- a limiter is
+  // a thinner, never a silencer.  Unsigned wraparound of `n` is
+  // well-defined and merely restarts the cycle.
+  static constexpr bool admits(std::uint64_t n, std::uint64_t burst,
+                               std::uint64_t every) {
+    return n < burst || (n - burst) % (every == 0 ? 1 : every) == 0;
+  }
+
   // True if the caller should emit this event's log line.
   bool admit() {
     const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
-    const bool ok = n < burst_ || (n - burst_) % every_ == 0;
+    const bool ok = admits(n, burst_, every_);
     if (!ok) suppressed_.fetch_add(1, std::memory_order_relaxed);
     return ok;
   }

@@ -293,6 +293,75 @@ TEST(Fabric, RejectsBadEndpointsAndFormat) {
   EXPECT_THROW(rig.fabric.inject(0, 3, std::move(bad)), std::invalid_argument);
 }
 
+TEST(Fabric, RoutesAroundScheduledLinkKill) {
+  // A fault-plan link kill fires through the virtual clock; traffic
+  // injected afterwards routes around the dead cable and still lands.
+  FabricConfig cfg;
+  const Route healthy = compute_route(0, 15, 2);
+  KillEvent kill;
+  kill.kind = KillEvent::Kind::kLink;
+  kill.level = 0;
+  kill.index = 0;
+  kill.port = healthy.up_ports[0];
+  kill.at_us = 5.0;
+  cfg.faults.kills = {kill};
+  Rig rig(16, cfg);
+  rig.sched.schedule_at(sim::from_us(10.0), [&] {
+    for (int i = 0; i < 8; ++i) rig.fabric.inject(0, 15, small_packet());
+  });
+  rig.sched.run();
+  EXPECT_EQ(rig.deliveries.size(), 8u);
+  for (const auto& del : rig.deliveries) {
+    EXPECT_EQ(del.node, 15);
+    EXPECT_FALSE(del.packet.crc_error);
+  }
+  const FabricStats& st = rig.fabric.stats();
+  EXPECT_EQ(st.links_killed, 1u);
+  EXPECT_EQ(st.degraded_routes, 8u);
+  EXPECT_EQ(st.unreachable_routes, 0u);
+}
+
+TEST(Fabric, InFlightPacketLostAtKilledRouter) {
+  // A packet routed before the kill is lost when it reaches the dead
+  // hardware -- only the end-to-end protocol above can recover it.
+  Rig rig(16);
+  rig.fabric.inject(0, 15, small_packet());
+  KillEvent kill;
+  kill.kind = KillEvent::Kind::kRouter;
+  kill.level = 1;
+  kill.index = compute_route(0, 15, 2).up_ports[0];
+  rig.fabric.apply_kill(kill);
+  rig.sched.run();
+  EXPECT_EQ(rig.deliveries.size(), 0u);
+  EXPECT_EQ(rig.fabric.stats().dead_component_drops, 1u);
+  EXPECT_EQ(rig.fabric.stats().routers_killed, 1u);
+}
+
+TEST(Fabric, UnreachableInjectionThrows) {
+  // Killing all four up cables of leaf router 0 strands endpoints 0..3.
+  Rig rig(16);
+  for (int u = 0; u < kRadix; ++u) {
+    KillEvent kill;
+    kill.kind = KillEvent::Kind::kLink;
+    kill.level = 0;
+    kill.index = 0;
+    kill.port = u;
+    rig.fabric.apply_kill(kill);
+  }
+  try {
+    rig.fabric.inject(0, 15, small_packet());
+    FAIL() << "expected UnreachableError";
+  } catch (const UnreachableError& e) {
+    EXPECT_EQ(e.src, 0);
+    EXPECT_EQ(e.dst, 15);
+  }
+  EXPECT_EQ(rig.fabric.stats().unreachable_routes, 1u);
+  // Same-leaf traffic below the dead cables still flows.
+  rig.fabric.inject(0, 1, small_packet());
+  rig.sched.run();
+  EXPECT_EQ(rig.deliveries.size(), 1u);
+}
+
 TEST(Fabric, TwoEndpointDegenerateTree) {
   Rig rig(2);
   rig.fabric.inject(0, 1, small_packet());

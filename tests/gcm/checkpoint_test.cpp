@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <sstream>
+#include <vector>
 
 #include "gcm/model.hpp"
 #include "tests/gcm/gcm_test_util.hpp"
@@ -107,6 +110,130 @@ TEST(Checkpoint, TruncatedFileRejected) {
     Model m(small_ocean(1, 1), comm);
     EXPECT_THROW(m.load_checkpoint(prefix), std::runtime_error);
   });
+  cleanup(prefix, 1);
+}
+
+TEST(Checkpoint, BitFlippedPayloadRejectedByCrc) {
+  // A single flipped bit anywhere in the payload must trip the CRC with
+  // a message that says so -- a checkpoint that loads garbage silently
+  // would poison a restarted run.
+  const std::string prefix = prefix_for("hyades_ckpt_d");
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    m.initialize();
+    m.run(3);
+    m.save_checkpoint(prefix);
+  });
+  const std::string path = Model::checkpoint_path(prefix, 0);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const auto size = std::filesystem::file_size(path);
+    f.seekg(static_cast<std::streamoff>(size) - 17);  // deep in the payload
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(size) - 17);
+    f.write(&byte, 1);
+  }
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    try {
+      m.load_checkpoint(prefix);
+      FAIL() << "bit-flipped checkpoint loaded without error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << "error should name the CRC: " << e.what();
+    }
+  });
+  cleanup(prefix, 1);
+}
+
+TEST(Checkpoint, DiskRoundTripIntoFreshModelIsBitIdentical) {
+  // Save after a few steps, load into a brand-new (never initialized)
+  // model, and require every prognostic value to round-trip through the
+  // disk format bit-exactly -- compared as hexfloat strings so any
+  // mismatch shows the exact bit pattern.
+  const ModelConfig cfg = small_ocean(1, 1);
+  const std::string prefix = prefix_for("hyades_ckpt_e");
+  std::vector<double> want;
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);
+    m.initialize();
+    m.run(5);
+    m.save_checkpoint(prefix);
+    const State& s = m.state();
+    want.assign(s.u.data(), s.u.data() + s.u.size());
+    want.insert(want.end(), s.theta.data(), s.theta.data() + s.theta.size());
+    want.insert(want.end(), s.ps.data(), s.ps.data() + s.ps.size());
+  });
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(cfg, comm);  // fresh: no initialize(), state is all zeros
+    m.load_checkpoint(prefix);
+    EXPECT_EQ(m.state().step, 5);
+    const State& s = m.state();
+    std::vector<double> got(s.u.data(), s.u.data() + s.u.size());
+    got.insert(got.end(), s.theta.data(), s.theta.data() + s.theta.size());
+    got.insert(got.end(), s.ps.data(), s.ps.data() + s.ps.size());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      std::ostringstream w, g;
+      w << std::hexfloat << want[i];
+      g << std::hexfloat << got[i];
+      ASSERT_EQ(g.str(), w.str()) << "value " << i << " changed on disk";
+    }
+  });
+  cleanup(prefix, 1);
+}
+
+TEST(Checkpoint, BadMagicRejectedAndStepParserWorks) {
+  const std::string prefix = prefix_for("hyades_ckpt_f");
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    m.initialize();
+    m.run(7);
+    m.save_checkpoint(prefix);
+  });
+  const std::string path = Model::checkpoint_path(prefix, 0);
+  // The header parser reads the step without touching any model.
+  EXPECT_EQ(Model::checkpoint_step(path), 7);
+  // Corrupt the magic: the loader must refuse before reading anything
+  // else, and say what it expected.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const char junk = 'X';
+    f.seekp(2);
+    f.write(&junk, 1);
+  }
+  EXPECT_THROW((void)Model::checkpoint_step(path), std::runtime_error);
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    try {
+      m.load_checkpoint(prefix);
+      FAIL() << "bad-magic checkpoint loaded without error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+          << "error should name the magic: " << e.what();
+    }
+  });
+  cleanup(prefix, 1);
+}
+
+TEST(Checkpoint, SaveIsAtomicNoTmpFileSurvives) {
+  // save_checkpoint writes to a `.tmp` sibling and renames; after a
+  // successful save the temporary must be gone and the final file
+  // complete.  A crash mid-write can strand a .tmp but never a partial
+  // final file -- loaders only ever see complete checkpoints.
+  const std::string prefix = prefix_for("hyades_ckpt_g");
+  run_ranks(1, [&](cluster::RankContext&, comm::Comm& comm) {
+    Model m(small_ocean(1, 1), comm);
+    m.initialize();
+    m.save_checkpoint(prefix);
+  });
+  const std::string path = Model::checkpoint_path(prefix, 0);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   cleanup(prefix, 1);
 }
 

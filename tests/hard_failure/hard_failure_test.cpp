@@ -1,0 +1,325 @@
+// Hard-failure suite (tier2 + aggregate label `hard_failure_tests`):
+// permanent link kills with route-around, heartbeat-detected node
+// fail-stop, epoch-tagged restart from durable checkpoints, and the
+// typed give-up past the restart budget.  The governing invariant: any
+// survivable kill schedule finishes with final prognostic state
+// bit-identical to the failure-free run -- hard failures cost virtual
+// time and accounting, never bits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cluster/fault.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/runtime.hpp"
+#include "cluster/trace.hpp"
+#include "comm/comm.hpp"
+#include "gcm/model.hpp"
+#include "gcm/resilient.hpp"
+#include "support/logging.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades {
+namespace {
+
+struct QuietLog {
+  LogLevel before = log_level();
+  QuietLog() { set_log_level(LogLevel::kError); }
+  ~QuietLog() { set_log_level(before); }
+};
+
+bool bits_equal(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+void expect_state_bits_equal(const gcm::State& a, const gcm::State& b,
+                             const char* what) {
+  EXPECT_TRUE(bits_equal(a.u.data(), b.u.data(), a.u.size())) << what << " u";
+  EXPECT_TRUE(bits_equal(a.v.data(), b.v.data(), a.v.size())) << what << " v";
+  EXPECT_TRUE(bits_equal(a.w.data(), b.w.data(), a.w.size())) << what << " w";
+  EXPECT_TRUE(bits_equal(a.theta.data(), b.theta.data(), a.theta.size()))
+      << what << " theta";
+  EXPECT_TRUE(bits_equal(a.salt.data(), b.salt.data(), a.salt.size()))
+      << what << " salt";
+  EXPECT_TRUE(bits_equal(a.ps.data(), b.ps.data(), a.ps.size()))
+      << what << " ps";
+  EXPECT_TRUE(bits_equal(a.gu_nm1.data(), b.gu_nm1.data(), a.gu_nm1.size()))
+      << what << " gu_nm1";
+  EXPECT_EQ(a.step, b.step) << what;
+}
+
+std::string ckpt_prefix_for(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void cleanup_slots(const std::string& prefix, int ranks) {
+  for (const char* slot : {".a", ".b"}) {
+    for (int r = 0; r < ranks; ++r) {
+      std::remove(
+          gcm::Model::checkpoint_path(prefix + slot, r).c_str());
+    }
+  }
+}
+
+// One resilient gyre run: 4 tiles (2x2), kBasin topography, collecting
+// every rank's final state plus the runtime's summed fault accounting.
+struct ResilientRun {
+  gcm::ResilientStats stats;
+  std::map<int, gcm::State> state;  // by rank
+  std::int64_t degraded_sends = 0;
+  std::int64_t restarts = 0;
+  Microseconds reroute_us = 0;
+  Microseconds restart_us = 0;
+};
+
+ResilientRun run_resilient_gyre(int steps, const cluster::FaultPlan* plan,
+                                const char* ckpt_name, int smp_count,
+                                int procs_per_smp,
+                                std::vector<cluster::Tracer>* tracers = nullptr,
+                                int max_restarts = 3) {
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(2, 2);
+  cfg.topography = gcm::ModelConfig::Topography::kBasin;
+
+  cluster::MachineConfig mc;
+  mc.smp_count = smp_count;
+  mc.procs_per_smp = procs_per_smp;
+  mc.interconnect = &gcm::testing::test_net();
+  mc.faults = plan;
+  cluster::Runtime rt(mc);
+
+  gcm::ResilientConfig rcfg;
+  rcfg.ckpt_prefix = ckpt_prefix_for(ckpt_name);
+  rcfg.ckpt_every = 3;
+  rcfg.max_restarts = max_restarts;
+  rcfg.tracers = tracers;
+
+  ResilientRun out;
+  std::mutex mu;
+  rcfg.on_complete = [&](cluster::RankContext& ctx, gcm::Model& m) {
+    std::lock_guard<std::mutex> lock(mu);
+    out.state.emplace(ctx.rank(), m.state());
+  };
+  out.stats = gcm::run_resilient(rt, cfg, steps, rcfg);
+  for (const cluster::Accounting& a : rt.accounting()) {
+    out.degraded_sends += a.degraded_sends;
+    out.restarts += a.restarts;
+    out.reroute_us += a.reroute_us;
+    out.restart_us += a.restart_us;
+  }
+  cleanup_slots(rcfg.ckpt_prefix, mc.nranks());
+  return out;
+}
+
+TEST(HardFailure, ResilientNoKillsMatchesPlainRun) {
+  // With no kills scheduled the resilient driver is pure plumbing: one
+  // epoch, zero restarts, and (checkpoint barriers are state-neutral)
+  // final state bit-identical to a plain uninterrupted run.
+  QuietLog quiet;
+  gcm::ModelConfig cfg = gcm::testing::small_ocean(2, 2);
+  cfg.topography = gcm::ModelConfig::Topography::kBasin;
+  std::map<int, gcm::State> plain;
+  std::mutex mu;
+  gcm::testing::run_ranks(4, [&](cluster::RankContext& ctx, comm::Comm& comm) {
+    gcm::Model m(cfg, comm);
+    m.initialize();
+    m.run(10);
+    std::lock_guard<std::mutex> lock(mu);
+    plain.emplace(ctx.rank(), m.state());
+  });
+
+  const ResilientRun r =
+      run_resilient_gyre(10, nullptr, "hyades_hf_nokill", 4, 1);
+  EXPECT_EQ(r.stats.restarts, 0);
+  EXPECT_EQ(r.stats.steps, 10);
+  EXPECT_TRUE(r.stats.verdicts.empty());
+  EXPECT_EQ(r.restarts, 0);
+  EXPECT_EQ(r.restart_us, 0.0);
+  ASSERT_EQ(r.state.size(), 4u);
+  for (int rank = 0; rank < 4; ++rank) {
+    expect_state_bits_equal(plain.at(rank), r.state.at(rank),
+                            "resilient-vs-plain");
+  }
+}
+
+TEST(HardFailure, LinkKillsRerouteWithoutChangingState) {
+  // Two non-critical inter-SMP link kills from t=0: every transfer
+  // between those SMP pairs rides the route-around and pays the
+  // penalty (visible in degraded_sends / reroute_us), but payloads are
+  // untouched, so the run completes bit-identically to the clean one.
+  QuietLog quiet;
+  const cluster::FaultPlan clean;
+  cluster::FaultPlan faulty;
+  faulty.link_kills.push_back({0, 1, 0.0});
+  faulty.link_kills.push_back({2, 3, 0.0});
+  ASSERT_TRUE(faulty.enabled());
+  ASSERT_FALSE(faulty.has_fates());  // kill-only: raw fast path otherwise
+
+  const ResilientRun a =
+      run_resilient_gyre(10, &clean, "hyades_hf_linkclean", 4, 1);
+  const ResilientRun b =
+      run_resilient_gyre(10, &faulty, "hyades_hf_linkkill", 4, 1);
+  EXPECT_EQ(a.degraded_sends, 0);
+  EXPECT_EQ(a.reroute_us, 0.0);
+  EXPECT_GT(b.degraded_sends, 0);
+  EXPECT_GT(b.reroute_us, 0.0);
+  EXPECT_EQ(b.stats.restarts, 0);  // degraded, not down
+  ASSERT_EQ(b.state.size(), 4u);
+  for (int rank = 0; rank < 4; ++rank) {
+    expect_state_bits_equal(a.state.at(rank), b.state.at(rank),
+                            "linkkill-vs-clean");
+  }
+}
+
+TEST(HardFailure, NodeKillRestartsFromCheckpointBitIdentically) {
+  // Rank 3's node dies early in epoch 0.  Survivors detect the silence
+  // through the membership service, publish the plan-pure verdict,
+  // abort the epoch, and epoch 1 restarts everyone from the durable
+  // step-0 checkpoint -- finishing bit-identical to the kill-free run,
+  // with the recovery visible in accounting and the trace.
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.node_kills.push_back({/*rank=*/3, /*at_us=*/50.0, /*epoch=*/0});
+
+  const ResilientRun a =
+      run_resilient_gyre(10, nullptr, "hyades_hf_nodeclean", 4, 1);
+  std::vector<cluster::Tracer> tracers(4);
+  const ResilientRun b = run_resilient_gyre(10, &plan, "hyades_hf_nodekill",
+                                            4, 1, &tracers);
+  EXPECT_EQ(b.stats.restarts, 1);
+  ASSERT_EQ(b.stats.verdicts.size(), 1u);
+  EXPECT_EQ(b.stats.verdicts[0].rank, 3);
+  EXPECT_EQ(b.stats.verdicts[0].epoch, 0);
+  EXPECT_DOUBLE_EQ(b.stats.verdicts[0].detected_us,
+                   50.0 + plan.heartbeat_deadline_us);
+  ASSERT_EQ(b.stats.restart_steps.size(), 1u);
+  EXPECT_EQ(b.stats.restart_steps[0], 0);  // died before the first rotation
+  EXPECT_GT(b.restarts, 0);
+  EXPECT_GT(b.restart_us, 0.0);
+  Microseconds node_down_span = 0;
+  for (const cluster::Tracer& t : tracers) {
+    node_down_span += t.total_cat(cluster::SpanCat::kNodeDown);
+  }
+  EXPECT_GT(node_down_span, 0.0);
+  ASSERT_EQ(b.state.size(), 4u);
+  for (int rank = 0; rank < 4; ++rank) {
+    expect_state_bits_equal(a.state.at(rank), b.state.at(rank),
+                            "nodekill-vs-clean");
+  }
+}
+
+TEST(HardFailure, NodeKillTakesWholeSmpWithIt) {
+  // Kills are node-granular: killing rank 2 on a two-way SMP takes its
+  // sibling rank 3 down too (no half-dead SMP deadlocks the shared
+  // barrier).  Survivors on SMP 0 declare one of the dead ranks down
+  // and the restart still converges bit-identically.
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  plan.node_kills.push_back({/*rank=*/2, /*at_us=*/50.0, /*epoch=*/0});
+
+  const ResilientRun a =
+      run_resilient_gyre(10, nullptr, "hyades_hf_smpclean", 2, 2);
+  const ResilientRun b =
+      run_resilient_gyre(10, &plan, "hyades_hf_smpkill", 2, 2);
+  EXPECT_EQ(b.stats.restarts, 1);
+  ASSERT_EQ(b.stats.verdicts.size(), 1u);
+  // The verdict names whichever dead-SMP rank a survivor talked to.
+  EXPECT_TRUE(b.stats.verdicts[0].rank == 2 || b.stats.verdicts[0].rank == 3)
+      << "verdict rank " << b.stats.verdicts[0].rank;
+  ASSERT_EQ(b.state.size(), 4u);
+  for (int rank = 0; rank < 4; ++rank) {
+    expect_state_bits_equal(a.state.at(rank), b.state.at(rank),
+                            "smpkill-vs-clean");
+  }
+}
+
+TEST(HardFailure, RestartBudgetExhaustionIsTypedNeverAHang) {
+  // A node that dies in every epoch is not survivable by restarting:
+  // after max_restarts aborted epochs the driver throws the typed
+  // RestartExhausted (with the last verdict attached) instead of
+  // looping or hanging.
+  QuietLog quiet;
+  cluster::FaultPlan plan;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    plan.node_kills.push_back({/*rank=*/1, /*at_us=*/50.0, epoch});
+  }
+  try {
+    (void)run_resilient_gyre(10, &plan, "hyades_hf_exhaust", 4, 1,
+                             /*tracers=*/nullptr, /*max_restarts=*/2);
+    FAIL() << "expected RestartExhausted";
+  } catch (const gcm::RestartExhausted& e) {
+    EXPECT_EQ(e.restarts, 3);  // one past the budget of 2
+    EXPECT_EQ(e.last_verdict.rank, 1);
+    EXPECT_EQ(e.last_verdict.epoch, 2);
+  }
+  cleanup_slots(ckpt_prefix_for("hyades_hf_exhaust"), 4);
+}
+
+TEST(HardFailure, EpochTagStrideDiscardsStaleMessages) {
+  // A message posted in epoch 0 but never received must be invisible to
+  // epoch 1's receives on the same nominal tag: the epoch weaves into
+  // the transport tag, so pre-failure mail ages out as dead letters
+  // instead of corrupting the restarted run.
+  cluster::MachineConfig mc;
+  mc.smp_count = 2;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &gcm::testing::test_net();
+  cluster::Runtime rt(mc);
+
+  rt.set_epoch(0);
+  rt.run([&](cluster::RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_raw(1, 7, {1.0}, 10.0);
+  });
+
+  rt.set_epoch(1);
+  rt.run([&](cluster::RankContext& ctx) {
+    if (ctx.rank() == 1) {
+      // The stale epoch-0 message does not match epoch-1's tag space.
+      EXPECT_FALSE(ctx.try_recv_raw(0, 7).has_value());
+      ctx.send_raw(0, 8, {0.0}, 5.0);  // release rank 0's epoch-1 send
+      const cluster::Message m = ctx.recv_raw(0, 7);
+      ASSERT_EQ(m.data.size(), 1u);
+      EXPECT_EQ(m.data[0], 2.0);  // the epoch-1 payload, not the stale 1.0
+    } else {
+      (void)ctx.recv_raw(1, 8);
+      ctx.send_raw(1, 7, {2.0}, 20.0);
+    }
+  });
+}
+
+TEST(HardFailure, BusPoisonWakesBlockedReceivers) {
+  // declare_node_down must wake a rank blocked in a receive for a
+  // message that will never come -- every survivor unwinds with
+  // NodeDownError carrying the identical verdict.
+  QuietLog quiet;
+  cluster::MachineConfig mc;
+  mc.smp_count = 2;
+  mc.procs_per_smp = 1;
+  mc.interconnect = &gcm::testing::test_net();
+  cluster::Runtime rt(mc);
+  cluster::NodeDownVerdict v;
+  v.rank = 1;
+  v.epoch = 0;
+  v.detected_us = 1234.0;
+  try {
+    rt.run([&](cluster::RankContext& ctx) {
+      if (ctx.rank() == 0) {
+        (void)ctx.recv_raw(1, 9);  // blocks forever: rank 1 never sends
+        FAIL() << "poisoned recv returned";
+      } else {
+        ctx.declare_node_down(v);
+      }
+    });
+    FAIL() << "expected NodeDownError";
+  } catch (const cluster::NodeDownError& e) {
+    EXPECT_EQ(e.verdict.rank, 1);
+    EXPECT_DOUBLE_EQ(e.verdict.detected_us, 1234.0);
+  }
+  rt.bus().reset_down();
+}
+
+}  // namespace
+}  // namespace hyades

@@ -288,6 +288,30 @@ TEST(Robustness, BitIdenticalStateUnderRecoverableFaults) {
   }
 }
 
+TEST(Robustness, HardFailureKnobsDisabledAreBitIdentical) {
+  // The hard-failure machinery (membership heartbeats, reroute
+  // penalties, restart costing) must be pure plumbing while no kill is
+  // scheduled: a plan that cranks every hard-failure knob but schedules
+  // no kills runs the 200-step gyre bit-identically to the fully
+  // disabled plan -- same state, zero retransmits, zero degraded sends.
+  QuietLog quiet;
+  const cluster::FaultPlan clean;  // all disabled
+  cluster::FaultPlan knobs;
+  knobs.seed = 99;
+  knobs.heartbeat_deadline_us = 50.0;
+  knobs.dead_peer_probes = 9;
+  knobs.restart_cost_us = 123456.0;
+  knobs.reroute_penalty_us = 42.0;
+  ASSERT_FALSE(knobs.enabled());  // no fates, no kills scheduled
+  const GyreRun a = run_gyre(200, clean);
+  const GyreRun b = run_gyre(200, knobs);
+  EXPECT_EQ(b.retransmits, 0u);
+  EXPECT_EQ(b.retrans_us, 0.0);
+  for (int r = 0; r < 4; ++r) {
+    expect_state_bits_equal(a.state.at(r), b.state.at(r), "knobs-vs-clean");
+  }
+}
+
 TEST(Robustness, CheckpointRollbackRoundTrip) {
   // With a zero retransmit budget every faulted step is rolled back and
   // replayed (fresh serials draw fresh fates, so replays converge).  The

@@ -48,6 +48,25 @@ TEST(PioMode, MessageRoundTrips) {
   EXPECT_FALSE(rig.niu(5).pio_available());
 }
 
+TEST(PioMode, PartitionedDestinationReportsNiuContext) {
+  // Killing a leaf router partitions its endpoints; an injection toward
+  // one must surface a link-down error naming the NIU, the protocol,
+  // and the destination -- not a bare fabric coordinate.
+  Rig rig;
+  rig.fabric.apply_kill({arctic::KillEvent::Kind::kRouter, /*level=*/0,
+                         /*index=*/1, /*port=*/0, /*at_us=*/0.0});
+  rig.niu(0).pio_inject_at(0, /*dst=*/5, 42, {0x1u, 0x2u});
+  try {
+    rig.sched.run();
+    FAIL() << "expected partition error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("startx niu 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("pio"), std::string::npos) << what;
+    EXPECT_NE(what.find("partitioned"), std::string::npos) << what;
+  }
+}
+
 TEST(PioMode, PopOnEmptyThrows) {
   Rig rig;
   EXPECT_THROW(rig.niu(3).pio_pop(), std::logic_error);
