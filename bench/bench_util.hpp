@@ -17,7 +17,11 @@ namespace hyades::bench {
 inline std::string pct(double measured, double paper) {
   if (paper == 0.0) return "-";
   const double d = 100.0 * (measured - paper) / paper;
-  return (d >= 0 ? "+" : "") + Table::fmt(d, 1) + "%";
+  // Built via string+string append: `const char* + std::string&&` takes
+  // libstdc++'s insert path, which trips GCC 12's -Wrestrict false
+  // positive (PR105329) under -Werror.
+  const std::string sign = d >= 0 ? "+" : "";
+  return sign + Table::fmt(d, 1) + "%";
 }
 
 inline void banner(const std::string& title) {

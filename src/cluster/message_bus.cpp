@@ -17,7 +17,7 @@ void MessageBus::send(int to, Message m) {
   if (down()) throw NodeDownError(down_verdict());
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(to));
   {
-    std::lock_guard<std::mutex> lock(box.mu);
+    support::MutexLock lock(box.mu);
     box.queues[{m.src, m.tag}].push_back(std::move(m));
   }
   box.cv.notify_all();
@@ -25,10 +25,12 @@ void MessageBus::send(int to, Message m) {
 
 Message MessageBus::recv(int me, int from, int tag, int timeout_ms) {
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
-  std::unique_lock<std::mutex> lock(box.mu);
+  support::MutexLock lock(box.mu);
   auto& q = box.queues[{from, tag}];
-  if (!box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                       [&] { return !q.empty() || down(); })) {
+  if (!box.cv.wait_for(box.mu, std::chrono::milliseconds(timeout_ms), [&] {
+        box.mu.assert_held();
+        return !q.empty() || down();
+      })) {
     throw std::runtime_error("MessageBus::recv: timeout (rank " +
                              std::to_string(me) + " waiting on " +
                              std::to_string(from) + " tag " +
@@ -43,7 +45,7 @@ Message MessageBus::recv(int me, int from, int tag, int timeout_ms) {
 std::optional<Message> MessageBus::try_recv(int me, int from, int tag) {
   if (down()) throw NodeDownError(down_verdict());
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
-  std::lock_guard<std::mutex> lock(box.mu);
+  support::MutexLock lock(box.mu);
   auto it = box.queues.find({from, tag});
   if (it == box.queues.end() || it->second.empty()) return std::nullopt;
   Message m = std::move(it->second.front());
@@ -53,7 +55,7 @@ std::optional<Message> MessageBus::try_recv(int me, int from, int tag) {
 
 void MessageBus::declare_down(const NodeDownVerdict& verdict) {
   {
-    std::lock_guard<std::mutex> lock(verdict_mu_);
+    support::MutexLock lock(verdict_mu_);
     if (down_.load(std::memory_order_relaxed)) return;  // first verdict wins
     verdict_ = verdict;
     down_.store(true, std::memory_order_release);
@@ -63,19 +65,19 @@ void MessageBus::declare_down(const NodeDownVerdict& verdict) {
 }
 
 NodeDownVerdict MessageBus::down_verdict() const {
-  std::lock_guard<std::mutex> lock(verdict_mu_);
+  support::MutexLock lock(verdict_mu_);
   return verdict_;
 }
 
 void MessageBus::reset_down() {
-  std::lock_guard<std::mutex> lock(verdict_mu_);
+  support::MutexLock lock(verdict_mu_);
   verdict_ = NodeDownVerdict{};
   down_.store(false, std::memory_order_release);
 }
 
 bool MessageBus::poll(int me, int from, int tag) {
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
-  std::lock_guard<std::mutex> lock(box.mu);
+  support::MutexLock lock(box.mu);
   auto it = box.queues.find({from, tag});
   return it != box.queues.end() && !it->second.empty();
 }

@@ -7,16 +7,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "cluster/fault.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/units.hpp"
 
 namespace hyades::cluster {
@@ -84,14 +84,14 @@ class MessageBus {
 
  private:
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Message>> queues;
+    support::Mutex mu;
+    support::CondVar cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<bool> down_{false};
-  mutable std::mutex verdict_mu_;
-  NodeDownVerdict verdict_;
+  mutable support::Mutex verdict_mu_;
+  NodeDownVerdict verdict_ GUARDED_BY(verdict_mu_);
 };
 
 }  // namespace hyades::cluster

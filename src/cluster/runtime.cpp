@@ -17,7 +17,7 @@ RateLimiter g_straggler_warn_limiter(/*burst=*/4, /*every=*/1u << 20);
 }  // namespace
 
 void AbortableBarrier::arrive_and_wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   if (aborted_) throw std::runtime_error("SMP barrier aborted");
   const std::uint64_t gen = generation_;
   if (++waiting_ == count_) {
@@ -26,20 +26,23 @@ void AbortableBarrier::arrive_and_wait() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+  cv_.wait(mu_, [&] {
+    mu_.assert_held();
+    return generation_ != gen || aborted_;
+  });
   if (generation_ == gen && aborted_) {
     throw std::runtime_error("SMP barrier aborted");
   }
 }
 
 void AbortableBarrier::abort() {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   aborted_ = true;
   cv_.notify_all();
 }
 
 void AbortableBarrier::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   aborted_ = false;
   waiting_ = 0;
 }

@@ -9,16 +9,16 @@
 // the interconnect model.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/message_bus.hpp"
 #include "cluster/virtual_clock.hpp"
 #include "net/interconnect.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hyades::cluster {
 
@@ -104,12 +104,12 @@ class AbortableBarrier {
   void reset();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
-  int waiting_ = 0;
-  std::uint64_t generation_ = 0;
-  bool aborted_ = false;
+  support::Mutex mu_;
+  support::CondVar cv_;
+  const int count_;
+  int waiting_ GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool aborted_ GUARDED_BY(mu_) = false;
 };
 
 // Shared state for one SMP: a barrier across its ranks plus publication

@@ -1,10 +1,11 @@
 #include "perf/calibrate.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "cluster/runtime.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 #include "comm/comm.hpp"
 #include "gcm/halo.hpp"
 #include "gcm/model.hpp"
@@ -93,10 +94,14 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
   }
 
   cluster::Runtime rt(machine(net, shape));
-  std::mutex mu;
-  double total_flops = 0;
-  Microseconds window_us = 0;
-  double busiest = 0;
+  // Cross-rank reduction state; every rank-thread folds its window into
+  // these under the mutex (rank 0 also fills `m` in the same section).
+  struct Shared {
+    support::Mutex mu;
+    double total_flops GUARDED_BY(mu) = 0;
+    Microseconds window_us GUARDED_BY(mu) = 0;
+    double busiest GUARDED_BY(mu) = 0;
+  } sh;
   rt.run([&](cluster::RankContext& ctx) {
     comm::Comm comm(ctx);
     gcm::Model model(cfg, comm);
@@ -126,10 +131,10 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
     const double rank_flops = ctx.accounting().flops - flops0;
     const Microseconds rank_us = ctx.clock().now() - clock0;
 
-    std::lock_guard<std::mutex> lock(mu);
-    total_flops += rank_flops;
-    window_us = std::max(window_us, rank_us);
-    busiest = std::max(busiest, rank_us > 0 ? rank_flops / rank_us : 0.0);
+    support::MutexLock lock(sh.mu);
+    sh.total_flops += rank_flops;
+    sh.window_us = std::max(sh.window_us, rank_us);
+    sh.busiest = std::max(sh.busiest, rank_us > 0 ? rank_flops / rank_us : 0.0);
     if (comm.group_rank() == 0) {
       // Figure 11 normalizes by the full per-processor cell count.
       const double cells =
@@ -162,10 +167,14 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
   m.params.ds.tgsum = prims.tgsum;
   m.params.ds.texchxy = prims.texchxy;
 
-  m.step_us = window_us / steps;
-  m.per_proc_mflops = busiest;
-  m.aggregate_gflops = window_us > 0 ? total_flops / window_us / 1.0e3 : 0.0;
-  if (capture != nullptr) capture->window_us = window_us;
+  // Threads have joined; the lock is uncontended but keeps the
+  // GUARDED_BY contract (and the thread-safety analysis) honest.
+  support::MutexLock lock(sh.mu);
+  m.step_us = sh.window_us / steps;
+  m.per_proc_mflops = sh.busiest;
+  m.aggregate_gflops =
+      sh.window_us > 0 ? sh.total_flops / sh.window_us / 1.0e3 : 0.0;
+  if (capture != nullptr) capture->window_us = sh.window_us;
   return m;
 }
 

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "support/sync.hpp"
 
 namespace hyades {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serializes whole lines onto std::cerr (the guarded resource is the
+// stream itself, which cannot carry a GUARDED_BY annotation).
+support::Mutex g_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -31,7 +34,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  support::MutexLock lock(g_mutex);
   std::cerr << tag(level) << msg << '\n';
 }
 

@@ -1,0 +1,89 @@
+// Clang thread-safety-analysis attribute shim.
+//
+// These macros expand to Clang's `-Wthread-safety` attributes when the
+// compiler supports them and to nothing elsewhere (GCC, MSVC), so the
+// annotations cost zero on non-Clang builds while letting a Clang build
+// prove at compile time that every GUARDED_BY field is only touched with
+// its mutex held.  The vocabulary follows the official Clang
+// documentation (and Abseil's thread_annotations.h): CAPABILITY marks a
+// lockable type, GUARDED_BY ties data to its lock, REQUIRES/ACQUIRE/
+// RELEASE annotate functions, SCOPED_CAPABILITY marks RAII guards.
+//
+// The annotated wrapper types (support::Mutex, support::MutexLock,
+// support::CondVar) live in support/sync.hpp; annotate shared state with
+// those rather than raw std::mutex, because libstdc++'s std::mutex
+// carries no capability attributes and the analysis cannot see through
+// it.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HYADES_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HYADES_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Type attributes ----------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex" names the capability
+// kind in diagnostics).
+#define CAPABILITY(x) HYADES_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases
+// a capability.
+#define SCOPED_CAPABILITY HYADES_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data attributes ----------------------------------------------------------
+
+// The field may only be read or written while holding `x`.
+#define GUARDED_BY(x) HYADES_THREAD_ANNOTATION_(guarded_by(x))
+
+// The pointed-to data (not the pointer itself) is protected by `x`.
+#define PT_GUARDED_BY(x) HYADES_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations.
+#define ACQUIRED_BEFORE(...) \
+  HYADES_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  HYADES_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function attributes ------------------------------------------------------
+
+// The caller must hold the capability (exclusively / shared) on entry,
+// and still holds it on exit.
+#define REQUIRES(...) \
+  HYADES_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HYADES_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the capability and holds / no longer
+// holds it on exit.
+#define ACQUIRE(...) HYADES_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HYADES_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) HYADES_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HYADES_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// The function attempts the acquisition; `b` is the return value that
+// means success.
+#define TRY_ACQUIRE(b, ...) \
+  HYADES_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+// The caller must NOT hold the capability (guards against recursive
+// locking of a non-recursive mutex).
+#define EXCLUDES(...) HYADES_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Returns a reference to the capability guarding this object.
+#define RETURN_CAPABILITY(x) HYADES_THREAD_ANNOTATION_(lock_returned(x))
+
+// The function asserts (at run time or by construction) that the calling
+// thread already holds the capability; the analysis trusts it from that
+// point on.  Used inside condition-variable predicates, which execute
+// with the mutex held but are lambdas the analysis cannot annotate.
+#define ASSERT_CAPABILITY(...) \
+  HYADES_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+
+// Escape hatch: the function does lock-dependent work the analysis
+// cannot follow.  Every use needs a justifying comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HYADES_THREAD_ANNOTATION_(no_thread_safety_analysis)
