@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
       std::cout << "\npeak surface current " << Table::fmt(fastest, 3)
                 << " m/s at i = " << fastest_i << " of " << speed.nx()
                 << " (basin interior starts near i ~ "
-                << static_cast<int>(0.06 * speed.nx()) << ": western "
+                << static_cast<int>(0.06 * static_cast<double>(speed.nx()))
+                << ": western "
                 << "boundary current)\n";
       std::cout << "\nsurface current speed:\n" << gcm::ascii_map(speed);
       gcm::write_pgm(outdir + "/gyre_speed.pgm", speed);

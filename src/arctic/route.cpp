@@ -21,8 +21,8 @@ int levels_for(int endpoints) {
 std::uint16_t Route::encode_uproute() const {
   std::uint16_t bits = static_cast<std::uint16_t>(up_levels & 0x7);
   for (int l = 0; l < up_levels; ++l) {
-    bits = static_cast<std::uint16_t>(bits |
-                                      ((up_ports[l] & 0x3) << (3 + 2 * l)));
+    bits = static_cast<std::uint16_t>(
+        bits | ((up_ports[static_cast<std::size_t>(l)] & 0x3) << (3 + 2 * l)));
   }
   return bits;
 }
@@ -31,7 +31,8 @@ Route Route::decode(std::uint16_t uproute, std::uint16_t downroute) {
   Route r;
   r.up_levels = uproute & 0x7;
   for (int l = 0; l < r.up_levels && l < kMaxLevels; ++l) {
-    r.up_ports[l] = static_cast<std::uint8_t>((uproute >> (3 + 2 * l)) & 0x3);
+    r.up_ports[static_cast<std::size_t>(l)] =
+        static_cast<std::uint8_t>((uproute >> (3 + 2 * l)) & 0x3);
   }
   r.downroute = downroute;
   return r;

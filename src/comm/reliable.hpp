@@ -62,12 +62,14 @@ namespace hyades::comm {
 // per-attempt fault probability p < 1 this is a (1-p)^-64 event, i.e.
 // the modeled link is effectively dead, which no retry policy fixes.
 struct DeliveryFailure : std::runtime_error {
-  DeliveryFailure(int rank, int peer, std::uint64_t serial, int attempts)
-      : std::runtime_error("reliable delivery: rank " + std::to_string(rank) +
-                           " -> " + std::to_string(peer) + " serial " +
-                           std::to_string(serial) + " still faulted after " +
-                           std::to_string(attempts) + " attempts"),
-        rank(rank), peer(peer), serial(serial), attempts(attempts) {}
+  DeliveryFailure(int on_rank, int to_peer, std::uint64_t xfer_serial,
+                  int tries)
+      : std::runtime_error(
+            "reliable delivery: rank " + std::to_string(on_rank) + " -> " +
+            std::to_string(to_peer) + " serial " +
+            std::to_string(xfer_serial) + " still faulted after " +
+            std::to_string(tries) + " attempts"),
+        rank(on_rank), peer(to_peer), serial(xfer_serial), attempts(tries) {}
   int rank, peer;
   std::uint64_t serial;
   int attempts;

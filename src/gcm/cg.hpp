@@ -23,13 +23,13 @@ namespace hyades::gcm {
 // beats silently iterating on garbage until max_iter.  Collective-safe:
 // the residual comes from a global sum, so every rank throws together.
 struct SolverDivergence : std::runtime_error {
-  SolverDivergence(const char* solver, int iteration, double residual_sq)
+  SolverDivergence(const char* solver, int at_iteration, double rr)
       : std::runtime_error(std::string(solver) +
                            ": non-finite residual at iteration " +
-                           std::to_string(iteration) + " (<r,r> = " +
-                           std::to_string(residual_sq) + ")"),
-        iteration(iteration),
-        residual_sq(residual_sq) {}
+                           std::to_string(at_iteration) + " (<r,r> = " +
+                           std::to_string(rr) + ")"),
+        iteration(at_iteration),
+        residual_sq(rr) {}
   int iteration;
   double residual_sq;
 };

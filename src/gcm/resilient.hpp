@@ -64,13 +64,14 @@ struct ResilientStats {
 // Thrown when a run aborts more than max_restarts times: the failure is
 // not survivable by restarting (e.g. the plan kills a node every epoch).
 struct RestartExhausted : std::runtime_error {
-  RestartExhausted(int restarts, const cluster::NodeDownVerdict& v)
+  RestartExhausted(int after_restarts, const cluster::NodeDownVerdict& v)
       : std::runtime_error(
-            "run_resilient: giving up after " + std::to_string(restarts) +
+            "run_resilient: giving up after " +
+            std::to_string(after_restarts) +
             " restarts (last verdict: rank " + std::to_string(v.rank) +
             " down in epoch " + std::to_string(v.epoch) + " at t=" +
             std::to_string(v.detected_us) + " us)"),
-        restarts(restarts), last_verdict(v) {}
+        restarts(after_restarts), last_verdict(v) {}
   int restarts;
   cluster::NodeDownVerdict last_verdict;
 };

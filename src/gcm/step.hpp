@@ -48,16 +48,21 @@ struct PerfObservables {
   Microseconds tps_interior_us = 0, overlap_us = 0;  // overlap mode only
 
   [[nodiscard]] double mean_ni() const {
-    return steps ? static_cast<double>(cg_iterations) / steps : 0.0;
+    return steps ? static_cast<double>(cg_iterations) /
+                       static_cast<double>(steps)
+                 : 0.0;
   }
   // Flops per wet interior cell per step (the paper's Nps).
   [[nodiscard]] double nps(std::int64_t wet_cells) const {
-    return steps && wet_cells ? ps_flops / steps / wet_cells : 0.0;
+    return steps && wet_cells ? ps_flops / static_cast<double>(steps) /
+                                    static_cast<double>(wet_cells)
+                              : 0.0;
   }
   // Flops per wet column per CG iteration (the paper's Nds).
   [[nodiscard]] double nds(std::int64_t wet_columns) const {
     return cg_iterations && wet_columns
-               ? ds_flops / cg_iterations / wet_columns
+               ? ds_flops / static_cast<double>(cg_iterations) /
+                     static_cast<double>(wet_columns)
                : 0.0;
   }
 };

@@ -154,7 +154,10 @@ ModelMeasurement measure_model(const gcm::ModelConfig& cfg,
       m.params.ps.texchxyz = m.tps_exch_us / 5.0;
       m.params.ps.fps_mflops = cfg.fps_mflops;
       m.params.ds.nds =
-          iters > 0 ? (obs.ds_flops - obs0.ds_flops) / iters / cols : 0.0;
+          iters > 0
+              ? (obs.ds_flops - obs0.ds_flops) / static_cast<double>(iters) /
+                    cols
+              : 0.0;
       m.params.ds.nxy = cols;
       m.params.ds.fds_mflops = cfg.fds_mflops;
     }

@@ -186,7 +186,7 @@ TEST(RouteDegraded, PropertyMatchesReferenceBfs) {
       const int src = static_cast<int>(rng.next_below(64));
       const int dst = static_cast<int>(rng.next_below(64));
       const bool connected = reachable_bfs(src, dst, n_levels, health);
-      SplitMix64 route_rng(trial * 1000 + pair);
+      SplitMix64 route_rng(static_cast<std::uint64_t>(trial * 1000 + pair));
       SplitMix64* mode = (pair % 2 == 0) ? nullptr : &route_rng;
       const RoutedPath routed =
           compute_route_degraded(src, dst, n_levels, health, mode);

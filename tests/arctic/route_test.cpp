@@ -42,6 +42,27 @@ TEST(Route, EncodingRoundTrips) {
   }
 }
 
+TEST(Route, EncodingRoundTripsAtFullWidth) {
+  // Every up-port slot populated with a distinct 2-bit value at the
+  // maximum climb height: locks the per-level wire encoding (3 + 2l bit
+  // positions) and the indexed port array handling.
+  Route r;
+  r.up_levels = kMaxLevels;
+  for (int l = 0; l < kMaxLevels; ++l) {
+    r.up_ports[static_cast<std::size_t>(l)] =
+        static_cast<std::uint8_t>((l + 1) & (kRadix - 1));
+  }
+  r.downroute = 0x2d6;  // arbitrary down digits
+  const Route d = Route::decode(r.encode_uproute(), r.downroute);
+  EXPECT_EQ(d.up_levels, kMaxLevels);
+  EXPECT_EQ(d.downroute, r.downroute);
+  for (int l = 0; l < kMaxLevels; ++l) {
+    EXPECT_EQ(d.up_ports[static_cast<std::size_t>(l)],
+              r.up_ports[static_cast<std::size_t>(l)])
+        << "port at level " << l;
+  }
+}
+
 TEST(Route, DeterministicIsStable) {
   for (int trial = 0; trial < 3; ++trial) {
     const Route a = compute_route(5, 11, 2);

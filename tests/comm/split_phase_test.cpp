@@ -38,8 +38,9 @@ std::array<int, kDirections> grid_neighbors(int rank) {
 Comm::Buffers make_buffers(int rank, double tag, int len = 8) {
   Comm::Buffers buf;
   for (int d = 0; d < kDirections; ++d) {
-    buf.out[static_cast<std::size_t>(d)].assign(len, rank * 100.0 + tag + d);
-    buf.in[static_cast<std::size_t>(d)].assign(len, -1.0);
+    const auto n = static_cast<std::size_t>(len);
+    buf.out[static_cast<std::size_t>(d)].assign(n, rank * 100.0 + tag + d);
+    buf.in[static_cast<std::size_t>(d)].assign(n, -1.0);
   }
   return buf;
 }

@@ -71,11 +71,15 @@ TEST(Dst3, UniformTracerHasZeroTendency) {
 TEST(Dst3, ConservesTracerIntegral) {
   Fixture fx(dst3_config());
   fx.fill(fx.s.u, [](int gi, int gj, int k) {
-    SplitMix64 rng((gi + 1) * 7919u + (gj + 64) * 104729u + k);
+    SplitMix64 rng(static_cast<unsigned>(gi + 1) * 7919u +
+                   static_cast<unsigned>(gj + 64) * 104729u +
+                   static_cast<unsigned>(k));
     return rng.next_in(-0.2, 0.2);
   });
   fx.fill(fx.s.theta, [](int gi, int gj, int k) {
-    SplitMix64 rng((gi + 5) * 15485863u + (gj + 64) * 32452843u + k);
+    SplitMix64 rng(static_cast<unsigned>(gi + 5) * 15485863u +
+                   static_cast<unsigned>(gj + 64) * 32452843u +
+                   static_cast<unsigned>(k));
     return rng.next_in(5.0, 25.0);
   });
   kernels::apply_velocity_masks(fx.grid, fx.s.u, fx.s.v,

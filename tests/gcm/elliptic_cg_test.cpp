@@ -130,7 +130,8 @@ TEST(Cg, SolvesManufacturedProblem) {
     const EllipticOperator op(cfg, dec, grid);
     // Build b = L p_true for a random p_true; then solve from zero.
     Array2D<double> p_true = field(dec);
-    fill_random_interior(dec, grid, p_true, 100 + comm.group_rank());
+    fill_random_interior(dec, grid, p_true,
+                         static_cast<std::uint64_t>(100 + comm.group_rank()));
     Array2D<double> b = field(dec);
     exchange2d(comm, dec, p_true, 1);
     op.apply(p_true, b);
@@ -187,7 +188,8 @@ TEST(Cg, WarmStartNeedsFewerIterations) {
     const TileGrid grid(cfg, dec);
     const EllipticOperator op(cfg, dec, grid);
     Array2D<double> p_true = field(dec);
-    fill_random_interior(dec, grid, p_true, 500 + comm.group_rank());
+    fill_random_interior(dec, grid, p_true,
+                         static_cast<std::uint64_t>(500 + comm.group_rank()));
     Array2D<double> b = field(dec);
     exchange2d(comm, dec, p_true, 1);
     op.apply(p_true, b);
@@ -210,7 +212,8 @@ TEST(Cg, IterationCountsIdenticalOnAllRanks) {
     const TileGrid grid(cfg, dec);
     const EllipticOperator op(cfg, dec, grid);
     Array2D<double> b = field(dec);
-    fill_random_interior(dec, grid, b, 7 + comm.group_rank());
+    fill_random_interior(dec, grid, b,
+                         static_cast<std::uint64_t>(7 + comm.group_rank()));
     // Make b compatible: subtract the global mean over wet cells.
     std::vector<double> sums{0.0, 0.0};
     for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {

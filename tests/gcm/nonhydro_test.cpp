@@ -87,7 +87,7 @@ TEST(Cg3, SolvesManufacturedProblem) {
     const Decomp dec(cfg, comm.group_rank());
     const TileGrid grid(cfg, dec);
     const EllipticOperator3 op(cfg, dec, grid);
-    SplitMix64 rng(50 + comm.group_rank());
+    SplitMix64 rng(static_cast<std::uint64_t>(50 + comm.group_rank()));
     Array3D<double> p_true = field3(dec, cfg.nz);
     for (int i = dec.halo; i < dec.halo + dec.snx; ++i) {
       for (int j = dec.halo; j < dec.halo + dec.sny; ++j) {

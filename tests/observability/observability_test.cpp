@@ -229,7 +229,7 @@ TEST(Observability, SolverSpansCountIterations) {
   const perf::ModelMeasurement m = measure_small(&cap);
   const SpanCounters cg = cap.tracers[0].counters("ds_cg_iter");
   // One span per converged CG iteration, each counting itself.
-  EXPECT_DOUBLE_EQ(cg.cg_iterations, m.ni * m.steps);
+  EXPECT_DOUBLE_EQ(cg.cg_iterations, m.ni * static_cast<double>(m.steps));
   const SpanCounters ex = cap.tracers[0].counters("exchange");
   EXPECT_GT(ex.bytes, 0);
 }

@@ -207,6 +207,26 @@ TEST(Reliable, TimeoutAndBackoffScheduling) {
   });
 }
 
+TEST(Reliable, DeliveryFailureCarriesItsFields) {
+  // The diagnostic fields must round-trip through construction exactly
+  // (regression for the ctor parameter/member disambiguation).
+  const comm::DeliveryFailure e(3, 7, 42u, 64);
+  EXPECT_EQ(e.rank, 3);
+  EXPECT_EQ(e.peer, 7);
+  EXPECT_EQ(e.serial, 42u);
+  EXPECT_EQ(e.attempts, 64);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("rank 3"), std::string::npos);
+  EXPECT_NE(what.find("serial 42"), std::string::npos);
+}
+
+TEST(Solver, SolverDivergenceCarriesItsFields) {
+  const gcm::SolverDivergence e("cg2d", 17, 1.5);
+  EXPECT_EQ(e.iteration, 17);
+  EXPECT_DOUBLE_EQ(e.residual_sq, 1.5);
+  EXPECT_NE(std::string(e.what()).find("iteration 17"), std::string::npos);
+}
+
 TEST(Reliable, DeadLinkExhaustsAttemptsAndThrows) {
   QuietLog quiet;
   cluster::FaultPlan plan;

@@ -129,7 +129,7 @@ TEST_P(FabricSweep, AllPairsDeliverInOrder) {
     if (p.usr_tag < last_tag[static_cast<std::size_t>(node)]) order_ok = false;
     last_tag[static_cast<std::size_t>(node)] = p.usr_tag;
   });
-  SplitMix64 rng(endpoints);
+  SplitMix64 rng(static_cast<std::uint64_t>(endpoints));
   const int src = 0;
   const int dst = endpoints - 1;
   for (std::uint16_t t = 0; t < 64; ++t) {
