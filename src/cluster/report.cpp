@@ -6,6 +6,30 @@
 
 namespace hyades::cluster {
 
+const char* span_cat_column(SpanCat cat) {
+  // No default: a new SpanCat enumerator must add its case here (and a
+  // matching column below, checked by hyades-lint spancat-coverage).
+  switch (cat) {
+    case SpanCat::kPhase:
+      return nullptr;  // stepper structure inside "compute (ms)"
+    case SpanCat::kExchange:
+      return "exchange (ms)";
+    case SpanCat::kGsum:
+      return "gsum (ms)";
+    case SpanCat::kBarrier:
+      return "barrier (ms)";
+    case SpanCat::kSolver:
+      return nullptr;  // per-iteration detail inside the ds phase
+    case SpanCat::kFault:
+      return "retrans (ms)";  // cost carried in Accounting::retrans_us
+    case SpanCat::kNodeDown:
+      return "restart (ms)";  // cost carried in Accounting::restart_us
+    case SpanCat::kOther:
+      return nullptr;  // free-form ops, no dedicated column
+  }
+  return nullptr;
+}
+
 std::vector<RankBreakdown> wait_attribution(
     const std::vector<const Tracer*>& per_rank,
     const std::vector<Accounting>& acct) {

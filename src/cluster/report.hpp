@@ -41,6 +41,15 @@ struct RankBreakdown {
   }
 };
 
+// The wait-attribution column whose time is fed by spans of this
+// category, or nullptr for categories accounted through another path
+// (kPhase/kSolver are structure inside the compute column, kOther is
+// free-form).  This switch is the single place the span taxonomy meets
+// the report table: hyades-lint's spancat-coverage rule parses the
+// SpanCat enum and this function's cases, so adding a category without
+// deciding its column is a lint failure (and a -Wswitch build break).
+[[nodiscard]] const char* span_cat_column(SpanCat cat);
+
 // Build the per-rank breakdown.  per_rank[r] may be null (rank skipped);
 // acct must have at least per_rank.size() entries.
 std::vector<RankBreakdown> wait_attribution(

@@ -220,6 +220,9 @@ void Runtime::run(const std::function<void(RankContext&)>& body) {
       RankContext ctx(*this, r);
       try {
         body(ctx);
+        // lint:allow(catch-all): rank-thread trampoline -- every unwind
+        // (including RankFailStop) is captured and rethrown on the
+        // driver thread below; nothing is swallowed.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Release any sibling blocked on the SMP barrier.
@@ -241,6 +244,8 @@ void Runtime::run(const std::function<void(RankContext&)>& body) {
       std::rethrow_exception(e);
     } catch (const NodeDownError&) {
       throw;
+      // lint:allow(catch-all): triage pass ordering root cause above
+      // collateral errors; the loop below rethrows whatever remains.
     } catch (...) {
     }
   }

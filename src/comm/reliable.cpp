@@ -223,6 +223,8 @@ cluster::Message Reliable::recv(int from, int tag) {
   // the collective NodeDown verdict instead of waiting out the bus's
   // real-time watchdog.
   ms->maybe_fail_self();
+  // lint:allow(wall-clock): hang-detection watchdog for a fail-stopped
+  // peer; bounds host wait only, never feeds simulated timestamps.
   const auto started = std::chrono::steady_clock::now();
   auto empty_since = started;
   bool was_empty = false;
@@ -235,6 +237,8 @@ cluster::Message Reliable::recv(int from, int tag) {
       if (good) return std::move(*good);
       continue;
     }
+    // lint:allow(wall-clock): same watchdog; real time bounds the poll
+    // loop, virtual time is untouched.
     const auto now = std::chrono::steady_clock::now();
     if (!was_empty) {
       was_empty = true;

@@ -71,6 +71,9 @@ void Coupler::exchange_boundary(Model& model, SurfaceForcing& forcing) {
   if (is_ocean()) {
     const int peer = ctx_.rank() - ocean_base_ + atmos_base_;
     // Send SST (surface theta over the interior).
+    // lint:allow(raw-send): coupler exchange predates the reliability
+    // layer and is pinned by coupled-run goldens; new model traffic must
+    // use comm/reliable (see DESIGN.md "Static analysis").
     ctx_.send_raw(peer, kTagSst,
                   pack_interior([&](std::size_t i, std::size_t j) {
                     return s.theta(i, j, 0);
@@ -135,6 +138,8 @@ void Coupler::exchange_boundary(Model& model, SurfaceForcing& forcing) {
   append(taux);
   append(tauy);
   append(qnet);
+  // lint:allow(raw-send): paired with the SST leg above -- same golden
+  // pinning; convert both sides together or not at all.
   ctx_.send_raw(peer, kTagFlux, std::move(flux),
                 ctx_.clock().now() + 3.0 * xfer);
 }

@@ -272,6 +272,9 @@ Array2D<double> Model::gather2d(const Array2D<double>& local) {
     }
     const Microseconds stamp =
         ctx.clock().now() + ctx.net().transfer_time(bytes);
+    // lint:allow(raw-send): diagnostic gather outside the fault window
+    // (fault plans target the step loop, not field collection); routing
+    // it through reliable would shift goldens for zero model-state risk.
     ctx.send_raw(root_abs, kTagGather, std::move(payload), stamp);
     ctx.clock().advance(ctx.net().transfer_overhead());
     return {};

@@ -1,0 +1,8 @@
+// Tripwire: a lint:allow with no justification after the colon is
+// itself a finding -- suppressions must say why.
+#include <chrono>
+
+long long watchdog_now() {
+  // lint:allow(wall-clock):
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

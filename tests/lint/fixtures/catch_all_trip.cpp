@@ -1,0 +1,12 @@
+// Tripwire: catch (...) also catches RankFailStop, turning a scheduled
+// node death into silent survival.
+void step();
+
+bool step_survives() {
+  try {
+    step();
+  } catch (...) {
+    return false;
+  }
+  return true;
+}

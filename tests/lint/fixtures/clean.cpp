@@ -1,0 +1,40 @@
+// Near-miss patterns that must NOT fire: the lint matches code, not
+// prose, and honors justified suppressions.  Zero findings expected.
+#include <memory>
+#include <string>
+
+// Mentioning steady_clock or rand() in a comment is fine.
+struct Stepper {
+  Stepper() = default;
+  Stepper(const Stepper&) = delete;             // deleted fn, not raw delete
+  Stepper& operator=(const Stepper&) = delete;  // ditto
+  ~Stepper() = default;
+
+  // Identifiers that merely contain the tokens are not matches.
+  int randomize_count = 0;
+  double wall_time_budget = 0.0;
+  void renew_lease() {}
+  long long exchange_time(int) { return 0; }
+};
+
+std::string describe() {
+  // Token in a string literal is not a match either.
+  return "uses steady_clock? no; uses rand()? also no; new delete";
+}
+
+std::unique_ptr<Stepper> make_stepper() {
+  return std::make_unique<Stepper>();  // make_unique, not naked new
+}
+
+long long watchdog_now() {
+  // lint:allow(wall-clock): host watchdog for hang detection only;
+  // never feeds simulated timestamps.
+  return 42;  // stand-in for a justified real-clock read
+}
+
+void typed_catch() {
+  try {
+    describe();
+  } catch (const std::exception&) {  // typed catch is fine
+  }
+}

@@ -1,0 +1,19 @@
+// Clean: gcm-path code riding the reliability layer (and one justified
+// raw send).  Zero findings expected.
+struct Reliable {
+  void send(int peer, const void* data, int len);
+};
+
+struct Ctx {
+  void send_raw(int peer, const void* data, int len);
+};
+
+void push_halo(Reliable& rel, const double* buf, int n) {
+  rel.send(1, buf, n * 8);
+}
+
+void push_ghost(Ctx& ctx, const double* buf, int n) {
+  // lint:allow(raw-send): loss-tolerant diagnostic ghost copy; a drop
+  // only blurs one plot point, never model state.
+  ctx.send_raw(1, buf, n * 8);
+}

@@ -1,0 +1,9 @@
+// Tripwire: model traffic bypassing comm/reliable.  The path contains
+// "gcm/", so the raw-send rule applies.
+struct Ctx {
+  void send_raw(int peer, const void* data, int len);
+};
+
+void push_halo(Ctx& ctx, const double* buf, int n) {
+  ctx.send_raw(1, buf, n * 8);
+}

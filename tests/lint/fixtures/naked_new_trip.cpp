@@ -1,0 +1,6 @@
+// Tripwire: raw new in an exception-throwing world leaks on unwind.
+struct Grid {
+  int n = 0;
+};
+
+Grid* make_grid() { return new Grid{}; }

@@ -1,0 +1,18 @@
+// Clean: every enumerator has a case, every named column appears in
+// the table headers.  Must produce zero findings.
+enum class SpanCat { kPhase, kExchange, kGsum };
+
+const char* span_cat_column(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kPhase:
+      return nullptr;
+    case SpanCat::kExchange:
+      return "exchange (ms)";
+    case SpanCat::kGsum:
+      return "gsum (ms)";
+  }
+  return nullptr;
+}
+
+const char* kHeaders[] = {"rank", "exchange (ms)", "gsum (ms)",
+                          "total (ms)"};

@@ -1,0 +1,16 @@
+// Tripwire: a SpanCat enumerator (kGsum) with no case in
+// span_cat_column -- a new category was added without deciding its
+// wait-attribution column.
+enum class SpanCat { kPhase, kExchange, kGsum };
+
+const char* span_cat_column(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kPhase:
+      return nullptr;
+    case SpanCat::kExchange:
+      return "exchange (ms)";
+  }
+  return nullptr;
+}
+
+const char* kHeaders[] = {"rank", "exchange (ms)", "total (ms)"};

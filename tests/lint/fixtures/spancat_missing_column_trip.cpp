@@ -1,0 +1,18 @@
+// Tripwire: span_cat_column names a column -- the gsum one -- that the
+// report's table headers never print; the attribution would silently
+// vanish from the table.
+enum class SpanCat { kPhase, kExchange, kGsum };
+
+const char* span_cat_column(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kPhase:
+      return nullptr;
+    case SpanCat::kExchange:
+      return "exchange (ms)";
+    case SpanCat::kGsum:
+      return "gsum (ms)";
+  }
+  return nullptr;
+}
+
+const char* kHeaders[] = {"rank", "exchange (ms)", "total (ms)"};

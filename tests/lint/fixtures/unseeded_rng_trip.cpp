@@ -1,0 +1,8 @@
+// Tripwire: nondeterministic randomness.  Every draw must come from a
+// seeded SplitMix64 so runs replay bit-identically.
+#include <random>
+
+unsigned roll() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,8 @@
+// Tripwire: a real-time clock read in simulated-world code.  The lint
+// must flag it (timing goes through VirtualClock).
+#include <chrono>
+
+long long now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+}

@@ -1,0 +1,651 @@
+// hyades-lint: repo-specific invariant checker.
+//
+// The simulated world only stays deterministic and fault-pure because a
+// handful of disciplines hold everywhere; sanitizers and golden tests
+// catch violations at run time, this tool catches them at review time
+// with zero execution.  Rules:
+//
+//   wall-clock        real-time clock reads (system/steady clock,
+//                     gettimeofday, time()) outside an allowlisted
+//                     site: all timing in the simulated world must go
+//                     through VirtualClock or stamps derived from it.
+//   unseeded-rng      rand()/srand()/std::random_device/
+//                     default_random_engine anywhere: every random
+//                     draw must come from a seeded SplitMix64 so runs
+//                     replay bit-identically.
+//   naked-new         raw new/delete expressions: ownership goes
+//                     through containers and smart pointers; a naked
+//                     new in an exception-throwing world leaks.
+//   catch-all         catch (...) without a justification: it would
+//                     also catch RankFailStop (deliberately not a
+//                     std::exception) and turn a scheduled node death
+//                     into silent survival.
+//   raw-send          send_raw/send_msg/bus().send from gcm/ code:
+//                     model traffic must ride the comm/reliable
+//                     protocol (CRC status, NAK/retransmit) or carry a
+//                     justification for why loss cannot matter.
+//   spancat-coverage  the SpanCat enum (cluster/trace.hpp) and the
+//                     wait-attribution column map (span_cat_column in
+//                     cluster/report.cpp) must stay in sync, and every
+//                     named column must exist in the printed table.
+//
+// Suppression: a finding is allowed by a comment on the same line or
+// the line above, of the form
+//
+//     // lint:allow(<rule>): <justification>
+//
+// The justification is mandatory -- an allow without a reason is itself
+// a finding.  Comments and string literals are stripped before pattern
+// matching, so mentioning steady_clock in prose is fine.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;          // as reported in findings
+  std::vector<std::string> raw;   // original lines (for allow comments)
+  std::vector<std::string> code;  // comments + string literals blanked
+};
+
+// ---- lexing ---------------------------------------------------------------
+
+// Blank comments and string/char literals, preserving line structure so
+// findings keep their line numbers.  Handles //, /* */, "..." with
+// escapes, '...' and raw strings R"tag(...)tag".
+std::vector<std::string> strip_noncode(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  enum class St { kCode, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_tag;
+  for (const std::string& line : lines) {
+    std::string o;
+    o.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (st) {
+        case St::kCode:
+          if (c == '/' && n == '/') {
+            o.append(line.size() - i, ' ');
+            i = line.size();
+          } else if (c == '/' && n == '*') {
+            st = St::kBlock;
+            o += "  ";
+            ++i;
+          } else if (c == 'R' && n == '"' &&
+                     (i == 0 || (std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) == 0 &&
+                                 line[i - 1] != '_'))) {
+            // raw string: collect delimiter up to '('
+            std::size_t j = i + 2;
+            std::string tag;
+            while (j < line.size() && line[j] != '(') tag += line[j++];
+            st = St::kRaw;
+            raw_tag = ")" + tag + "\"";
+            o.append(j >= line.size() ? line.size() - i : j - i + 1, ' ');
+            i = j;
+          } else if (c == '"') {
+            st = St::kStr;
+            o += ' ';
+          } else if (c == '\'') {
+            st = St::kChar;
+            o += ' ';
+          } else {
+            o += c;
+          }
+          break;
+        case St::kBlock:
+          if (c == '*' && n == '/') {
+            st = St::kCode;
+            o += "  ";
+            ++i;
+          } else {
+            o += ' ';
+          }
+          break;
+        case St::kStr:
+          if (c == '\\') {
+            o += "  ";
+            ++i;
+          } else if (c == '"') {
+            st = St::kCode;
+            o += ' ';
+          } else {
+            o += ' ';
+          }
+          break;
+        case St::kChar:
+          if (c == '\\') {
+            o += "  ";
+            ++i;
+          } else if (c == '\'') {
+            st = St::kCode;
+            o += ' ';
+          } else {
+            o += ' ';
+          }
+          break;
+        case St::kRaw: {
+          const std::size_t hit = line.find(raw_tag, i);
+          if (hit == std::string::npos) {
+            o.append(line.size() - i, ' ');
+            i = line.size();
+          } else {
+            o.append(hit - i + raw_tag.size(), ' ');
+            i = hit + raw_tag.size() - 1;
+            st = St::kCode;
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated string/char literals do not span lines in valid C++.
+    if (st == St::kStr || st == St::kChar) st = St::kCode;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Find `token` in `s` as a whole word (no identifier char on either
+// side).  Returns npos if absent.
+std::size_t find_word(const std::string& s, const std::string& token,
+                      std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+// Whole-word token immediately followed by '(' (spaces allowed).
+bool has_call(const std::string& s, const std::string& fn) {
+  std::size_t pos = 0;
+  while ((pos = find_word(s, fn, pos)) != std::string::npos) {
+    std::size_t j = pos + fn.size();
+    while (j < s.size() && s[j] == ' ') ++j;
+    if (j < s.size() && s[j] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// ---- allow comments -------------------------------------------------------
+
+bool line_is_comment(const std::string& raw) {
+  const std::size_t p = raw.find_first_not_of(" \t");
+  return p != std::string::npos && raw.compare(p, 2, "//") == 0;
+}
+
+// True if raw line `i` (0-based), or the contiguous `//` comment block
+// directly above it, carries `lint:allow(<rule>): <justification>`.
+// A bare allow with nothing after the colon still suppresses the
+// original finding but is reported itself: suppressions must say why.
+bool allowed(const SourceFile& f, std::size_t i, const std::string& rule,
+             std::vector<Finding>* findings) {
+  const std::string needle = "lint:allow(" + rule + ")";
+  std::vector<std::size_t> candidates{i};
+  for (std::size_t k = i; k > 0 && line_is_comment(f.raw[k - 1]); --k) {
+    candidates.push_back(k - 1);
+  }
+  for (const std::size_t k : candidates) {
+    const std::string& line = f.raw[k];
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) continue;
+    // Demand a justification after "): ".
+    std::size_t j = pos + needle.size();
+    while (j < line.size() && (line[j] == ':' || line[j] == ' ')) ++j;
+    if (j >= line.size()) {
+      findings->push_back({f.path, k + 1, rule,
+                           "lint:allow(" + rule +
+                               ") needs a justification after the colon"});
+    }
+    return true;
+  }
+  return false;
+}
+
+void report(std::vector<Finding>* findings, const SourceFile& f,
+            std::size_t line_idx, const std::string& rule,
+            const std::string& msg) {
+  if (allowed(f, line_idx, rule, findings)) return;
+  findings->push_back({f.path, line_idx + 1, rule, msg});
+}
+
+// ---- per-line rules -------------------------------------------------------
+
+void rule_wall_clock(const SourceFile& f, std::vector<Finding>* out) {
+  static const char* kClocks[] = {"system_clock", "steady_clock",
+                                  "high_resolution_clock"};
+  static const char* kCalls[] = {"gettimeofday", "clock_gettime",
+                                 "timespec_get", "localtime", "gmtime"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    for (const char* c : kClocks) {
+      if (find_word(s, c) != std::string::npos) {
+        report(out, f, i, "wall-clock",
+               std::string(c) +
+                   ": the simulated world tells time with VirtualClock");
+        break;
+      }
+    }
+    for (const char* c : kCalls) {
+      if (has_call(s, c)) {
+        report(out, f, i, "wall-clock",
+               std::string(c) + "() reads the host clock");
+        break;
+      }
+    }
+    // time(nullptr) / time(0) / time(NULL): `time` alone collides with
+    // too many identifiers, so require the call shape.
+    std::size_t pos = 0;
+    while ((pos = find_word(s, "time", pos)) != std::string::npos) {
+      std::size_t j = pos + 4;
+      while (j < s.size() && s[j] == ' ') ++j;
+      if (j < s.size() && s[j] == '(') {
+        std::size_t k = j + 1;
+        while (k < s.size() && s[k] == ' ') ++k;
+        if (s.compare(k, 7, "nullptr") == 0 || s.compare(k, 4, "NULL") == 0 ||
+            (k < s.size() && s[k] == '0')) {
+          report(out, f, i, "wall-clock", "time() reads the host clock");
+          break;
+        }
+      }
+      pos += 1;
+    }
+  }
+}
+
+void rule_unseeded_rng(const SourceFile& f, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    if (find_word(s, "random_device") != std::string::npos ||
+        find_word(s, "default_random_engine") != std::string::npos) {
+      report(out, f, i, "unseeded-rng",
+             "nondeterministic engine: draw from a seeded SplitMix64");
+    } else if (has_call(s, "rand") || has_call(s, "srand")) {
+      report(out, f, i, "unseeded-rng",
+             "C rand(): hidden global state breaks replay; use SplitMix64");
+    }
+  }
+}
+
+void rule_naked_new(const SourceFile& f, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    std::size_t pos = find_word(s, "new");
+    if (pos != std::string::npos) {
+      // Ignore `operator new` declarations.
+      const std::size_t op = s.rfind("operator", pos);
+      const bool is_operator =
+          op != std::string::npos &&
+          s.find_first_not_of(' ', op + 8) == pos;
+      if (!is_operator) {
+        report(out, f, i, "naked-new",
+               "raw new: use make_unique/containers (exception-safe "
+               "ownership)");
+      }
+    }
+    pos = find_word(s, "delete");
+    if (pos != std::string::npos) {
+      // Ignore `= delete` (deleted functions) and `operator delete`.
+      std::size_t p = pos;
+      while (p > 0 && s[p - 1] == ' ') --p;
+      const bool deleted_fn = p > 0 && s[p - 1] == '=';
+      const std::size_t op = s.rfind("operator", pos);
+      const bool is_operator =
+          op != std::string::npos &&
+          s.find_first_not_of(' ', op + 8) == pos;
+      if (!deleted_fn && !is_operator) {
+        report(out, f, i, "naked-new",
+               "raw delete: ownership belongs to a smart pointer");
+      }
+    }
+  }
+}
+
+void rule_catch_all(const SourceFile& f, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    std::size_t pos = 0;
+    while ((pos = find_word(s, "catch", pos)) != std::string::npos) {
+      std::size_t j = pos + 5;
+      while (j < s.size() && s[j] == ' ') ++j;
+      if (j < s.size() && s[j] == '(') {
+        const std::size_t dots = s.find("...", j);
+        const std::size_t close = s.find(')', j);
+        if (dots != std::string::npos && close != std::string::npos &&
+            dots < close) {
+          report(out, f, i, "catch-all",
+                 "catch (...) also swallows RankFailStop (a scheduled node "
+                 "death must not be survived)");
+        }
+      }
+      pos += 1;
+    }
+  }
+}
+
+bool path_contains(const std::string& path, const std::string& part) {
+  return path.find(part) != std::string::npos;
+}
+
+void rule_raw_send(const SourceFile& f, std::vector<Finding>* out) {
+  if (!path_contains(f.path, "gcm/") && !path_contains(f.path, "gcm\\")) {
+    return;
+  }
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    // Member-call sites only (`x.send_raw(` / `x->send_raw(`):
+    // declarations of the bus primitives are fine, invoking them from
+    // model code is the violation.
+    bool hit = false;
+    for (const char* fn : {"send_raw", "send_msg"}) {
+      std::size_t pos = 0;
+      while ((pos = find_word(s, fn, pos)) != std::string::npos) {
+        std::size_t j = pos + std::string(fn).size();
+        while (j < s.size() && s[j] == ' ') ++j;
+        const bool is_call = j < s.size() && s[j] == '(';
+        const bool member = pos > 0 && (s[pos - 1] == '.' ||
+                                        (pos > 1 && s[pos - 1] == '>' &&
+                                         s[pos - 2] == '-'));
+        if (is_call && member) hit = true;
+        pos += 1;
+      }
+    }
+    if (hit || s.find("bus().send") != std::string::npos ||
+        s.find("MessageBus::send") != std::string::npos) {
+      report(out, f, i, "raw-send",
+             "gcm traffic bypassing comm/reliable loses CRC/NAK protection "
+             "under fault plans");
+    }
+  }
+}
+
+// ---- spancat-coverage -----------------------------------------------------
+
+// Parse `enum class SpanCat ... { kA, kB, ... }` enumerator names.
+std::vector<std::string> parse_spancat_enum(const SourceFile& f) {
+  std::vector<std::string> names;
+  bool in_enum = false;
+  for (const std::string& s : f.code) {
+    if (!in_enum) {
+      const std::size_t pos = s.find("enum class SpanCat");
+      if (pos == std::string::npos) continue;
+      in_enum = true;
+    }
+    // Collect identifiers starting with 'k' at word boundaries.
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i] == '}') return names;
+      if (ident_char(s[i]) && (i == 0 || !ident_char(s[i - 1]))) {
+        std::size_t j = i;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        const std::string word = s.substr(i, j - i);
+        if (word.size() > 1 && word[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(word[1])) != 0) {
+          names.push_back(word);
+        }
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return names;
+}
+
+void rule_spancat_coverage(const std::vector<SourceFile>& files,
+                           std::vector<Finding>* out) {
+  const SourceFile* enum_file = nullptr;
+  const SourceFile* report_file = nullptr;
+  for (const SourceFile& f : files) {
+    bool has_enum = false;
+    bool has_map = false;
+    for (const std::string& s : f.code) {
+      if (s.find("enum class SpanCat") != std::string::npos) has_enum = true;
+      if (s.find("span_cat_column") != std::string::npos &&
+          s.find("switch") == std::string::npos) {
+        has_map = true;
+      }
+    }
+    // The switch implementation (not the header declaration) contains
+    // `case SpanCat::`.
+    bool has_cases = false;
+    for (const std::string& s : f.code) {
+      if (s.find("case SpanCat::") != std::string::npos) has_cases = true;
+    }
+    if (has_enum && enum_file == nullptr) enum_file = &f;
+    if (has_map && has_cases) report_file = &f;
+  }
+  // Single-file scans (fixtures, pre-commit on one file) may legitimately
+  // see only half the pair; the rule only fires when both sides exist.
+  if (enum_file == nullptr || report_file == nullptr) return;
+
+  const std::vector<std::string> cats = parse_spancat_enum(*enum_file);
+  if (cats.empty()) return;
+
+  // Which categories have a `case SpanCat::kX:` and what column strings
+  // the map returns.  Column strings live in the *raw* lines (string
+  // literals are blanked in the code view).
+  std::set<std::string> covered;
+  std::vector<std::pair<std::size_t, std::string>> columns;
+  bool in_map = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < report_file->code.size(); ++i) {
+    const std::string& s = report_file->code[i];
+    if (!in_map && s.find("span_cat_column") != std::string::npos &&
+        s.find(';') == std::string::npos) {
+      in_map = true;  // function definition begins
+    }
+    if (!in_map) continue;
+    for (char c : s) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+    const std::size_t cs = s.find("case SpanCat::");
+    if (cs != std::string::npos) {
+      std::size_t j = cs + 14;
+      std::string name;
+      while (j < s.size() && ident_char(s[j])) name += s[j++];
+      covered.insert(name);
+    }
+    if (s.find("return") != std::string::npos) {
+      const std::string& raw = report_file->raw[i];
+      const std::size_t q1 = raw.find('"');
+      const std::size_t q2 =
+          q1 == std::string::npos ? std::string::npos : raw.find('"', q1 + 1);
+      if (q2 != std::string::npos) {
+        columns.emplace_back(i, raw.substr(q1 + 1, q2 - q1 - 1));
+      }
+    }
+    if (in_map && depth == 0 && s.find('}') != std::string::npos) break;
+  }
+
+  for (const std::string& cat : cats) {
+    if (covered.count(cat) == 0) {
+      out->push_back(
+          {report_file->path, 1, "spancat-coverage",
+           "SpanCat::" + cat + " (declared in " + enum_file->path +
+               ") has no case in span_cat_column: decide its "
+               "wait-attribution column (or map it to nullptr with a "
+               "comment)"});
+    }
+  }
+  for (const std::string& cat : covered) {
+    if (std::find(cats.begin(), cats.end(), cat) == cats.end()) {
+      out->push_back({report_file->path, 1, "spancat-coverage",
+                      "span_cat_column handles SpanCat::" + cat +
+                          " which the enum no longer declares"});
+    }
+  }
+  // Every named column must appear in the printed table's header list.
+  std::string headers;
+  for (const std::string& raw : report_file->raw) headers += raw;
+  for (const auto& [line_idx, col] : columns) {
+    // Count occurrences: the return site plus at least one use in a
+    // table header initializer.
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    const std::string quoted = "\"" + col + "\"";
+    while ((pos = headers.find(quoted, pos)) != std::string::npos) {
+      ++count;
+      pos += quoted.size();
+    }
+    if (count < 2) {
+      out->push_back({report_file->path, line_idx + 1, "spancat-coverage",
+                      "column \"" + col +
+                          "\" returned by span_cat_column does not appear "
+                          "in the report's table headers"});
+    }
+  }
+}
+
+// ---- driver ---------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool load(const std::string& path, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->path = path;
+  std::string line;
+  while (std::getline(in, line)) out->raw.push_back(line);
+  out->code = strip_noncode(out->raw);
+  return true;
+}
+
+void usage() {
+  std::cerr
+      << "usage: hyades-lint [--root DIR] [--rule NAME]... [FILE]...\n"
+         "  --root DIR   scan DIR/{src,tests,bench,examples,tools}\n"
+         "  --rule NAME  run only the named rule(s); default: all\n"
+         "  FILE...      scan exactly these files instead of a root\n"
+         "rules: wall-clock unseeded-rng naked-new catch-all raw-send "
+         "spancat-coverage\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::set<std::string> rules;
+  std::vector<std::string> files;
+  static const std::set<std::string> kAllRules = {
+      "wall-clock", "unseeded-rng", "naked-new",
+      "catch-all",  "raw-send",     "spancat-coverage"};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      const std::string r = argv[++i];
+      if (kAllRules.count(r) == 0) {
+        std::cerr << "hyades-lint: unknown rule '" << r << "'\n";
+        usage();
+        return 2;
+      }
+      rules.insert(r);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (rules.empty()) rules = kAllRules;
+
+  const bool root_scan = files.empty();
+  if (root_scan) {
+    if (root.empty()) {
+      usage();
+      return 2;
+    }
+    for (const char* sub : {"src", "tests", "bench", "examples", "tools"}) {
+      const fs::path dir = fs::path(root) / sub;
+      if (!fs::exists(dir)) continue;
+      for (const auto& e : fs::recursive_directory_iterator(dir)) {
+        if (e.is_regular_file() && lintable(e.path())) {
+          files.push_back(e.path().string());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& f : files) {
+    SourceFile sf;
+    if (!load(f, &sf)) {
+      std::cerr << "hyades-lint: cannot read " << f << "\n";
+      return 2;
+    }
+    // Lint fixtures are deliberate tripwires: skipped when discovered
+    // by a root scan, linted when named explicitly (the fixture tests).
+    if (root_scan &&
+        sf.path.find("tests/lint/fixtures") != std::string::npos) {
+      continue;
+    }
+    sources.push_back(std::move(sf));
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : sources) {
+    if (rules.count("wall-clock") != 0) rule_wall_clock(f, &findings);
+    if (rules.count("unseeded-rng") != 0) rule_unseeded_rng(f, &findings);
+    if (rules.count("naked-new") != 0) rule_naked_new(f, &findings);
+    if (rules.count("catch-all") != 0) rule_catch_all(f, &findings);
+    if (rules.count("raw-send") != 0) rule_raw_send(f, &findings);
+  }
+  if (rules.count("spancat-coverage") != 0) {
+    rule_spancat_coverage(sources, &findings);
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding(s) in " << sources.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
