@@ -5,6 +5,7 @@
 // two-way SMPs) and dividing counted flops by virtual time.
 #include <iostream>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 #include "gcm/config.hpp"
 #include "net/arctic_model.hpp"
@@ -72,6 +73,34 @@ int main(int argc, char** argv) {
                               one_proc_rate,
                           1)
             << "x speedup\n";
+
+  bench::Json rows = bench::Json::array();
+  for (const auto& ref : perf::kVectorMachines) {
+    rows.push(bench::Json::object()
+                  .set("machine", ref.name)
+                  .set("procs", ref.processors)
+                  .set("sustained_gflops", ref.sustained_gflops)
+                  .set("source", "paper"));
+  }
+  rows.push(bench::Json::object()
+                .set("machine", "Hyades")
+                .set("procs", 1)
+                .set("sustained_gflops", m1.aggregate_gflops)
+                .set("paper_gflops", perf::kPaperHyades1)
+                .set("source", "measured"));
+  rows.push(bench::Json::object()
+                .set("machine", "Hyades")
+                .set("procs", 16)
+                .set("sustained_gflops", m16.aggregate_gflops)
+                .set("paper_gflops", perf::kPaperHyades16)
+                .set("source", "measured"));
+  bench::write_json("BENCH_fig10_sustained.json",
+                    bench::Json::object()
+                        .set("figure", "fig10_sustained")
+                        .set("speedup_16_over_1", speedup)
+                        .set("paper_density_aggregate_gflops",
+                             agg_paper_density)
+                        .set("rows", std::move(rows)));
 
   if (trace_out != nullptr) bench::report_capture(trace_out, cap);
   return 0;

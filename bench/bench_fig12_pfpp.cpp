@@ -2,17 +2,25 @@
 // atmospheric simulation on a 16-processor/8-SMP cluster interconnected
 // by Fast Ethernet, Gigabit Ethernet, and the Arctic Switch Fabric.
 //
-// Two passes:
+// Three passes:
 //   (1) Eqs. 14-15 evaluated with the paper's measured primitive costs
 //       (exact reproduction of the table's arithmetic);
 //   (2) the same equations fed with primitive costs measured by running
 //       the comm library on each interconnect *model* (end-to-end
-//       reproduction through our stack).
+//       reproduction through our stack);
+//   (3) a topology-at-scale study: the same equations fed with
+//       closed-form primitive costs on parameterized fat-trees (radix
+//       2/4/8) and a rival 3-D torus, weak-scaled from 32 to 1024
+//       processors (per-rank tile held at the paper's 32 x 16).
 #include <iostream>
+#include <utility>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 #include "net/arctic_model.hpp"
 #include "net/ethernet.hpp"
+#include "net/topology.hpp"
+#include "net/torus.hpp"
 #include "perf/calibrate.hpp"
 #include "perf/perf_model.hpp"
 #include "support/table.hpp"
@@ -25,6 +33,32 @@ struct PaperRow {
   double pfpp_ps, pfpp_ds;
 };
 
+// Closed-form analogs of measure_primitives for the at-scale sweep
+// (running the threaded DES at 1024 ranks is not feasible inside a
+// bench): the global sum is an SMP-local combine, log2(smps) butterfly
+// rounds and a local distribution; an exchange pays, per phase, one
+// outbound and one inbound strip transfer serialized on the SMP's bus
+// (Section 4.1).  Per-rank estimate; mix-mode SMP aggregation is left
+// out on both sides of the comparison.
+hyades::Microseconds analytic_tgsum(const hyades::net::Interconnect& net,
+                                    int smps) {
+  hyades::Microseconds t = 2.0 * net.smp_local_sum_time();
+  int rounds = 0;
+  for (int n = smps; n > 1; n >>= 1) ++rounds;
+  for (int r = 0; r < rounds; ++r) t += net.gsum_round_time(r);
+  return t;
+}
+
+hyades::Microseconds analytic_texch(const hyades::net::Interconnect& net,
+                                    int snx, int sny, int nz, int halo) {
+  const auto bytes = [&](int edge) {
+    return static_cast<std::int64_t>(edge) * halo * nz *
+           static_cast<std::int64_t>(sizeof(double));
+  };
+  return 2.0 * (2.0 * net.exchange_transfer_time(bytes(sny)) +
+                2.0 * net.exchange_transfer_time(bytes(snx)));
+}
+
 }  // namespace
 
 int main() {
@@ -34,6 +68,9 @@ int main() {
       {"Gigabit Ethernet", perf::paper_gigabit_ethernet(), 139.0, 6.2},
       {"Arctic", perf::paper_arctic(), 487.0, 143.0},
   };
+
+  bench::Json json_paper = bench::Json::array();
+  bench::Json json_measured = bench::Json::array();
 
   bench::banner("Figure 12 (paper costs): Pfpp via Eqs. 14-15");
   {
@@ -48,6 +85,15 @@ int main() {
                  Table::fmt(perf::pfpp_ps(p.ps), 1), Table::fmt(row.pfpp_ps, 1),
                  Table::fmt(perf::pfpp_ds(p.ds), 1),
                  Table::fmt(row.pfpp_ds, 1)});
+      json_paper.push(bench::Json::object()
+                          .set("network", row.name)
+                          .set("tgsum_us", row.costs.tgsum)
+                          .set("texchxy_us", row.costs.texchxy)
+                          .set("texchxyz_us", row.costs.texchxyz)
+                          .set("pfpp_ps", perf::pfpp_ps(p.ps))
+                          .set("pfpp_ds", perf::pfpp_ds(p.ds))
+                          .set("paper_pfpp_ps", row.pfpp_ps)
+                          .set("paper_pfpp_ds", row.pfpp_ds));
     }
     t.print(std::cout, "(MFlop/s; Fps = 50, Fds = 60 for reference)");
   }
@@ -74,8 +120,89 @@ int main() {
                  Table::fmt(c.texchxy, 0), Table::fmt(c.texchxyz_atmos, 0),
                  Table::fmt(perf::pfpp_ps(p.ps), 1),
                  Table::fmt(perf::pfpp_ds(p.ds), 1), paper_note[i]});
+      json_measured.push(bench::Json::object()
+                             .set("network", nets[i]->name())
+                             .set("tgsum_us", c.tgsum)
+                             .set("texchxy_us", c.texchxy)
+                             .set("texchxyz_us", c.texchxyz_atmos)
+                             .set("pfpp_ps", perf::pfpp_ps(p.ps))
+                             .set("pfpp_ds", perf::pfpp_ds(p.ds)));
     }
     t.print(std::cout, "(HPVM/Myrinet added from Section 6's data points)");
+  }
+  bench::write_json("BENCH_fig12_pfpp.json",
+                    bench::Json::object()
+                        .set("figure", "fig12_pfpp")
+                        .set("paper_costs", std::move(json_paper))
+                        .set("measured", std::move(json_measured)));
+
+  bench::banner(
+      "Topology at scale: fat-tree radix 2/4/8 vs 3-D torus, Eqs. 14-15");
+  {
+    // Weak scaling: per-rank tile fixed at the paper's 32 x 16 (so
+    // nxyz/nxy per processor, and thus the compute terms, are the
+    // 16-rank reference values); two processors per SMP as built.
+    constexpr int kTileX = 32, kTileY = 16, kAtmosLevels = 10, kPsHalo = 3;
+    const int ranks_list[] = {32, 64, 128, 256, 512, 1024};
+    bench::Json sweep = bench::Json::array();
+    Table t({"network", "ranks", "smps", "tgsum", "texchxyz", "Pfpp,ps",
+             "Pfpp,ds", "diam", "bisect MB/s/SMP"});
+    const auto add_point = [&](const net::Interconnect& net_model,
+                               int ranks, int smps) {
+      const perf::InterconnectCosts costs{
+          analytic_tgsum(net_model, smps),
+          analytic_texch(net_model, kTileX, kTileY, 1, 1),
+          analytic_texch(net_model, kTileX, kTileY, kAtmosLevels, kPsHalo)};
+      const perf::PerfParams p =
+          perf::with_interconnect(perf::paper_atmosphere(), costs);
+      const net::Topology* topo = net_model.topology();
+      const double bisect_per_smp =
+          topo != nullptr ? topo->bisection_bandwidth_mbytes() / smps : 0.0;
+      const int diameter = topo != nullptr ? topo->diameter_hops() : 0;
+      t.add_row({net_model.name(), Table::fmt_int(ranks),
+                 Table::fmt_int(smps), Table::fmt(costs.tgsum, 1),
+                 Table::fmt(costs.texchxyz, 0),
+                 Table::fmt(perf::pfpp_ps(p.ps), 1),
+                 Table::fmt(perf::pfpp_ds(p.ds), 1), Table::fmt_int(diameter),
+                 Table::fmt(bisect_per_smp, 0)});
+      bench::Json row = bench::Json::object();
+      row.set("network", net_model.name())
+          .set("ranks", ranks)
+          .set("smps", smps)
+          .set("tgsum_us", costs.tgsum)
+          .set("texchxy_us", costs.texchxy)
+          .set("texchxyz_us", costs.texchxyz)
+          .set("pfpp_ps", perf::pfpp_ps(p.ps))
+          .set("pfpp_ds", perf::pfpp_ds(p.ds));
+      if (topo != nullptr) {
+        row.set("diameter_hops", diameter)
+            .set("mean_hops", topo->mean_hops())
+            .set("bisection_mbytes", topo->bisection_bandwidth_mbytes())
+            .set("bisection_mbytes_per_smp", bisect_per_smp);
+      }
+      sweep.push(std::move(row));
+    };
+    for (int ranks : ranks_list) {
+      const int smps = ranks / 2;
+      for (int radix : {2, 4, 8}) {
+        const net::ArcticModel ft(smps, {}, {}, radix);
+        add_point(ft, ranks, smps);
+      }
+      const net::TorusModel torus = net::TorusModel::for_nodes(smps);
+      add_point(torus, ranks, smps);
+    }
+    t.print(std::cout,
+            "(weak scaling, 32x16x10 tile per rank, 2 procs/SMP; tgsum and "
+            "texch from the closed-form models, Pfpp via Eqs. 14-15)");
+    bench::write_json("BENCH_topology_sweep.json",
+                      bench::Json::object()
+                          .set("figure", "topology_sweep")
+                          .set("tile", bench::Json::object()
+                                           .set("snx", kTileX)
+                                           .set("sny", kTileY)
+                                           .set("nz", kAtmosLevels)
+                                           .set("halo", kPsHalo))
+                          .set("rows", std::move(sweep)));
   }
 
   std::cout << "\nreading (Section 5.4): with ~50 MFlop/s processors, "

@@ -1,0 +1,148 @@
+// Minimal machine-readable output for the bench binaries: an ordered
+// JSON document builder with deterministic number formatting, so each
+// figure reproduction can drop a BENCH_<name>.json next to its table
+// (plots and regression tooling parse these instead of the text).
+//
+// Deliberately tiny: insertion-ordered objects, arrays, strings, bools
+// and doubles formatted with "%.10g" (shortest round-trippable form for
+// the magnitudes the benches emit, and stable across runs because every
+// value derives from the deterministic virtual clock).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hyades::bench {
+
+class Json {
+ public:
+  Json() = default;  // null
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}        // NOLINT(runtime/explicit)
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}           // NOLINT(runtime/explicit)
+  Json(std::int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}           // NOLINT(runtime/explicit)
+  Json(const char* v) : kind_(Kind::kString), str_(v) {}   // NOLINT(runtime/explicit)
+  Json(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+
+  // Objects: insertion-ordered key/value append; returns *this so rows
+  // build as chains.
+  Json& set(const std::string& key, Json value) {
+    if (kind_ != Kind::kObject) {
+      throw std::logic_error("Json::set on a non-object");
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  // Arrays.
+  Json& push(Json value) {
+    if (kind_ != Kind::kArray) {
+      throw std::logic_error("Json::push on a non-array");
+    }
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  void dump(std::ostream& os, int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNull:
+        os << "null";
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::kNumber: {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.10g", num_);
+        os << buf;
+        break;
+      }
+      case Kind::kString:
+        write_escaped(os, str_);
+        break;
+      case Kind::kArray:
+        if (elements_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          os << pad1;
+          elements_[i].dump(os, indent + 1);
+          os << (i + 1 < elements_.size() ? ",\n" : "\n");
+        }
+        os << pad << "]";
+        break;
+      case Kind::kObject:
+        if (members_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << pad1;
+          write_escaped(os, members_[i].first);
+          os << ": ";
+          members_[i].second.dump(os, indent + 1);
+          os << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        os << pad << "}";
+        break;
+    }
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static void write_escaped(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  }
+
+  Kind kind_ = Kind::kNull;
+  double num_ = 0.0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Write `root` to `path` (trailing newline, UTF-8) and tell the user.
+inline void write_json(const std::string& path, const Json& root) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_json: cannot open " + path);
+  }
+  root.dump(out, 0);
+  out << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace hyades::bench

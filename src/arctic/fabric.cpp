@@ -12,34 +12,27 @@ UnreachableError::UnreachableError(int src_, int dst_)
       src(src_),
       dst(dst_) {}
 
-// A router stage: up to kRadix down-side outputs plus (below the top
-// level) kRadix up-side outputs.  Input handling lives in
+// A router stage: radix down-side outputs plus (below the top level)
+// radix up-side outputs.  Input handling lives in
 // Fabric::on_router_receive; the Router just owns its output ports.
 struct Fabric::Router {
-  std::vector<std::unique_ptr<OutputPort>> down;  // size kRadix
+  std::vector<std::unique_ptr<OutputPort>> down;  // size radix
   std::vector<std::unique_ptr<OutputPort>> up;    // empty at the top level
 };
-
-namespace {
-// Replace base-4 digit `pos` of `value` with `digit`.
-int with_digit(int value, int pos, int digit) {
-  const int mask = 3 << (2 * pos);
-  return (value & ~mask) | (digit << (2 * pos));
-}
-}  // namespace
 
 Fabric::Fabric(sim::Scheduler& sched, int endpoints, FabricConfig cfg)
     : sched_(sched),
       endpoints_(endpoints),
-      levels_(levels_for(endpoints)),
+      shape_{cfg.radix, levels_for(endpoints, cfg.radix)},
+      levels_(shape_.levels),
       cfg_(cfg),
       route_rng_(cfg.seed) {
   if (endpoints < 2) {
     throw std::invalid_argument("Fabric: need at least 2 endpoints");
   }
-  routers_per_level_ = 1;
-  for (int l = 0; l < levels_ - 1; ++l) routers_per_level_ *= kRadix;
-  health_ = TopologyHealth(levels_, routers_per_level_);
+  shape_.check();
+  routers_per_level_ = shape_.routers_per_level();
+  health_ = TopologyHealth(shape_);
   wire_topology();
   // Permanent kills from the fault plan fire through the virtual clock.
   for (const KillEvent& kill : cfg_.faults.kills) {
@@ -58,15 +51,15 @@ void Fabric::wire_topology() {
     for (int r = 0; r < routers_per_level_; ++r) {
       auto router = std::make_unique<Router>();
       // Down ports.
-      for (int p = 0; p < kRadix; ++p) {
+      for (int p = 0; p < shape_.radix; ++p) {
         OutputPort::HeaderFn fn;
         if (l == 0) {
-          const int node = (r << 2) | p;
+          const int node = r * shape_.radix + p;
           fn = [this, node](Packet&& pkt) {
             deliver_to_endpoint(node, std::move(pkt));
           };
         } else {
-          const int below = with_digit(r, l - 1, p);
+          const int below = shape_.with_digit(r, l - 1, p);
           fn = [this, l, below](Packet&& pkt) {
             on_router_receive(l - 1, below, /*from_below=*/false,
                               std::move(pkt));
@@ -77,8 +70,8 @@ void Fabric::wire_topology() {
       }
       // Up ports (absent at the top level).
       if (l < levels_ - 1) {
-        for (int u = 0; u < kRadix; ++u) {
-          const int above = with_digit(r, l, u);
+        for (int u = 0; u < shape_.radix; ++u) {
+          const int above = shape_.with_digit(r, l, u);
           auto fn = [this, l, above](Packet&& pkt) {
             on_router_receive(l + 1, above, /*from_below=*/true,
                               std::move(pkt));
@@ -94,7 +87,7 @@ void Fabric::wire_topology() {
   // Endpoint injection links feed each node's leaf router.
   injection_.reserve(static_cast<std::size_t>(endpoints_));
   for (int node = 0; node < endpoints_; ++node) {
-    auto fn = [this, leaf = node >> 2](Packet&& pkt) {
+    auto fn = [this, leaf = shape_.leaf_of(node)](Packet&& pkt) {
       on_router_receive(0, leaf, /*from_below=*/true, std::move(pkt));
     };
     injection_.push_back(
@@ -115,7 +108,7 @@ void Fabric::inject(int src, int dst, Packet p) {
   Route route;
   if (health_.any_dead()) {
     const RoutedPath routed = compute_route_degraded(
-        src, dst, levels_, health_,
+        src, dst, shape_, health_,
         cfg_.random_uproute ? &route_rng_ : nullptr);
     if (routed.status == RouteStatus::kUnreachable) {
       ++stats_.unreachable_routes;
@@ -124,7 +117,7 @@ void Fabric::inject(int src, int dst, Packet p) {
     route = routed.route;
     ++stats_.degraded_routes;
   } else {
-    route = compute_route(src, dst, levels_,
+    route = compute_route(src, dst, shape_,
                           cfg_.random_uproute ? &route_rng_ : nullptr);
   }
   p.src = src;
@@ -175,7 +168,7 @@ void Fabric::on_router_receive(int level, int index, bool from_below,
 
   Router& router = *routers_[static_cast<std::size_t>(level)]
                             [static_cast<std::size_t>(index)];
-  const Route route = Route::decode(p.uproute, p.downroute);
+  const Route route = Route::decode(p.uproute, p.downroute, shape_);
 
   // Routing decision: a packet arriving from below is still climbing iff
   // its route demands more up levels than this stage.
@@ -192,8 +185,8 @@ void Fabric::on_router_receive(int level, int index, bool from_below,
     // The down hop at level > 0 rides the cable registered as the up
     // link of the router below (endpoint links at level 0 never die).
     if (level > 0 &&
-        health_.up_link_dead(level - 1, with_digit(index, level - 1, q),
-                             digit(index, level - 1))) {
+        health_.up_link_dead(level - 1, shape_.with_digit(index, level - 1, q),
+                             shape_.digit(index, level - 1))) {
       ++stats_.dead_component_drops;
       return;
     }

@@ -28,6 +28,7 @@ namespace hyades::arctic {
 
 struct FabricConfig {
   LinkConfig link;
+  int radix = kRadix;           // router radix (paper: 4-ary Arctic)
   bool random_uproute = false;  // adaptive up-routing (breaks FIFO pairwise order)
   std::uint64_t seed = 1;       // for random uproute (never consumed by faults)
   FaultPlan faults;             // deterministic fault injection (default: off)
@@ -82,6 +83,7 @@ class Fabric {
   [[nodiscard]] int endpoints() const { return endpoints_; }
   [[nodiscard]] int levels() const { return levels_; }
   [[nodiscard]] int routers_per_level() const { return routers_per_level_; }
+  [[nodiscard]] const FatTreeShape& shape() const { return shape_; }
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
 
   // Bisection bandwidth in MByte/sec for an N-endpoint full fat tree:
@@ -109,6 +111,7 @@ class Fabric {
 
   sim::Scheduler& sched_;
   int endpoints_;
+  FatTreeShape shape_;
   int levels_;
   int routers_per_level_;
   FabricConfig cfg_;

@@ -8,7 +8,10 @@ namespace hyades::arctic {
 
 std::vector<KillEvent> seeded_link_kills(std::uint64_t seed, int count,
                                          int n_levels, int routers_per_level,
-                                         Microseconds window_us) {
+                                         Microseconds window_us, int radix) {
+  if (radix < kMinShapeRadix || radix > kMaxShapeRadix) {
+    throw std::invalid_argument("seeded_link_kills: radix out of range");
+  }
   if (n_levels < 2) {
     throw std::invalid_argument(
         "seeded_link_kills: a 1-level tree has no inter-router links");
@@ -39,7 +42,7 @@ std::vector<KillEvent> seeded_link_kills(std::uint64_t seed, int count,
     k.index = slot % routers_per_level;
     k.port = static_cast<int>(
         hash_mix(seed, {0x706f7274ull, static_cast<std::uint64_t>(i)}) %
-        static_cast<std::uint64_t>(kRadix));
+        static_cast<std::uint64_t>(radix));
     k.at_us =
         hash_unit(seed, {0x7768656eull, static_cast<std::uint64_t>(i)}) *
         window_us;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arctic/route.hpp"
 #include "support/rng.hpp"
 #include "support/units.hpp"
 
@@ -89,9 +90,11 @@ struct FaultPlan {
 // ordinal): same seed => same schedule, independent of everything else.
 // Kill times are spread uniformly over [0, window_us).  At most one up
 // link per router is killed, so in a full fat tree the schedule is
-// always survivable (the other three up ports remain).
+// always survivable (the other radix-1 up ports remain).  `radix`
+// bounds the port draw; the default is the paper's Arctic radix.
 std::vector<KillEvent> seeded_link_kills(std::uint64_t seed, int count,
                                          int n_levels, int routers_per_level,
-                                         Microseconds window_us);
+                                         Microseconds window_us,
+                                         int radix = kRadix);
 
 }  // namespace hyades::arctic

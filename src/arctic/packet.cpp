@@ -8,7 +8,7 @@ namespace hyades::arctic {
 std::uint32_t Packet::header_word0() const {
   std::uint32_t w = 0;
   w |= (priority == Priority::kHigh ? 1u : 0u) << 31;
-  w |= static_cast<std::uint32_t>(downroute) << 15;
+  w |= (downroute & 0xFFFFu) << 15;
   return w;
 }
 
@@ -16,11 +16,18 @@ std::uint32_t Packet::header_word0() const {
 // (bit 0 reserved)
 std::uint32_t Packet::header_word1() const {
   std::uint32_t w = 0;
-  w |= (static_cast<std::uint32_t>(uproute) & 0x3FFFu) << 18;
+  w |= (uproute & 0x3FFFu) << 18;
   w |= (random_uproute ? 1u : 0u) << 17;
   w |= (static_cast<std::uint32_t>(usr_tag) & 0x7FFu) << 6;
   w |= (static_cast<std::uint32_t>(payload_words()) & 0x1Fu) << 1;
   return w;
+}
+
+// extended word layout: [15:0] downroute bits 16+, [31:16] uproute bits
+// 14+.  Zero for every route that fits the Figure 1(b) fields, in which
+// case the word is not on the wire at all.
+std::uint32_t Packet::header_word_ext() const {
+  return (downroute >> 16) | ((uproute >> 14) << 16);
 }
 
 DecodedHeader decode_header(std::uint32_t w0, std::uint32_t w1) {
@@ -46,8 +53,13 @@ void Packet::corrupt_word(int w) {
 }
 
 std::uint32_t Packet::compute_crc() const {
-  const std::uint32_t header[2] = {header_word0(), header_word1()};
-  std::uint32_t c = crc32_words(std::span<const std::uint32_t>(header, 2));
+  const std::uint32_t header[3] = {header_word0(), header_word1(),
+                                   header_word_ext()};
+  // The extended word joins the CRC only when it is on the wire, so
+  // paper-shape packets keep the original two-word header CRC.
+  const std::size_t nheader = header[2] != 0 ? 3 : 2;
+  std::uint32_t c =
+      crc32_words(std::span<const std::uint32_t>(header, nheader));
   c = crc32_words(std::span<const std::uint32_t>(payload.data(),
                                                  payload.size()),
                   c);

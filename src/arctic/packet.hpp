@@ -6,6 +6,12 @@
 //
 // plus a link-level CRC-32 trailer.  Routers verify the CRC at every
 // stage; endpoints check a 1-bit status flag.
+//
+// Generalized shapes (radix != 4 or deep trees) can need route words
+// wider than Figure 1(b)'s 16/14-bit fields.  The overflow bits ride an
+// *extended* header word (header_word_ext) that exists on the wire --
+// and in the CRC -- only when nonzero, so every paper-shape packet
+// image stays bit-identical to the original layout.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +25,14 @@ enum class Priority : std::uint8_t { kLow = 0, kHigh = 1 };
 
 inline constexpr int kMinPayloadWords = 2;
 inline constexpr int kMaxPayloadWords = 22;
+inline constexpr int kWordBytes = 4;     // one 32-bit wire word
 inline constexpr int kHeaderBytes = 8;   // two 32-bit header words
 inline constexpr int kCrcBytes = 4;      // link-level trailer
 
 struct Packet {
   Priority priority = Priority::kLow;
-  std::uint16_t downroute = 0;  // 2 bits consumed per down level (MSB first)
-  std::uint16_t uproute = 0;    // 2 bits per up level + level count
+  std::uint32_t downroute = 0;  // port_bits consumed per down level
+  std::uint32_t uproute = 0;    // port_bits per up level + level count
   bool random_uproute = false;  // let routers pick up-ports at random
   std::uint16_t usr_tag = 0;    // 11-bit user tag
   std::vector<std::uint32_t> payload;
@@ -40,15 +47,23 @@ struct Packet {
   [[nodiscard]] int payload_words() const {
     return static_cast<int>(payload.size());
   }
-  [[nodiscard]] int payload_bytes() const { return payload_words() * 4; }
-  // Total bytes on the wire (header + payload + CRC trailer).
+  [[nodiscard]] int payload_bytes() const {
+    return payload_words() * kWordBytes;
+  }
+  // Total bytes on the wire (header + payload + CRC trailer); the
+  // extended header word costs an extra word when present.
   [[nodiscard]] int wire_bytes() const {
-    return kHeaderBytes + payload_bytes() + kCrcBytes;
+    return kHeaderBytes + (header_word_ext() != 0 ? kWordBytes : 0) +
+           payload_bytes() + kCrcBytes;
   }
 
   // Encode the two header words per Figure 1(b).
   [[nodiscard]] std::uint32_t header_word0() const;
   [[nodiscard]] std::uint32_t header_word1() const;
+  // Route-word bits past the Figure 1(b) field widths (downroute bits
+  // 16+ in the low half, uproute bits 14+ in the high half).  Zero --
+  // and absent from the wire image -- for every paper-shape route.
+  [[nodiscard]] std::uint32_t header_word_ext() const;
 
   // Garble wire word `w` after sealing so the CRC no longer matches.
   // Words 0 and 1 are the header words; the flipped bits (priority,

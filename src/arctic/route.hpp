@@ -1,13 +1,20 @@
-// Up/down routing for the Arctic fat-tree (a 4-ary n-tree).
+// Up/down routing for the Arctic fat-tree (a radix-r n-tree; the paper's
+// machine is the 4-ary case).
 //
-// Endpoints are numbered 0..4^n-1 and viewed as n base-4 digits
+// Endpoints are numbered 0..r^n-1 and viewed as n base-r digits
 // d_{n-1}..d_0.  Level-0 (leaf) routers attach endpoints; each level has
-// 4^(n-1) routers.  Router (l, r) up-port u connects to router
+// r^(n-1) routers.  Router (l, r) up-port u connects to router
 // (l+1, r with digit l := u); its inverse is the down wiring.  A packet
 // ascends `up_levels` stages (any up port works -- this is the fat tree's
 // path diversity, exploited by the "random uproute" header bit) and then
 // descends following the destination digits: the level-l router on the
 // down path uses down port d_l.
+//
+// The tree shape is carried by FatTreeShape{radix, levels}.  The paper's
+// exact radix-4 layout is the golden-locked default: every function here
+// has a radix-4 overload whose bit-level behavior (route words, RNG
+// stream consumption, fallback order) is identical to the original
+// fixed-radix implementation.
 #pragma once
 
 #include <array>
@@ -18,44 +25,121 @@
 
 namespace hyades::arctic {
 
-inline constexpr int kRadix = 4;
-inline constexpr int kMaxLevels = 5;  // uproute field fits 5 up-port choices
+inline constexpr int kRadix = 4;      // the paper's Arctic router radix
+inline constexpr int kMaxLevels = 5;  // 14-bit uproute fits 5 up-port choices
+inline constexpr int kMinShapeRadix = 2;
+inline constexpr int kMaxShapeRadix = 8;
+inline constexpr int kMaxShapeLevels = 16;  // route-word width cap (see check)
+// Route words are carried in 32-bit fields; the encodings below must
+// leave the top bits clear so the packet's extended header word can
+// carry the overflow past the legacy Figure 1(b) field widths.
+inline constexpr int kRouteWordBits = 30;
 
-// Number of tree levels (n) needed for `endpoints` nodes; endpoints is
-// rounded up to the next power of 4.  At least 1.
+// Parameterized fat-tree shape: `levels` tree levels of radix-`radix`
+// routers, attaching up to radix^levels endpoints.  Width-checked: a
+// shape is valid only when its up/down route words fit the 32-bit route
+// encoding (radix 2..8; e.g. >= 4096 endpoints at every radix).
+struct FatTreeShape {
+  int radix = kRadix;
+  int levels = 1;
+
+  // Bits per port in the route words: 1 for radix 2, 2 up to radix 4,
+  // 3 up to radix 8.  Radix 4 reproduces the paper's 2-bit fields.
+  [[nodiscard]] int port_bits() const {
+    int bits = 0;
+    for (int v = radix - 1; v > 0; v >>= 1) ++bits;
+    return bits;
+  }
+  // Bits for the up-level count in the uproute word.  Never fewer than
+  // the paper's 3, so every radix-4 encoding stays bit-identical.
+  [[nodiscard]] int count_bits() const {
+    int bits = 0;
+    for (int v = levels - 1; v > 0; v >>= 1) ++bits;
+    return bits > 3 ? bits : 3;
+  }
+  // Throws std::invalid_argument when the shape is out of range or its
+  // route words would not fit the width-checked encoding.
+  void check() const;
+
+  // Digit l (base radix) of endpoint or router address e.
+  [[nodiscard]] int digit(int e, int l) const {
+    int v = e;
+    for (int i = 0; i < l; ++i) v /= radix;
+    return v % radix;
+  }
+  // Replace base-radix digit `pos` of `value` with `d`.
+  [[nodiscard]] int with_digit(int value, int pos, int d) const {
+    int scale = 1;
+    for (int i = 0; i < pos; ++i) scale *= radix;
+    return value + (d - (value / scale) % radix) * scale;
+  }
+  // Leaf router attaching endpoint e.
+  [[nodiscard]] int leaf_of(int e) const { return e / radix; }
+
+  [[nodiscard]] int routers_per_level() const {
+    int n = 1;
+    for (int l = 0; l < levels - 1; ++l) n *= radix;
+    return n;
+  }
+  [[nodiscard]] int max_endpoints() const {
+    return routers_per_level() * radix;
+  }
+};
+
+// Number of tree levels (n) needed for `endpoints` nodes at the paper's
+// radix 4; endpoints is rounded up to the next power of 4.  At least 1.
 int levels_for(int endpoints);
+// Shape-generic form; the returned level count is width-checked.
+int levels_for(int endpoints, int radix);
+// Convenience: the checked shape covering `endpoints` at `radix`.
+FatTreeShape shape_for(int endpoints, int radix);
 
-// Digit l (base 4) of endpoint address e.
+// Digit l (base 4) of endpoint address e (paper-shape helper).
 inline int digit(int e, int l) { return (e >> (2 * l)) & 3; }
 
 struct Route {
   int up_levels = 0;                        // stages to ascend
-  std::array<std::uint8_t, kMaxLevels> up_ports{};  // chosen up port per level
-  std::uint16_t downroute = 0;              // bits [2l+1:2l] = down port at level l
+  std::array<std::uint8_t, kMaxShapeLevels> up_ports{};  // up port per level
+  std::uint32_t downroute = 0;  // port_bits-wide down port per level
+  // Wire-encoding geometry.  Defaults are the paper's radix-4 layout
+  // (2-bit ports, 3-bit level count); compute_route/decode overwrite
+  // them from the shape so down_port/encode stay shape-correct.
+  std::uint8_t port_bits = 2;
+  std::uint8_t count_bits = 3;
 
   [[nodiscard]] int down_port(int level) const {
-    return (downroute >> (2 * level)) & 3;
+    const std::uint32_t mask = (1u << port_bits) - 1u;
+    return static_cast<int>((downroute >> (port_bits * level)) & mask);
   }
   // Total router stages traversed: 2*up_levels + 1.
   [[nodiscard]] int router_hops() const { return 2 * up_levels + 1; }
   // Total link hops including endpoint links: router_hops() + 1.
   [[nodiscard]] int link_hops() const { return router_hops() + 1; }
 
-  // Encode up_levels + up ports into the 14-bit uproute header field:
-  // bits [2:0] = up_levels, bits [3+2l+4 : 3+2l] = up port for level l.
-  [[nodiscard]] std::uint16_t encode_uproute() const;
-  static Route decode(std::uint16_t uproute, std::uint16_t downroute);
+  // Encode up_levels + up ports into the uproute word: bits
+  // [count_bits-1:0] = up_levels, then port_bits per climbed level.
+  // The radix-4 default (bits [2:0] = up_levels, port l at bits
+  // [3+2l+1 : 3+2l]) is the paper's 14-bit layout, bit for bit.
+  [[nodiscard]] std::uint32_t encode_uproute() const;
+  // Paper-shape (radix-4) decode.
+  static Route decode(std::uint32_t uproute, std::uint32_t downroute);
+  static Route decode(std::uint32_t uproute, std::uint32_t downroute,
+                      const FatTreeShape& shape);
 };
 
-// Compute the route from src to dst in an n-level tree.  If rng is
-// non-null the up ports are chosen at random (the adaptive "random
-// uproute" mode); otherwise a deterministic choice (destination digits)
-// is made, which keeps every (src,dst) pair on a single path and hence
-// preserves Arctic's FIFO ordering guarantee.
+// Compute the route from src to dst.  If rng is non-null the up ports
+// are chosen at random (the adaptive "random uproute" mode); otherwise a
+// deterministic choice (a pairwise digit hash) is made, which keeps
+// every (src,dst) pair on a single path and hence preserves Arctic's
+// FIFO ordering guarantee.  The int overload is the paper's radix-4
+// tree with `n_levels` levels.
 Route compute_route(int src, int dst, int n_levels, SplitMix64* rng = nullptr);
+Route compute_route(int src, int dst, const FatTreeShape& shape,
+                    SplitMix64* rng = nullptr);
 
 // Router stages on the deterministic path between src and dst.
 int router_hops(int src, int dst, int n_levels);
+int router_hops(int src, int dst, const FatTreeShape& shape);
 
 // ---- degraded-mode routing (hard failures) ----------------------------
 
@@ -68,7 +152,9 @@ int router_hops(int src, int dst, int n_levels);
 class TopologyHealth {
  public:
   TopologyHealth() = default;
+  // Paper-shape (radix-4) view with an explicit router count per level.
   TopologyHealth(int n_levels, int routers_per_level);
+  explicit TopologyHealth(const FatTreeShape& shape);
 
   void kill_router(int level, int index);
   void kill_up_link(int level, int index, int up_port);
@@ -81,7 +167,7 @@ class TopologyHealth {
   [[nodiscard]] bool up_link_dead(int level, int index, int up_port) const {
     return !link_dead_.empty() &&
            link_dead_[static_cast<std::size_t>(
-               (level * routers_per_level_ + index) * kRadix + up_port)] != 0;
+               (level * routers_per_level_ + index) * radix_ + up_port)] != 0;
   }
   [[nodiscard]] bool any_dead() const {
     return dead_routers_ + dead_links_ > 0;
@@ -89,12 +175,14 @@ class TopologyHealth {
   [[nodiscard]] int dead_routers() const { return dead_routers_; }
   [[nodiscard]] int dead_links() const { return dead_links_; }
   [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] int radix() const { return radix_; }
 
  private:
   int levels_ = 0;
   int routers_per_level_ = 0;
+  int radix_ = kRadix;
   std::vector<char> router_dead_;  // [level * routers_per_level + index]
-  std::vector<char> link_dead_;    // [router slot * kRadix + up port]
+  std::vector<char> link_dead_;    // [router slot * radix + up port]
   int dead_routers_ = 0;
   int dead_links_ = 0;
 };
@@ -114,13 +202,17 @@ struct RoutedPath {
 // nothing dead the result -- and, in random-uproute mode, the RNG
 // stream consumption -- is bit-identical to compute_route).  Returns
 // kUnreachable exactly when the dead set disconnects src from dst under
-// up*/down* routing.
+// up*/down* routing.  The int overload is the radix-4 tree.
 RoutedPath compute_route_degraded(int src, int dst, int n_levels,
+                                  const TopologyHealth& health,
+                                  SplitMix64* rng = nullptr);
+RoutedPath compute_route_degraded(int src, int dst, const FatTreeShape& shape,
                                   const TopologyHealth& health,
                                   SplitMix64* rng = nullptr);
 
 // True when `route` carries a packet from src to dst over live routers
-// and links only (used by tests to validate degraded routes).
+// and links only (used by tests to validate degraded routes).  The
+// shape is taken from `health` (radix) and the route's own encoding.
 bool route_survives(int src, int dst, const Route& route,
                     const TopologyHealth& health);
 

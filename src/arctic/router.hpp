@@ -23,7 +23,9 @@ struct LinkConfig {
   double bandwidth_mbytes_per_sec = 150.0;  // per direction, per the paper
   double stage_latency_us = 0.15;           // router stage latency (paper)
   double prop_delay_us = 0.01;              // wire propagation
-  int forward_bytes = 16;                   // cut-through header chunk
+  // lint:allow(magic-topology): cut-through chunk size is a link
+  // calibration value (bytes serialized before forwarding), not a shape.
+  int forward_bytes = 16;
 };
 
 class OutputPort {

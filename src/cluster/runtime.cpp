@@ -196,10 +196,8 @@ Runtime::Runtime(MachineConfig cfg) : cfg_(cfg), bus_(cfg.nranks()) {
   if (cfg_.smp_count < 1 || cfg_.procs_per_smp < 1) {
     throw std::invalid_argument("Runtime: bad machine shape");
   }
-  if ((cfg_.smp_count & (cfg_.smp_count - 1)) != 0) {
-    throw std::invalid_argument(
-        "Runtime: smp_count must be a power of two (butterfly global sum)");
-  }
+  // Any positive smp_count is valid: the comm layer folds non-power-of-two
+  // groups onto the largest butterfly core (see comm::Comm).
   smps_.reserve(static_cast<std::size_t>(cfg_.smp_count));
   for (int i = 0; i < cfg_.smp_count; ++i) {
     smps_.push_back(std::make_unique<SmpShared>(cfg_.procs_per_smp));

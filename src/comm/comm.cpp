@@ -147,10 +147,19 @@ Comm::Comm(cluster::RankContext& ctx, int rank_base, int nranks)
   if (ctx_.rank() < rank_base_ || ctx_.rank() >= rank_base_ + nranks_) {
     throw std::invalid_argument("Comm: rank outside group");
   }
-  const int smps = group_smps();
-  if (smps < 1 || (smps & (smps - 1)) != 0) {
-    throw std::invalid_argument("Comm: group SMP count must be a power of 2");
+  if (group_smps() < 1) {
+    throw std::invalid_argument("Comm: empty group");
   }
+}
+
+// Largest power of two <= n: the butterfly "core" size.  SMPs beyond it
+// fold their contribution into a core partner before the butterfly and
+// receive the result afterwards, which generalizes the reductions to
+// any SMP count while leaving the power-of-two schedule untouched.
+int Comm::butterfly_core(int n) {
+  int m = 1;
+  while (m * 2 <= n) m *= 2;
+  return m;
 }
 
 bool Comm::remote(int group_rank) const {
@@ -220,14 +229,28 @@ GsumHandle Comm::reduce_start(std::vector<double> v, GsumHandle::Op op,
     }
   }
 
-  // Post the first butterfly round; with computation between start and
-  // finish, the partner's round-0 message is in flight while we work and
-  // its latency is hidden (the overlap rule in reduce_finish).
+  // Post the first message of the reduction; with computation between
+  // start and finish, it is in flight while we work and its latency is
+  // hidden (the overlap rule in reduce_finish).  Power-of-two groups
+  // post butterfly round 0 exactly as before; in a non-power-of-two
+  // group the SMPs beyond the butterfly core post their *fold* send
+  // instead, and core SMPs post nothing (they must absorb the folds
+  // before their first butterfly send).
   if (ctx_.is_master() && group_smps() > 1) {
-    const int partner_gsmp = gsmp ^ 1;
-    const int partner_abs = rank_base_ + partner_gsmp * ppp;
-    rel_.send(partner_abs, kTagGsumBase + h.salt_, h.v_,
-                  ctx_.clock().now());
+    const int gsmps = group_smps();
+    const int core = butterfly_core(gsmps);
+    int rounds = 0;
+    for (int n = core; n > 1; n >>= 1) ++rounds;
+    if (gsmp >= core) {
+      const int partner_abs = rank_base_ + (gsmp - core) * ppp;
+      rel_.send(partner_abs, kTagGsumBase + h.salt_ + rounds, h.v_,
+                ctx_.clock().now());
+    } else if (gsmps == core) {
+      const int partner_gsmp = gsmp ^ 1;
+      const int partner_abs = rank_base_ + partner_gsmp * ppp;
+      rel_.send(partner_abs, kTagGsumBase + h.salt_, h.v_,
+                ctx_.clock().now());
+    }
   }
   h.t_start_end = ctx_.clock().now();
   if (!blocking) {
@@ -258,28 +281,66 @@ void Comm::reduce_finish(GsumHandle& h) {
 
   if (ctx_.is_master()) {
     // Recursive-doubling butterfly across the group's SMPs (Section 4.2,
-    // Figure 8): log2(N) rounds, partner differs in bit `round`.
+    // Figure 8): log2(core) rounds, partner differs in bit `round`.  A
+    // non-power-of-two group first folds the SMPs beyond the largest
+    // power-of-two core onto core partners, runs the unchanged butterfly
+    // over the core, then ships the result back out to the folded SMPs
+    // (two extra rounds instead of a restructured schedule, so the
+    // power-of-two path stays bit-identical to the paper calibration).
+    const int core = butterfly_core(gsmps);
     int rounds = 0;
-    for (int n = gsmps; n > 1; n >>= 1) ++rounds;
-    for (int round = 0; round < rounds; ++round) {
-      const int partner_gsmp = gsmp ^ (1 << round);
-      const int partner_abs = rank_base_ + partner_gsmp * ppp;
-      if (round > 0) {
-        // Round 0 was posted by reduce_start.
-        rel_.send(partner_abs, kTagGsumBase + h.salt_ + round, h.v_,
-                      ctx_.clock().now());
-      }
-      cluster::Message m =
-          rel_.recv(partner_abs, kTagGsumBase + h.salt_ + round);
-      combine_into(h.v_, m.data, h.op_);
-      if (round == 0) ready = std::max(ready, m.stamp_us);
-      // Round timing: both partners proceed from the later of their
-      // clocks plus the modeled symmetric round cost.  The forward jump
-      // onto a later partner stamp is wait caused by partner lateness.
+    for (int n = core; n > 1; n >>= 1) ++rounds;
+    if (gsmp >= core) {
+      // Folded SMP: the fold send was posted by reduce_start; wait for
+      // the fully reduced result from the core partner.
+      cluster::Message m = rel_.recv(rank_base_ + (gsmp - core) * ppp,
+                                     kTagGsumBase + h.salt_ + rounds + 1);
+      h.v_ = std::move(m.data);
       ctx_.charge_imbalance(
           std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
-      ctx_.clock().advance(ctx_.net().gsum_round_time(round));
+      ctx_.clock().advance(ctx_.net().gsum_round_time(rounds));
+    } else {
+      if (gsmp + core < gsmps) {
+        // Absorb the folded partner's contribution (in flight since its
+        // reduce_start) before the first butterfly send.
+        cluster::Message m = rel_.recv(rank_base_ + (gsmp + core) * ppp,
+                                       kTagGsumBase + h.salt_ + rounds);
+        combine_into(h.v_, m.data, h.op_);
+        ready = std::max(ready, m.stamp_us);
+        ctx_.charge_imbalance(
+            std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
+        ctx_.clock().advance_to(m.stamp_us);
+        ctx_.clock().advance(ctx_.net().gsum_round_time(rounds));
+      }
+      for (int round = 0; round < rounds; ++round) {
+        const int partner_gsmp = gsmp ^ (1 << round);
+        const int partner_abs = rank_base_ + partner_gsmp * ppp;
+        if (round > 0 || gsmps != core) {
+          // In a power-of-two group round 0 was posted by reduce_start;
+          // otherwise fold absorption had to happen first, so every
+          // round's send is issued here.
+          rel_.send(partner_abs, kTagGsumBase + h.salt_ + round, h.v_,
+                        ctx_.clock().now());
+        }
+        cluster::Message m =
+            rel_.recv(partner_abs, kTagGsumBase + h.salt_ + round);
+        combine_into(h.v_, m.data, h.op_);
+        if (round == 0 && gsmps == core) ready = std::max(ready, m.stamp_us);
+        // Round timing: both partners proceed from the later of their
+        // clocks plus the modeled symmetric round cost.  The forward jump
+        // onto a later partner stamp is wait caused by partner lateness.
+        ctx_.charge_imbalance(
+            std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
+        ctx_.clock().advance_to(m.stamp_us);
+        ctx_.clock().advance(ctx_.net().gsum_round_time(round));
+      }
+      if (gsmp + core < gsmps) {
+        // Fold-back: return the finished result to the folded partner.
+        rel_.send(rank_base_ + (gsmp + core) * ppp,
+                  kTagGsumBase + h.salt_ + rounds + 1, h.v_,
+                  ctx_.clock().now());
+      }
     }
     // Local distribution.
     if (ppp > 1) {
@@ -389,18 +450,45 @@ void Comm::barrier() {
     }
   }
   if (ctx_.is_master()) {
+    // Same fold / butterfly / fold-back schedule as reduce_finish, with
+    // empty payloads and the barrier tag space.
+    const int core = butterfly_core(gsmps);
     int rounds = 0;
-    for (int n = gsmps; n > 1; n >>= 1) ++rounds;
-    for (int round = 0; round < rounds; ++round) {
-      const int partner_gsmp = gsmp ^ (1 << round);
-      const int partner_abs = rank_base_ + partner_gsmp * ppp;
-      rel_.send(partner_abs, kTagBarrierBase + round, empty,
-                    ctx_.clock().now());
+    for (int n = core; n > 1; n >>= 1) ++rounds;
+    if (gsmp >= core) {
+      const int partner_abs = rank_base_ + (gsmp - core) * ppp;
+      rel_.send(partner_abs, kTagBarrierBase + rounds, empty,
+                ctx_.clock().now());
       cluster::Message m =
-          rel_.recv(partner_abs, kTagBarrierBase + round);
-      ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
+          rel_.recv(partner_abs, kTagBarrierBase + rounds + 1);
+      ctx_.charge_imbalance(
+          std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
       ctx_.clock().advance_to(m.stamp_us);
-      ctx_.clock().advance(ctx_.net().gsum_round_time(round));
+      ctx_.clock().advance(ctx_.net().gsum_round_time(rounds));
+    } else {
+      if (gsmp + core < gsmps) {
+        cluster::Message m = rel_.recv(rank_base_ + (gsmp + core) * ppp,
+                                       kTagBarrierBase + rounds);
+        ctx_.charge_imbalance(
+            std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
+        ctx_.clock().advance_to(m.stamp_us);
+        ctx_.clock().advance(ctx_.net().gsum_round_time(rounds));
+      }
+      for (int round = 0; round < rounds; ++round) {
+        const int partner_gsmp = gsmp ^ (1 << round);
+        const int partner_abs = rank_base_ + partner_gsmp * ppp;
+        rel_.send(partner_abs, kTagBarrierBase + round, empty,
+                      ctx_.clock().now());
+        cluster::Message m =
+            rel_.recv(partner_abs, kTagBarrierBase + round);
+        ctx_.charge_imbalance(std::max(0.0, m.clean_stamp() - ctx_.clock().now()));
+        ctx_.clock().advance_to(m.stamp_us);
+        ctx_.clock().advance(ctx_.net().gsum_round_time(round));
+      }
+      if (gsmp + core < gsmps) {
+        rel_.send(rank_base_ + (gsmp + core) * ppp,
+                  kTagBarrierBase + rounds + 1, empty, ctx_.clock().now());
+      }
     }
     if (ppp > 1) {
       for (int lr = 1; lr < ppp; ++lr) {

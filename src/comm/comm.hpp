@@ -235,6 +235,9 @@ class Comm {
       ExchangeHandle::Mode mode);
   [[nodiscard]] int xchg_tag(std::uint64_t seq, int d) const;
 
+  // Largest power of two <= n: the butterfly "core" over which the
+  // recursive-doubling rounds run; SMPs beyond it fold in/out.
+  static int butterfly_core(int n);
   GsumHandle reduce_start(std::vector<double> v, GsumHandle::Op op,
                           bool blocking);
   void reduce_finish(GsumHandle& h);

@@ -170,9 +170,12 @@ struct ModelConfig {
     if (nx < 1 || ny < 1 || nz < 1) {
       throw std::invalid_argument("ModelConfig: bad grid dims");
     }
-    if (px < 1 || py < 1 || nx % px != 0 || ny % py != 0) {
-      throw std::invalid_argument("ModelConfig: grid not divisible by tiles");
+    if (px < 1 || py < 1 || px > nx || py > ny) {
+      throw std::invalid_argument("ModelConfig: more tiles than grid cells");
     }
+    // snx()/sny() are the floor-division base tile sizes; remainder
+    // cells go to the leading tiles (see gcm/decomp.hpp), so the halo
+    // must fit the smallest tile.
     if (halo < 1 || halo > snx() || halo > sny()) {
       throw std::invalid_argument("ModelConfig: bad halo width");
     }

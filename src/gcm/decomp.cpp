@@ -1,22 +1,89 @@
 #include "gcm/decomp.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <cmath>
 
 namespace hyades::gcm {
+
+namespace {
+
+// Interior size of tile `t` of `p` tiles over `n` cells: the remainder
+// n % p is spread one cell at a time over the leading tiles, so sizes
+// differ by at most one and depend only on the tile's own coordinate
+// (all row-mates share sny, all column-mates share snx -- the invariant
+// the halo exchange strip sizes rely on).  Identical to n / p whenever
+// p divides n.
+int tile_span(int n, int p, int t) { return n / p + (t < n % p ? 1 : 0); }
+
+// Global offset of tile `t`'s first interior cell.
+int tile_start(int n, int p, int t) { return t * (n / p) + std::min(t, n % p); }
+
+void check_shape(const ModelConfig& cfg) {
+  if (cfg.px < 1 || cfg.py < 1 || cfg.px > cfg.nx || cfg.py > cfg.ny) {
+    throw DecompError(DecompError::Code::kBadShape,
+                      "Decomp: more tiles than grid cells");
+  }
+  // The halo must fit the *smallest* tile (the floor-division size);
+  // a wider halo would read past a neighbour's interior and silently
+  // corrupt the exchange.
+  if (cfg.halo > cfg.nx / cfg.px || cfg.halo > cfg.ny / cfg.py) {
+    throw DecompError(DecompError::Code::kHaloTooWide,
+                      "Decomp: halo wider than smallest tile");
+  }
+}
+
+}  // namespace
+
+std::pair<int, int> choose_tiles(int nranks, int nx, int ny) {
+  if (nranks < 1 || nx < 1 || ny < 1) {
+    throw DecompError(DecompError::Code::kBadShape,
+                      "choose_tiles: empty grid or rank count");
+  }
+  int best_px = -1;
+  double best_tile = 0.0;
+  double best_grid = 0.0;
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int py = nranks / px;
+    if (px > nx || py > ny) continue;  // would create empty tiles
+    // Primary key: tiles as square as possible; secondary: the rank
+    // grid itself as square as possible.  Log-ratio magnitudes make
+    // 2:1 and 1:2 equally good.
+    const double tile_cost = std::fabs(
+        std::log((static_cast<double>(nx) / px) / (static_cast<double>(ny) / py)));
+    const double grid_cost =
+        std::fabs(std::log(static_cast<double>(px) / py));
+    const bool better =
+        best_px < 0 || tile_cost < best_tile - 1e-12 ||
+        (tile_cost < best_tile + 1e-12 && grid_cost < best_grid - 1e-12);
+    if (better) {
+      best_px = px;
+      best_tile = tile_cost;
+      best_grid = grid_cost;
+    }
+  }
+  if (best_px < 0) {
+    throw DecompError(DecompError::Code::kBadShape,
+                      "choose_tiles: no tile grid fits");
+  }
+  return {best_px, nranks / best_px};
+}
 
 Decomp::Decomp(const ModelConfig& cfg, int group_rank)
     : px(cfg.px),
       py(cfg.py),
-      tx(group_rank % cfg.px),
-      ty(group_rank / cfg.px),
-      snx(cfg.snx()),
-      sny(cfg.sny()),
-      halo(cfg.halo),
-      i0(tx * cfg.snx()),
-      j0(ty * cfg.sny()) {
+      tx(group_rank % std::max(cfg.px, 1)),
+      ty(group_rank / std::max(cfg.px, 1)),
+      halo(cfg.halo) {
+  check_shape(cfg);
   if (group_rank < 0 || group_rank >= cfg.tiles()) {
-    throw std::invalid_argument("Decomp: rank outside tile grid");
+    throw DecompError(DecompError::Code::kBadRank,
+                      "Decomp: rank outside tile grid");
   }
+  snx = tile_span(cfg.nx, px, tx);
+  sny = tile_span(cfg.ny, py, ty);
+  i0 = tile_start(cfg.nx, px, tx);
+  j0 = tile_start(cfg.ny, py, ty);
   neighbors[comm::kEast] = rank_of(tx + 1, ty);
   neighbors[comm::kWest] = rank_of(tx - 1, ty);
   neighbors[comm::kNorth] = ty + 1 < py ? rank_of(tx, ty + 1) : -1;

@@ -7,8 +7,18 @@
 namespace hyades::net {
 
 ArcticModel::ArcticModel(int endpoints, startx::StartXConfig niu,
-                         arctic::LinkConfig link)
-    : endpoints_(endpoints), niu_(niu), link_(link) {}
+                         arctic::LinkConfig link, int radix)
+    : endpoints_(endpoints),
+      niu_(niu),
+      link_(link),
+      topo_(endpoints, arctic::shape_for(endpoints, radix), link) {}
+
+std::string ArcticModel::name() const {
+  if (endpoints_ == kPaperEndpoints && shape().radix == arctic::kRadix) {
+    return "Arctic";
+  }
+  return topo_.name();
+}
 
 Microseconds ArcticModel::path_latency(int up_levels) const {
   // NIU tx latency, then per the cut-through model each of the 2p+2 links
@@ -24,9 +34,17 @@ Microseconds ArcticModel::path_latency(int up_levels) const {
 }
 
 int ArcticModel::up_levels_for_round(int round) const {
-  // Node ids differing in bits 0..1 share a radix-4 leaf router (0 up
-  // levels); each further pair of id bits adds one tree level.
-  return round / 2;
+  // Butterfly partners differ in id bit `round`; the climb height is
+  // the highest base-radix digit separating them (ids 0 and 1<<round).
+  // At the paper's radix 4 two id bits share each tree level: round / 2.
+  const long long span = 1ll << round;
+  long long leaf_span = shape().radix;
+  int level = 0;
+  while (leaf_span <= span) {
+    leaf_span *= shape().radix;
+    ++level;
+  }
+  return level;
 }
 
 LogPParams ArcticModel::small_message(int payload_bytes) const {
@@ -34,7 +52,7 @@ LogPParams ArcticModel::small_message(int payload_bytes) const {
   p.os = startx::pio_accesses(payload_bytes) * niu_.mmap_write_us;
   p.orr = startx::pio_accesses(payload_bytes) * niu_.mmap_read_us;
   // Cross-tree distance (the common case on a 16-node machine).
-  const int max_up = arctic::levels_for(endpoints_) - 1;
+  const int max_up = shape().levels - 1;
   p.L = path_latency(max_up);
   return p;
 }

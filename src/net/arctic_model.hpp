@@ -6,17 +6,22 @@
 
 #include "arctic/router.hpp"
 #include "net/interconnect.hpp"
+#include "net/topology.hpp"
 #include "startx/config.hpp"
 
 namespace hyades::net {
 
 class ArcticModel final : public Interconnect {
  public:
-  explicit ArcticModel(int endpoints = 16,
+  explicit ArcticModel(int endpoints = kPaperEndpoints,
                        startx::StartXConfig niu = {},
-                       arctic::LinkConfig link = {});
+                       arctic::LinkConfig link = {},
+                       int radix = arctic::kRadix);
 
-  [[nodiscard]] std::string name() const override { return "Arctic"; }
+  // "Arctic" at the paper's 16-endpoint radix-4 build; the structural
+  // fat-tree name ("fat-tree r=R L=N") at any other shape, so sweep
+  // tables distinguish the parameterized builds.
+  [[nodiscard]] std::string name() const override;
 
   // One-way latency of a message whose route climbs `up_levels` stages
   // (0 = same leaf router).  Exposed for the global-sum round model and
@@ -24,7 +29,8 @@ class ArcticModel final : public Interconnect {
   [[nodiscard]] Microseconds path_latency(int up_levels) const;
 
   // Up levels needed between butterfly partners that differ in bit
-  // `round` of their node id (radix-4 leaves hold 4 consecutive ids).
+  // `round` of their node id (a radix-r leaf holds r consecutive ids;
+  // at the paper's radix 4 this is round / 2).
   [[nodiscard]] int up_levels_for_round(int round) const;
 
   [[nodiscard]] LogPParams small_message(int payload_bytes) const override;
@@ -45,10 +51,16 @@ class ArcticModel final : public Interconnect {
   // the measured 2/4/8/16-way latencies of Section 4.2 are reproduced.
   [[nodiscard]] Microseconds gsum_cpu_add() const { return gsum_cpu_add_us_; }
 
+  [[nodiscard]] const Topology* topology() const override { return &topo_; }
+  [[nodiscard]] const arctic::FatTreeShape& shape() const {
+    return topo_.shape();
+  }
+
  private:
   int endpoints_;
   startx::StartXConfig niu_;
   arctic::LinkConfig link_;
+  FatTreeTopology topo_;
   Microseconds gsum_cpu_add_us_ = 0.93;
 };
 

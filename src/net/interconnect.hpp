@@ -21,6 +21,8 @@
 
 namespace hyades::net {
 
+class Topology;
+
 struct LogPParams {
   Microseconds os = 0;   // send overhead
   Microseconds orr = 0;  // receive overhead ("or" is a C++ keyword)
@@ -68,6 +70,10 @@ class Interconnect {
   // Relative bandwidth available to a slave processor routed through the
   // SMP's communication master (Section 4.1: "about 30% lower").
   [[nodiscard]] virtual double slave_bandwidth_factor() const { return 0.7; }
+
+  // Structural view of the network (endpoints, hop costs, bisection),
+  // when the model has one; see net/topology.hpp.
+  [[nodiscard]] virtual const Topology* topology() const { return nullptr; }
 };
 
 }  // namespace hyades::net

@@ -1,0 +1,40 @@
+#include "net/torus.hpp"
+
+namespace hyades::net {
+
+TorusModel::TorusModel(TorusShape shape)
+    : topo_(shape, kTorusHopLatencyUs, kTorusLinkMBs) {}
+
+LogPParams TorusModel::small_message(int payload_bytes) const {
+  LogPParams p;
+  p.os = kTorusSendOverheadUs;
+  p.orr = kTorusRecvOverheadUs;
+  // Worst-case path across the machine, plus wire time for the payload.
+  p.L = static_cast<double>(topo_.diameter_hops()) * kTorusHopLatencyUs +
+        static_cast<double>(payload_bytes) / kTorusLinkMBs;
+  return p;
+}
+
+Microseconds TorusModel::transfer_time(std::int64_t bytes) const {
+  return kTorusTransferOverheadUs +
+         static_cast<double>(bytes) / kTorusEffectiveMBs;
+}
+
+int TorusModel::hops_for_round(int round) const {
+  const int nodes = topo_.endpoints();
+  const long long partner = 1ll << round;
+  if (partner >= nodes) return topo_.diameter_hops();
+  return topo_.shape().distance(0, static_cast<int>(partner));
+}
+
+Microseconds TorusModel::gsum_round_time(int round) const {
+  // Store-and-poll butterfly round like the other models, but the
+  // partner distance grows with the round: early rounds are ring
+  // neighbors, late rounds cross the machine.
+  const Microseconds wire =
+      static_cast<double>(hops_for_round(round)) * kTorusHopLatencyUs;
+  const Microseconds payload = 8.0 / kTorusLinkMBs;
+  return kTorusSendOverheadUs + wire + payload + kTorusRecvOverheadUs;
+}
+
+}  // namespace hyades::net

@@ -1,0 +1,53 @@
+// Timing model of a 3-D torus / hyper-crossbar interconnect in the
+// CP-PACS / PACS-CS family (PAPERS.md): dedicated MPP-class links with
+// lean RDMA-style software, where -- unlike the one-stage-deep Arctic
+// tree or the Ethernet star -- the hop count between partners is what
+// scales the latency.  Usable both by the closed-form perf model and by
+// the DES-backed cluster runtime (it is a complete Interconnect).
+#pragma once
+
+#include "net/interconnect.hpp"
+#include "net/topology.hpp"
+
+namespace hyades::net {
+
+// CP-PACS-class link and software constants (named so the shape code
+// stays free of magic numbers; see DESIGN.md "Topology generalization").
+inline constexpr double kTorusLinkMBs = 300.0;       // per link per direction
+inline constexpr double kTorusHopLatencyUs = 0.2;    // per-hop switch+wire
+inline constexpr double kTorusSendOverheadUs = 1.5;  // RDMA-class CPU cost
+inline constexpr double kTorusRecvOverheadUs = 1.5;
+inline constexpr double kTorusTransferOverheadUs = 8.0;  // bulk setup
+// Effective streaming bandwidth: scatter/gather and packetization keep
+// the achieved rate below the raw link.
+inline constexpr double kTorusEffectiveMBs = 260.0;
+
+class TorusModel final : public Interconnect {
+ public:
+  explicit TorusModel(TorusShape shape);
+  // Most-cubic torus covering `nodes` endpoints.
+  static TorusModel for_nodes(int nodes) {
+    return TorusModel(near_cubic_torus(nodes));
+  }
+
+  [[nodiscard]] std::string name() const override { return topo_.name(); }
+  [[nodiscard]] LogPParams small_message(int payload_bytes) const override;
+  [[nodiscard]] Microseconds transfer_time(std::int64_t bytes) const override;
+  [[nodiscard]] Microseconds transfer_overhead() const override {
+    return kTorusTransferOverheadUs;
+  }
+  [[nodiscard]] double bandwidth_mbytes() const override {
+    return kTorusEffectiveMBs;
+  }
+  [[nodiscard]] Microseconds gsum_round_time(int round) const override;
+  [[nodiscard]] const Topology* topology() const override { return &topo_; }
+
+  // Links crossed between butterfly partners of round `round` (ranks
+  // differing in bit `round`, under the lexicographic rank embedding).
+  [[nodiscard]] int hops_for_round(int round) const;
+
+ private:
+  TorusTopology topo_;
+};
+
+}  // namespace hyades::net

@@ -218,7 +218,7 @@ TEST(Fabric, FaultStreamLeavesAdaptiveRoutingUntouched) {
     Rig rig(16, cfg);
     for (int i = 0; i < 100; ++i) rig.fabric.inject(0, 15, small_packet());
     rig.sched.run();
-    std::map<std::uint64_t, std::uint16_t> by_serial;
+    std::map<std::uint64_t, std::uint32_t> by_serial;
     for (const auto& del : rig.deliveries) {
       by_serial[del.packet.serial] = del.packet.uproute;
     }

@@ -36,9 +36,15 @@ TEST(Runtime, RequiresInterconnect) {
   EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
 }
 
-TEST(Runtime, RequiresPowerOfTwoSmps) {
+TEST(Runtime, AcceptsNonPowerOfTwoSmps) {
+  // The comm layer folds odd group sizes onto a butterfly core, so the
+  // runtime no longer restricts smp_count to powers of two.
   const net::ArcticModel net;
-  EXPECT_THROW(Runtime rt(machine(net, 3)), std::invalid_argument);
+  Runtime rt(machine(net, 3));
+  std::atomic<int> seen{0};
+  rt.run([&](RankContext&) { seen.fetch_add(1); });
+  EXPECT_EQ(seen.load(), 6);
+  EXPECT_THROW(Runtime bad(machine(net, 0)), std::invalid_argument);
 }
 
 TEST(Runtime, RanksSeeTheirIdentity) {

@@ -64,7 +64,7 @@ TEST(Fault, SolverBudgetExhaustionIsReportedNotFatal) {
 
 TEST(Fault, ConfigValidationCatchesShapeErrors) {
   gcm::ModelConfig cfg = gcm::testing::small_ocean(1, 1);
-  cfg.px = 3;  // 16 % 3 != 0
+  cfg.px = cfg.nx + 1;  // more tile columns than cells
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg = gcm::testing::small_ocean(1, 1);
   cfg.dt = -1.0;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "gcm/decomp.hpp"
 #include "gcm/grid.hpp"
@@ -47,6 +49,114 @@ TEST(Decomp, RejectsBadRank) {
   const ModelConfig cfg = small_ocean(2, 2);
   EXPECT_THROW(Decomp(cfg, 4), std::invalid_argument);
   EXPECT_THROW(Decomp(cfg, -1), std::invalid_argument);
+}
+
+TEST(Decomp, BadRankCarriesTypedCode) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  try {
+    const Decomp d(cfg, 4);
+    FAIL() << "expected DecompError";
+  } catch (const DecompError& e) {
+    EXPECT_EQ(e.code(), DecompError::Code::kBadRank);
+  }
+}
+
+TEST(Decomp, RankOfRejectsTileYOutsideGrid) {
+  const ModelConfig cfg = small_ocean(2, 2);
+  const Decomp d(cfg, 0);
+  // x wraps periodically; y must stay inside the grid.
+  EXPECT_EQ(d.rank_of(-1, 0), 1);
+  EXPECT_EQ(d.rank_of(2, 1), 2);
+  EXPECT_THROW((void)d.rank_of(0, -1), DecompError);
+  EXPECT_THROW((void)d.rank_of(0, 2), DecompError);
+  try {
+    (void)d.rank_of(0, cfg.py);
+    FAIL() << "expected DecompError";
+  } catch (const DecompError& e) {
+    EXPECT_EQ(e.code(), DecompError::Code::kBadRank);
+  }
+}
+
+TEST(Decomp, OneByNTilesWrapOntoThemselves) {
+  // A 1 x py strip decomposition: with a single tile across x, the
+  // periodic east/west neighbors are the tile itself.
+  ModelConfig cfg = small_ocean(1, 2);
+  cfg.halo = 2;
+  cfg.validate();
+  const Decomp d(cfg, 1);
+  EXPECT_EQ(d.snx, cfg.nx);
+  EXPECT_EQ(d.neighbors[comm::kEast], 1);
+  EXPECT_EQ(d.neighbors[comm::kWest], 1);
+  EXPECT_EQ(d.neighbors[comm::kSouth], 0);
+  EXPECT_EQ(d.neighbors[comm::kNorth], -1);
+}
+
+TEST(Decomp, HaloWiderThanSmallestTileIsTypedError) {
+  // 8 tiles across 16 cells leave 2-cell tiles; a 3-wide halo would
+  // read past a neighbor's interior.
+  ModelConfig cfg = small_ocean(8, 1);
+  cfg.halo = 3;
+  try {
+    const Decomp d(cfg, 0);
+    FAIL() << "expected DecompError";
+  } catch (const DecompError& e) {
+    EXPECT_EQ(e.code(), DecompError::Code::kHaloTooWide);
+  }
+}
+
+TEST(Decomp, MoreTilesThanCellsIsTypedError) {
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.px = cfg.nx + 1;
+  try {
+    const Decomp d(cfg, 0);
+    FAIL() << "expected DecompError";
+  } catch (const DecompError& e) {
+    EXPECT_EQ(e.code(), DecompError::Code::kBadShape);
+  }
+}
+
+TEST(Decomp, RemainderTilesPartitionTheGrid) {
+  // 3 x 3 tiles over a 16 x 8 grid: neither axis divides evenly; the
+  // leading tiles absorb one extra column/row each, the tiles still
+  // partition the grid exactly, and the strip-size invariants hold
+  // (row-mates share sny, column-mates share snx).
+  ModelConfig cfg = small_ocean(1, 1);
+  cfg.px = 3;
+  cfg.py = 3;
+  cfg.halo = 2;
+  std::vector<Decomp> tiles;
+  for (int r = 0; r < cfg.tiles(); ++r) tiles.emplace_back(cfg, r);
+  int covered_x = 0;
+  for (int tx = 0; tx < cfg.px; ++tx) {
+    EXPECT_EQ(tiles[static_cast<std::size_t>(tx)].i0, covered_x);
+    covered_x += tiles[static_cast<std::size_t>(tx)].snx;
+  }
+  EXPECT_EQ(covered_x, cfg.nx);
+  int covered_y = 0;
+  for (int ty = 0; ty < cfg.py; ++ty) {
+    const auto r = static_cast<std::size_t>(ty * cfg.px);
+    EXPECT_EQ(tiles[r].j0, covered_y);
+    covered_y += tiles[r].sny;
+  }
+  EXPECT_EQ(covered_y, cfg.ny);
+  for (const Decomp& d : tiles) {
+    EXPECT_EQ(d.snx, tiles[static_cast<std::size_t>(d.tx)].snx);
+    EXPECT_EQ(d.sny, tiles[static_cast<std::size_t>(d.ty * cfg.px)].sny);
+    EXPECT_GE(d.snx, cfg.halo);
+    EXPECT_GE(d.sny, cfg.halo);
+  }
+}
+
+TEST(ChooseTiles, PaperShapeAndNonSquareCounts) {
+  EXPECT_EQ(choose_tiles(16, 128, 64), (std::pair<int, int>{4, 4}));
+  EXPECT_EQ(choose_tiles(1, 8, 8), (std::pair<int, int>{1, 1}));
+  // 6 ranks on the paper grid: 3 x 2 gives the squarest tiles.
+  EXPECT_EQ(choose_tiles(6, 128, 64), (std::pair<int, int>{3, 2}));
+  // A prime count degenerates to a strip that fits the wide axis.
+  EXPECT_EQ(choose_tiles(7, 128, 64), (std::pair<int, int>{7, 1}));
+  EXPECT_THROW(choose_tiles(0, 8, 8), DecompError);
+  // More ranks than cells: no divisor pair fits.
+  EXPECT_THROW(choose_tiles(128 * 64 * 2, 128, 64), DecompError);
 }
 
 TEST(TileGrid, MetricsShrinkTowardPoles) {

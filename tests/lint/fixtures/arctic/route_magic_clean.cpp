@@ -1,0 +1,21 @@
+// Near-miss patterns the magic-topology rule must stay silent on:
+// named constexpr constants, float calibration values, hex masks,
+// wider literals, suffix-free contexts inside identifiers, and a
+// justified allow.
+namespace hyades::arctic {
+
+inline constexpr int kFixtureRadix = 4;       // sanctioned home
+inline constexpr int kFixtureEndpoints = 16;  // sanctioned home
+
+inline double stage_scale() { return 0.4 * 1.6; }  // floats, not shapes
+
+inline unsigned mask_low() { return 0x3Fu; }  // hex digits are not tokens
+
+inline int fixture_uint32_like(int uint32_value) { return uint32_value; }
+
+// lint:allow(magic-topology): fixture demonstrating a justified allow.
+inline int allowed_shape() { return 32; }
+
+inline int uses_constant() { return kFixtureRadix * kFixtureEndpoints; }
+
+}  // namespace hyades::arctic

@@ -1,0 +1,10 @@
+// Tripwire for the magic-topology rule: a bare radix literal in a
+// topology translation unit.  Exactly one planted violation.
+namespace hyades::arctic {
+
+inline int up_port_of(int src) {
+  int radix = 4;  // should be FatTreeShape::radix or kRadix
+  return src % radix;
+}
+
+}  // namespace hyades::arctic

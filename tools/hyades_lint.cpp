@@ -28,6 +28,15 @@
 //                     wait-attribution column map (span_cat_column in
 //                     cluster/report.cpp) must stay in sync, and every
 //                     named column must exist in the printed table.
+//   magic-topology    bare 4/16/32 literals in the topology machinery
+//                     (src/arctic and src/net files named route/fabric/
+//                     fault/topology/torus/arctic_model): since the
+//                     fabric is parameterized by FatTreeShape, the
+//                     paper's radix-4 16-endpoint machine is a default,
+//                     not a law -- shape numbers must come from the
+//                     shape or a named constexpr constant, or a
+//                     non-default build silently re-hardcodes the seed
+//                     machine.
 //
 // Suppression: a finding is allowed by a comment on the same line or
 // the line above, of the form
@@ -392,6 +401,69 @@ void rule_raw_send(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void rule_magic_topology(const SourceFile& f, std::vector<Finding>* out) {
+  // Scope: the topology-shape translation units under src/arctic and
+  // src/net (plus the lint fixtures mirroring them).  Tests and benches
+  // legitimately spell out concrete shapes.
+  const bool dir_ok = path_contains(f.path, "src/arctic") ||
+                      path_contains(f.path, "src/net") ||
+                      path_contains(f.path, "fixtures/arctic") ||
+                      path_contains(f.path, "fixtures/net");
+  if (!dir_ok) return;
+  static const char* kUnits[] = {"route",    "fabric", "fault",
+                                 "topology", "torus",  "arctic_model"};
+  const std::string base = fs::path(f.path).filename().string();
+  bool unit_ok = false;
+  for (const char* u : kUnits) {
+    if (base.find(u) != std::string::npos) {
+      unit_ok = true;
+      break;
+    }
+  }
+  if (!unit_ok) return;
+
+  static const char* kShapeLiterals[] = {"4", "16", "32"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    // Named-constant definitions are the sanctioned home for these
+    // numbers.
+    if (find_word(s, "constexpr") != std::string::npos) continue;
+    for (const char* lit : kShapeLiterals) {
+      const std::string tok = lit;
+      std::size_t pos = 0;
+      bool hit = false;
+      while ((pos = s.find(tok, pos)) != std::string::npos) {
+        // A standalone numeric token: no identifier character or digit
+        // on the left, and on the right only an integer suffix before a
+        // non-identifier character.  '.' adjacency means a float
+        // (0.4, 4.0) -- a calibration value, not a shape.
+        const bool left_ok =
+            pos == 0 || (!ident_char(s[pos - 1]) && s[pos - 1] != '.');
+        std::size_t end = pos + tok.size();
+        while (end < s.size() &&
+               (s[end] == 'u' || s[end] == 'U' || s[end] == 'l' ||
+                s[end] == 'L')) {
+          ++end;
+        }
+        const bool right_ok =
+            end >= s.size() || (!ident_char(s[end]) && s[end] != '.');
+        if (left_ok && right_ok) {
+          hit = true;
+          break;
+        }
+        pos += 1;
+      }
+      if (hit) {
+        report(out, f, i, "magic-topology",
+               std::string("bare ") + lit +
+                   ": shape numbers (radix, endpoints, ports) come from "
+                   "FatTreeShape or a named constexpr constant");
+        break;
+      }
+    }
+  }
+}
+
 // ---- spancat-coverage -----------------------------------------------------
 
 // Parse `enum class SpanCat ... { kA, kB, ... }` enumerator names.
@@ -554,7 +626,7 @@ void usage() {
          "  --rule NAME  run only the named rule(s); default: all\n"
          "  FILE...      scan exactly these files instead of a root\n"
          "rules: wall-clock unseeded-rng naked-new catch-all raw-send "
-         "spancat-coverage\n";
+         "spancat-coverage magic-topology\n";
 }
 
 }  // namespace
@@ -564,8 +636,8 @@ int main(int argc, char** argv) {
   std::set<std::string> rules;
   std::vector<std::string> files;
   static const std::set<std::string> kAllRules = {
-      "wall-clock", "unseeded-rng", "naked-new",
-      "catch-all",  "raw-send",     "spancat-coverage"};
+      "wall-clock", "unseeded-rng",     "naked-new",     "catch-all",
+      "raw-send",   "spancat-coverage", "magic-topology"};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -633,6 +705,7 @@ int main(int argc, char** argv) {
     if (rules.count("naked-new") != 0) rule_naked_new(f, &findings);
     if (rules.count("catch-all") != 0) rule_catch_all(f, &findings);
     if (rules.count("raw-send") != 0) rule_raw_send(f, &findings);
+    if (rules.count("magic-topology") != 0) rule_magic_topology(f, &findings);
   }
   if (rules.count("spancat-coverage") != 0) {
     rule_spancat_coverage(sources, &findings);
