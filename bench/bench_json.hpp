@@ -7,8 +7,16 @@
 // and doubles formatted with "%.10g" (shortest round-trippable form for
 // the magnitudes the benches emit, and stable across runs because every
 // value derives from the deterministic virtual clock).
+//
+// Conformance notes (strict parsers reject the alternatives):
+//   - JSON has no NaN/Infinity literal, so non-finite doubles are
+//     emitted as `null` -- a ratio with a zero denominator (dedup
+//     speedups, failure-free failure rates) stays machine-readable.
+//   - Control characters below 0x20 are escaped: the common ones as
+//     their two-character forms (\b \t \n \f \r), the rest as \u00XX.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -70,6 +78,12 @@ class Json {
         os << (bool_ ? "true" : "false");
         break;
       case Kind::kNumber: {
+        // %.10g would print "nan"/"inf", which no strict JSON parser
+        // accepts; null is the documented non-finite encoding.
+        if (!std::isfinite(num_)) {
+          os << "null";
+          break;
+        }
         char buf[40];
         std::snprintf(buf, sizeof buf, "%.10g", num_);
         os << buf;
@@ -118,9 +132,23 @@ class Json {
       switch (c) {
         case '"': os << "\\\""; break;
         case '\\': os << "\\\\"; break;
-        case '\n': os << "\\n"; break;
+        case '\b': os << "\\b"; break;
         case '\t': os << "\\t"; break;
-        default: os << c;
+        case '\n': os << "\\n"; break;
+        case '\f': os << "\\f"; break;
+        case '\r': os << "\\r"; break;
+        default:
+          // RFC 8259: all other control characters below 0x20 MUST be
+          // escaped; a raw \x1b (say, from a string that carried ANSI
+          // color) would make the document unparseable.
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os << buf;
+          } else {
+            os << c;
+          }
       }
     }
     os << '"';

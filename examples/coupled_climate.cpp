@@ -8,7 +8,6 @@
 // prints the combined sustained floating-point performance.
 //
 //   ./coupled_climate [steps] [couple_every] [outdir]
-#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <mutex>
@@ -19,12 +18,16 @@
 #include "gcm/model.hpp"
 #include "gcm/output.hpp"
 #include "net/arctic_model.hpp"
+#include "support/argparse.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyades;
-  const int steps = argc > 1 ? std::atoi(argv[1]) : 24;
-  const int couple_every = argc > 2 ? std::atoi(argv[2]) : 6;
+  constexpr const char* kUsage = "coupled_climate [steps] [couple_every] [outdir]";
+  const int steps =
+      argc > 1 ? support::checked_int(argv[1], "steps", kUsage) : 24;
+  const int couple_every =
+      argc > 2 ? support::checked_int(argv[2], "couple_every", kUsage) : 6;
   const std::string outdir = argc > 3 ? argv[3] : "coupled_output";
   std::filesystem::create_directories(outdir);
 

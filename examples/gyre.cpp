@@ -7,7 +7,6 @@
 // solver in a multiply-bounded domain).
 //
 //   ./gyre [steps] [outdir] [--trace out.trace.json]
-#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <mutex>
@@ -20,10 +19,12 @@
 #include "gcm/model.hpp"
 #include "gcm/output.hpp"
 #include "net/arctic_model.hpp"
+#include "support/argparse.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyades;
+  constexpr const char* kUsage = "gyre [steps] [outdir] [--trace out.trace.json]";
   int steps = 2160;  // ~2 months
   std::string outdir = "gyre_output";
   const char* trace_out = nullptr;
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (positional++ == 0) {
-      steps = std::atoi(argv[i]);
+      steps = support::checked_int(argv[i], "steps", kUsage);
     } else {
       outdir = argv[i];
     }

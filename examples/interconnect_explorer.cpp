@@ -9,19 +9,22 @@
 // in investing in hardware that only improves compute performance."
 //
 //   ./interconnect_explorer [nz] [fps_mflops]
-#include <cstdlib>
 #include <iostream>
 
 #include "net/arctic_model.hpp"
 #include "net/ethernet.hpp"
 #include "perf/calibrate.hpp"
 #include "perf/perf_model.hpp"
+#include "support/argparse.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyades;
-  const int nz = argc > 1 ? std::atoi(argv[1]) : 10;
-  const double fps = argc > 2 ? std::atof(argv[2]) : 50.0;
+  constexpr const char* kUsage = "interconnect_explorer [nz] [fps_mflops]";
+  const int nz = argc > 1 ? support::checked_int(argv[1], "nz", kUsage) : 10;
+  const double fps =
+      argc > 2 ? support::checked_double(argv[2], "fps_mflops", kUsage, 1.0)
+               : 50.0;
 
   std::cout << "Configuration: 128x64x" << nz
             << " grid, 16 processors on 8 SMPs, processor sustains "

@@ -9,7 +9,9 @@
 // Each segment restarts from the previous segment's checkpoint, exactly
 // as a queue of week-long jobs would, and the final segment writes a
 // per-rank timeline CSV of ps/ds phases, exchanges and global sums.
-#include <cstdlib>
+//
+// For the *campaign* version of this pattern -- many queued jobs with
+// priorities, a cluster pool, and result dedup -- see ensemble_farm.
 #include <filesystem>
 #include <iostream>
 #include <mutex>
@@ -21,12 +23,17 @@
 #include "comm/comm.hpp"
 #include "gcm/model.hpp"
 #include "net/arctic_model.hpp"
+#include "support/argparse.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyades;
-  const int segments = argc > 1 ? std::atoi(argv[1]) : 3;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 8;
+  constexpr const char* kUsage =
+      "production_run [segments] [steps_per_segment] [outdir]";
+  const int segments =
+      argc > 1 ? support::checked_int(argv[1], "segments", kUsage) : 3;
+  const int steps =
+      argc > 2 ? support::checked_int(argv[2], "steps_per_segment", kUsage) : 8;
   const std::string outdir = argc > 3 ? argv[3] : "production_output";
   std::filesystem::create_directories(outdir);
   const std::string ckpt = outdir + "/checkpoint";

@@ -5,7 +5,6 @@
 // diagnostics plus an ASCII map of the sea-surface temperature.
 //
 //   ./quickstart [steps] [--trace out.trace.json]
-#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -18,17 +17,19 @@
 #include "gcm/model.hpp"
 #include "gcm/output.hpp"
 #include "net/arctic_model.hpp"
+#include "support/argparse.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hyades;
+  constexpr const char* kUsage = "quickstart [steps] [--trace out.trace.json]";
   int steps = 216;  // ~1 day at dt=400s
   const char* trace_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
-      steps = std::atoi(argv[i]);
+      steps = support::checked_int(argv[i], "steps", kUsage);
     }
   }
 

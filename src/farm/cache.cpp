@@ -1,0 +1,19 @@
+#include "farm/cache.hpp"
+
+namespace hyades::farm {
+
+const JobResult* ResultCache::lookup(const Key& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void ResultCache::insert(const Key& key, const JobResult& result) {
+  entries_.emplace(key, result);
+}
+
+}  // namespace hyades::farm

@@ -1,0 +1,183 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "farm/executor.hpp"
+#include "support/table.hpp"
+
+namespace hyades::farm {
+
+namespace {
+
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+Farm::Farm(FarmConfig cfg) : cfg_(cfg), queue_(cfg.max_pending) {
+  if (cfg_.clusters < 1) {
+    throw std::invalid_argument("Farm: pool needs at least one cluster");
+  }
+  if (cfg_.scratch_dir.empty()) {
+    cfg_.scratch_dir =
+        (std::filesystem::temp_directory_path() / "hyades_farm").string();
+  }
+  pool_free_at_.assign(static_cast<std::size_t>(cfg_.clusters), 0.0);
+}
+
+int Farm::submit(JobSpec spec) {
+  const int id = static_cast<int>(jobs_.size());
+  JobRecord rec;
+  rec.id = id;
+  rec.spec = std::move(spec);
+  rec.submit_us = now_;
+  metrics_.inc("farm.jobs_submitted");
+  if (!queue_.push(id, rec.spec.priority)) {
+    rec.status = JobStatus::kRejected;
+    rec.error = "admission: queue full (" +
+                std::to_string(queue_.max_pending()) + " pending)";
+    metrics_.inc("farm.jobs_rejected");
+  }
+  jobs_.push_back(std::move(rec));
+  return id;
+}
+
+void Farm::run_until_drained() {
+  for (int id = queue_.pop(); id >= 0; id = queue_.pop()) {
+    dispatch(jobs_[static_cast<std::size_t>(id)]);
+  }
+  metrics_.set("farm.makespan_us", now_);
+}
+
+void Farm::dispatch(JobRecord& rec) {
+  const ResultCache::Key key{rec.spec.config_hash(), rec.spec.seed};
+  if (const JobResult* hit = cache_.lookup(key)) {
+    // Dedup: identical (config, seed) was already computed, and runs
+    // are bit-deterministic, so the cached diagnostics ARE the result.
+    // Served instantly at the current job clock for zero steps.
+    rec.status = JobStatus::kCompleted;
+    rec.from_cache = true;
+    rec.start_us = rec.finish_us = now_;
+    rec.result.kinetic_energy = hit->kinetic_energy;
+    rec.result.mean_theta = hit->mean_theta;
+    metrics_.inc("farm.jobs_completed");
+    metrics_.inc("farm.cache_hits");
+    metrics_.inc("farm.steps_saved", static_cast<double>(rec.spec.steps));
+    return;
+  }
+
+  // Earliest-free pool slot, lowest id on ties: deterministic.
+  std::size_t slot = 0;
+  for (std::size_t c = 1; c < pool_free_at_.size(); ++c) {
+    if (pool_free_at_[c] < pool_free_at_[slot]) slot = c;
+  }
+  const ExecutionOutcome out =
+      execute_job(rec.spec, scratch_prefix(rec.id));
+
+  rec.cluster = static_cast<int>(slot);
+  rec.start_us = std::max(pool_free_at_[slot], rec.submit_us);
+  rec.finish_us = rec.start_us + out.result.busy_us;
+  pool_free_at_[slot] = rec.finish_us;
+  now_ = std::max(now_, rec.finish_us);
+  rec.result = out.result;
+
+  metrics_.inc("farm.steps_committed",
+               static_cast<double>(out.result.steps_committed));
+  metrics_.inc("farm.busy_us", out.result.busy_us);
+  metrics_.inc("farm.retransmits",
+               static_cast<double>(out.result.retransmits));
+  metrics_.inc("farm.restarts", static_cast<double>(out.result.restarts));
+  metrics_.inc("farm.rollbacks", static_cast<double>(out.result.rollbacks));
+  if (out.ok) {
+    rec.status = JobStatus::kCompleted;
+    metrics_.inc("farm.jobs_completed");
+    cache_.insert(key, rec.result);
+  } else {
+    rec.status = JobStatus::kFailed;
+    rec.error = out.error;
+    metrics_.inc("farm.jobs_failed");
+  }
+}
+
+std::string Farm::scratch_prefix(int job_id) {
+  if (!scratch_ready_) {
+    std::filesystem::create_directories(cfg_.scratch_dir);
+    scratch_ready_ = true;
+  }
+  return cfg_.scratch_dir + "/job" + std::to_string(job_id);
+}
+
+const JobRecord& Farm::job(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+    throw std::out_of_range("Farm::job: unknown id " + std::to_string(id));
+  }
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+Farm::CampaignSummary Farm::summary() const {
+  CampaignSummary s;
+  s.submitted = static_cast<int>(jobs_.size());
+  for (const JobRecord& r : jobs_) {
+    switch (r.status) {
+      case JobStatus::kCompleted:
+        ++s.completed;
+        if (r.from_cache) ++s.cache_hits;
+        break;
+      case JobStatus::kFailed: ++s.failed; break;
+      case JobStatus::kRejected: ++s.rejected; break;
+      case JobStatus::kQueued: break;
+    }
+    if (r.from_cache) {
+      s.steps_saved += r.spec.steps;
+    } else if (r.status != JobStatus::kRejected) {
+      s.steps_committed += r.result.steps_committed;
+      s.busy_us += r.result.busy_us;
+      s.retransmits += r.result.retransmits;
+      s.restarts += r.result.restarts;
+      s.rollbacks += r.result.rollbacks;
+    }
+    s.makespan_us = std::max(s.makespan_us, r.finish_us);
+  }
+  return s;
+}
+
+std::string Farm::format_summary() const {
+  std::ostringstream os;
+  Table t({"job", "name", "prio", "status", "served", "cluster",
+           "start (ms)", "finish (ms)", "steps", "KE (J, hex)"});
+  for (const JobRecord& r : jobs_) {
+    const bool ran = r.status == JobStatus::kCompleted ||
+                     r.status == JobStatus::kFailed;
+    t.add_row({std::to_string(r.id), r.spec.name,
+               std::to_string(r.spec.priority), to_string(r.status),
+               r.from_cache ? "cache" : (ran ? "pool" : "-"),
+               r.cluster >= 0 ? std::to_string(r.cluster) : "-",
+               ran ? Table::fmt(r.start_us / 1000.0, 3) : "-",
+               ran ? Table::fmt(r.finish_us / 1000.0, 3) : "-",
+               std::to_string(r.result.steps_committed),
+               r.status == JobStatus::kCompleted
+                   ? hexfloat(r.result.kinetic_energy)
+                   : "-"});
+  }
+  t.print(os);
+  const CampaignSummary s = summary();
+  os << "campaign: " << s.submitted << " submitted, " << s.completed
+     << " completed (" << s.cache_hits << " from cache), " << s.failed
+     << " failed, " << s.rejected << " rejected\n"
+     << "steps: " << s.steps_committed << " simulated, " << s.steps_saved
+     << " saved by dedup; cluster busy "
+     << Table::fmt(s.busy_us / 1000.0, 3) << " ms; makespan "
+     << Table::fmt(s.makespan_us / 1000.0, 3) << " ms\n"
+     << "recovery: " << s.retransmits << " retransmits, " << s.restarts
+     << " restarts, " << s.rollbacks << " rollbacks\n";
+  return os.str();
+}
+
+}  // namespace hyades::farm

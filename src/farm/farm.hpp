@@ -1,0 +1,108 @@
+// The ensemble farm: a resident, deterministic job-queue service over a
+// pool of simulated clusters.
+//
+// This is ROADMAP item 1 -- the CP-PACS/PACS-CS production-campaign
+// model applied to climate ensembles.  A Farm accepts a queue of jobs
+// (perturbed-parameter gyre or coupled-climate members, interconnect
+// what-ifs, fault-sweep campaigns), schedules them across `clusters`
+// pool slots in priority order, and serves duplicate submissions from a
+// result cache keyed by (config hash, seed).
+//
+// Time: the farm keeps its own virtual *job clock*, distinct from (and
+// built on) the per-run rank clocks.  A job's duration is its cluster's
+// final virtual time -- a pure function of the spec -- so the whole
+// schedule (start/finish stamps, pool-slot choice, makespan) is a pure
+// function of the submitted queue.  Dispatch is sequential in priority
+// order onto the earliest-free pool slot (lowest slot id on ties);
+// cache-served jobs complete instantly at the dispatch-time clock.
+// Two runs of the same queue therefore produce bit-identical campaign
+// summaries -- the whole service is golden-lockable.
+//
+// Failure: a member whose cluster exhausts its restart budget (or whose
+// solver diverges) is recorded kFailed with the typed error message and
+// the virtual time it burned; the queue keeps draining.  Admission
+// control bounds the pending queue: an over-capacity submit is recorded
+// kRejected, never silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farm/cache.hpp"
+#include "farm/job.hpp"
+#include "farm/queue.hpp"
+#include "support/metrics.hpp"
+#include "support/units.hpp"
+
+namespace hyades::farm {
+
+struct FarmConfig {
+  int clusters = 2;      // pool size (>= 1)
+  int max_pending = 0;   // admission cap; <= 0 = unbounded
+  // Durable-checkpoint scratch directory for resilient members; ""
+  // resolves to <temp dir>/hyades_farm.  Created on first use.
+  std::string scratch_dir;
+};
+
+class Farm {
+ public:
+  explicit Farm(FarmConfig cfg);
+
+  // Enqueue a job; returns its id.  An over-capacity submit is recorded
+  // kRejected (check job(id).status), never silently dropped.
+  int submit(JobSpec spec);
+
+  // Dispatch every pending job to completion (deterministic order).
+  void run_until_drained();
+
+  // The ledger entry for `id`.  The reference is into a growing
+  // vector: invalidated by the next submit(); copy it to keep it.
+  [[nodiscard]] const JobRecord& job(int id) const;
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  struct CampaignSummary {
+    int submitted = 0;
+    int completed = 0;  // includes cache-served
+    int failed = 0;
+    int rejected = 0;
+    int cache_hits = 0;
+    std::int64_t steps_committed = 0;  // freshly simulated steps
+    std::int64_t steps_saved = 0;      // steps dedup'd away by the cache
+    Microseconds busy_us = 0.0;        // summed cluster occupancy
+    Microseconds makespan_us = 0.0;    // farm clock at drain
+    std::int64_t retransmits = 0;
+    std::int64_t restarts = 0;
+    std::int64_t rollbacks = 0;
+  };
+  [[nodiscard]] CampaignSummary summary() const;
+
+  // Deterministic human-readable campaign report: the job ledger (KE in
+  // hexfloat so bit-identity is visible) plus the summary totals.  Two
+  // runs of the same queue produce byte-identical strings.
+  [[nodiscard]] std::string format_summary() const;
+
+  // Campaign-wide cost/usage counters (farm.* namespace), rolled up
+  // from every executed job.
+  [[nodiscard]] const metrics::Registry& campaign_metrics() const {
+    return metrics_;
+  }
+
+  [[nodiscard]] Microseconds now() const { return now_; }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+
+ private:
+  void dispatch(JobRecord& rec);
+  [[nodiscard]] std::string scratch_prefix(int job_id);
+
+  FarmConfig cfg_;
+  JobQueue queue_;
+  ResultCache cache_;
+  metrics::Registry metrics_;
+  std::vector<JobRecord> jobs_;
+  std::vector<Microseconds> pool_free_at_;
+  Microseconds now_ = 0.0;
+  bool scratch_ready_ = false;
+};
+
+}  // namespace hyades::farm

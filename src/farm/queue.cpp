@@ -1,0 +1,32 @@
+#include "farm/queue.hpp"
+
+#include <cstdint>
+
+namespace hyades::farm {
+
+bool JobQueue::push(int id, int priority) {
+  if (max_pending_ > 0 &&
+      pending_.size() >= static_cast<std::size_t>(max_pending_)) {
+    return false;
+  }
+  pending_.push_back({id, priority, next_seq_++});
+  return true;
+}
+
+int JobQueue::pop() {
+  if (pending_.empty()) return -1;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    const Pending& b = pending_[best];
+    if (p.priority > b.priority ||
+        (p.priority == b.priority && p.seq < b.seq)) {
+      best = i;
+    }
+  }
+  const int id = pending_[best].id;
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  return id;
+}
+
+}  // namespace hyades::farm

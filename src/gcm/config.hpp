@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -182,6 +183,15 @@ struct ModelConfig {
     if (dt <= 0) throw std::invalid_argument("ModelConfig: dt <= 0");
     (void)level_thicknesses();
   }
+
+  // Order- and value-stable 64-bit fingerprint of every field that
+  // affects the computation (doubles hashed by bit pattern, so two
+  // configs collide only when the stepped equations are bit-identical).
+  // The ensemble farm's result cache keys on (fingerprint, init seed):
+  // a field added here without extending the hash would silently alias
+  // distinct configurations, so config.cpp hashes *all* members and a
+  // regression test pins the value for the default config.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 // Paper-matching presets for the coupled 2.8125-degree climate run.

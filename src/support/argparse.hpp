@@ -1,0 +1,78 @@
+// Checked command-line value parsing for the example/bench binaries.
+//
+// The drivers used to parse positional arguments with std::atoi, which
+// silently yields 0 on garbage -- `production_run abc` ran zero
+// segments and "succeeded", the worst kind of campaign-tooling failure.
+// These helpers parse the *whole* token or die with a usage message.
+//
+// Layering: the pure parse_int/parse_double return nullopt on any
+// garbage, partial parse, or out-of-range value (unit-testable, no
+// exit); the checked_* wrappers are the one-liners main() wants --
+// print `<what>: bad value '<text>'` plus the usage string to stderr
+// and exit(2) (the conventional usage-error status).
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hyades::support {
+
+// Strict base-10 integer: optional sign, digits, nothing else.
+[[nodiscard]] inline std::optional<long long> parse_int(
+    std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  long long v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+// Strict floating-point: the full token must parse and be finite.
+[[nodiscard]] inline std::optional<double> parse_double(
+    std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // std::from_chars<double> is still missing from some libstdc++
+  // configurations; strtod + a full-consumption check is equivalent
+  // under the "C" locale the binaries run in.
+  const std::string owned(text);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+[[noreturn]] inline void die_usage(const char* what, const char* text,
+                                   const char* usage) {
+  std::cerr << what << ": bad value '" << text << "'\nusage: " << usage
+            << "\n";
+  std::exit(2);
+}
+
+// Parse `text` as an int in [min, max] or exit(2) with the usage line.
+[[nodiscard]] inline int checked_int(const char* text, const char* what,
+                                     const char* usage, long long min = 1,
+                                     long long max = 1000000000) {
+  const std::optional<long long> v = parse_int(text);
+  if (!v || *v < min || *v > max) die_usage(what, text, usage);
+  return static_cast<int>(*v);
+}
+
+[[nodiscard]] inline double checked_double(const char* text, const char* what,
+                                           const char* usage,
+                                           double min = 0.0,
+                                           double max = 1.0e12) {
+  const std::optional<double> v = parse_double(text);
+  if (!v || *v < min || *v > max) die_usage(what, text, usage);
+  return *v;
+}
+
+}  // namespace hyades::support

@@ -43,6 +43,10 @@ bool Registry::has(const std::string& name) const {
   return find(name) != nullptr;
 }
 
+void Registry::merge(const Registry& other) {
+  for (const Entry& e : other.entries_) inc(e.name, e.value);
+}
+
 Registry Registry::per(double n) const {
   Registry out;
   for (const Entry& e : entries_) {

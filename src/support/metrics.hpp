@@ -35,6 +35,11 @@ class Registry {
   // Divide every counter by `n` (per-step rollups from per-run totals).
   [[nodiscard]] Registry per(double n) const;
 
+  // Fold another registry into this one, name-wise additive (new names
+  // are appended in the other registry's order).  The ensemble farm
+  // rolls per-job cost registries into its campaign registry this way.
+  void merge(const Registry& other);
+
  private:
   Entry* find(const std::string& name);
   [[nodiscard]] const Entry* find(const std::string& name) const;

@@ -1,0 +1,234 @@
+// Regression tests for the two PR-6 bugs in bench/bench_json.hpp:
+// non-finite doubles were printed via %.10g as "nan"/"inf" (invalid
+// JSON), and control characters below 0x20 passed through strings
+// unescaped.  Campaign tooling parses BENCH_*.json with strict parsers,
+// so both are checked against a minimal RFC-8259 validator, not just
+// expected strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_json.hpp"
+
+namespace hyades::bench {
+namespace {
+
+std::string dump(const Json& j) {
+  std::ostringstream os;
+  j.dump(os, 0);
+  return os.str();
+}
+
+// Minimal strict RFC-8259 recursive-descent validator.  Deliberately
+// pedantic: rejects NaN/Infinity tokens, bare control characters inside
+// strings, malformed numbers, and trailing garbage -- exactly the
+// failure modes the two fixed bugs used to produce.
+class StrictJson {
+ public:
+  static bool valid(const std::string& text) {
+    StrictJson p(text);
+    p.ws();
+    if (!p.value()) return false;
+    p.ws();
+    return p.i_ == text.size();
+  }
+
+ private:
+  explicit StrictJson(const std::string& t) : t_(t) {}
+  const std::string& t_;
+  std::size_t i_ = 0;
+
+  [[nodiscard]] char peek() const { return i_ < t_.size() ? t_[i_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  bool lit(const char* s) {
+    std::size_t j = i_;
+    for (; *s != '\0'; ++s, ++j) {
+      if (j >= t_.size() || t_[j] != *s) return false;
+    }
+    i_ = j;
+    return true;
+  }
+  void ws() {
+    while (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+           peek() == '\r') {
+      ++i_;
+    }
+  }
+  static bool digit(char c) { return c >= '0' && c <= '9'; }
+  static bool hex(char c) {
+    return digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (true) {
+      if (i_ >= t_.size()) return false;
+      const unsigned char c = static_cast<unsigned char>(t_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;  // bare control character: invalid
+      if (c == '\\') {
+        ++i_;
+        const char e = peek();
+        if (e == 'u') {
+          ++i_;
+          for (int k = 0; k < 4; ++k) {
+            if (!hex(peek())) return false;
+            ++i_;
+          }
+          continue;
+        }
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++i_;
+          continue;
+        }
+        return false;
+      }
+      ++i_;
+    }
+  }
+
+  bool number() {
+    (void)eat('-');
+    if (eat('0')) {
+      // leading zero must not be followed by digits
+    } else if (digit(peek())) {
+      while (digit(peek())) ++i_;
+    } else {
+      return false;
+    }
+    if (eat('.')) {
+      if (!digit(peek())) return false;
+      while (digit(peek())) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!digit(peek())) return false;
+      while (digit(peek())) ++i_;
+    }
+    return true;
+  }
+
+  bool value() {  // NOLINT(misc-no-recursion)
+    const char c = peek();
+    if (c == '{') {
+      ++i_;
+      ws();
+      if (eat('}')) return true;
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (!eat(':')) return false;
+        ws();
+        if (!value()) return false;
+        ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      ws();
+      if (eat(']')) return true;
+      while (true) {
+        ws();
+        if (!value()) return false;
+        ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') return string();
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+};
+
+TEST(BenchJson, NonFiniteDoublesEmitNull) {
+  Json root = Json::object();
+  root.set("a", std::nan(""))
+      .set("b", std::numeric_limits<double>::infinity())
+      .set("c", -std::numeric_limits<double>::infinity())
+      .set("d", 1.5);
+  const std::string text = dump(root);
+  // The %.10g bug printed bare nan/inf tokens, which no strict parser
+  // accepts; the documented encoding is null.
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"a\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"b\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"c\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"d\": 1.5"), std::string::npos) << text;
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+}
+
+TEST(BenchJson, NonFiniteInsideArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push(std::nan("")).push(2.0).push(
+      std::numeric_limits<double>::infinity());
+  Json root = Json::object();
+  root.set("values", std::move(arr));
+  const std::string text = dump(root);
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+}
+
+TEST(BenchJson, ControlCharactersAreEscaped) {
+  // One of each shorthand escape plus representative \u00XX cases: the
+  // old write_escaped passed \r \b \f and everything below 0x20 (other
+  // than \n \t) straight through.
+  const std::string nasty =
+      std::string("a\rb\bc\fd\ne\tf") + '\x01' + 'g' + '\x1f' + 'h' +
+      '\x1b' + "\"quoted\" back\\slash";
+  Json root = Json::object();
+  root.set("s", nasty);
+  const std::string text = dump(root);
+  EXPECT_NE(text.find("\\r"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\b"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\f"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\t"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\u0001"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\u001f"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\u001b"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos) << text;
+  EXPECT_NE(text.find("back\\\\slash"), std::string::npos) << text;
+  // No raw control byte may survive anywhere in the document.
+  for (const char c : text) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control char " << static_cast<int>(c) << " in: " << text;
+  }
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+}
+
+TEST(BenchJson, EscapedKeysStayValidToo) {
+  Json root = Json::object();
+  // Built by concatenation: "\x02c" in one literal would munch to 0x2c.
+  root.set(std::string("key\rwith") + '\x02' + "control", 1);
+  const std::string text = dump(root);
+  EXPECT_NE(text.find("\\u0002"), std::string::npos) << text;
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+}
+
+TEST(BenchJson, StrictValidatorRejectsTheOldEncodings) {
+  // Sanity: the validator itself must catch the pre-fix documents, or
+  // the tests above prove nothing.
+  EXPECT_FALSE(StrictJson::valid("{\n  \"x\": nan\n}"));
+  EXPECT_FALSE(StrictJson::valid("{\n  \"x\": inf\n}"));
+  EXPECT_FALSE(StrictJson::valid(std::string("{\"s\": \"a\rb\"}")));
+  EXPECT_TRUE(StrictJson::valid("{\n  \"x\": null\n}"));
+}
+
+}  // namespace
+}  // namespace hyades::bench

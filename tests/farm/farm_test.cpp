@@ -1,0 +1,269 @@
+// Ensemble-farm suite (tier2 + aggregate label `farm_tests`): the
+// deterministic job-queue service over the cluster pool.  Governing
+// invariants: (1) the whole campaign -- schedule, ledger, diagnostics
+// -- is a pure function of the submitted queue, so two runs of the same
+// queue produce byte-identical summaries; (2) a duplicate (config hash,
+// seed) submission is served from the result cache for zero additional
+// simulated steps; (3) priorities and admission control order/refuse
+// dispatch deterministically; (4) a member that exhausts its restart
+// budget is reported failed without wedging the queue.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "cluster/fault.hpp"
+#include "farm/farm.hpp"
+#include "support/logging.hpp"
+#include "tests/gcm/gcm_test_util.hpp"
+
+namespace hyades::farm {
+namespace {
+
+struct QuietLog {
+  LogLevel before = log_level();
+  QuietLog() { set_log_level(LogLevel::kError); }
+  ~QuietLog() { set_log_level(before); }
+};
+
+FarmConfig farm_config(int clusters, int max_pending = 0) {
+  FarmConfig fc;
+  fc.clusters = clusters;
+  fc.max_pending = max_pending;
+  fc.scratch_dir =
+      (std::filesystem::temp_directory_path() / "hyades_farm_test").string();
+  return fc;
+}
+
+// A fast 2x2-tile gyre member on a 4-SMP cluster.
+JobSpec member(const std::string& name, std::uint64_t seed, int steps = 6,
+               int priority = 0) {
+  JobSpec s;
+  s.name = name;
+  s.priority = priority;
+  s.seed = seed;
+  s.steps = steps;
+  s.machine = {4, 1};
+  s.config = gcm::testing::small_ocean(2, 2);
+  s.config.topography = gcm::ModelConfig::Topography::kBasin;
+  return s;
+}
+
+// A member whose node 1 dies in every epoch: not survivable by
+// restarting, so the resilient driver's typed give-up is guaranteed.
+JobSpec doomed_member(const std::string& name) {
+  JobSpec s = member(name, /*seed=*/11, /*steps=*/6);
+  s.max_restarts = 1;
+  for (int epoch = 0; epoch <= s.max_restarts + 1; ++epoch) {
+    s.faults.node_kills.push_back({/*rank=*/1, /*at_us=*/50.0, epoch});
+  }
+  return s;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(Farm, ConfigHashSeparatesPhysicsFromSeed) {
+  const JobSpec a = member("a", 1);
+  JobSpec b = member("b", 2);
+  // Name, priority and seed are scheduling/identity-cache concerns, not
+  // computation: hash must match.
+  b.priority = 9;
+  EXPECT_EQ(a.config_hash(), b.config_hash());
+
+  // Any knob that changes the stepped bits must change the hash.
+  JobSpec wind = member("wind", 1);
+  wind.config.wind_tau0 += 0.01;
+  EXPECT_NE(a.config_hash(), wind.config_hash());
+
+  JobSpec longer = member("longer", 1);
+  longer.steps += 1;
+  EXPECT_NE(a.config_hash(), longer.config_hash());
+
+  JobSpec wider = member("wider", 1);
+  wider.machine = {2, 2};
+  EXPECT_NE(a.config_hash(), wider.config_hash());
+
+  JobSpec faulty = member("faulty", 1);
+  faulty.faults.link_kills.push_back({0, 1, 0.0});
+  EXPECT_NE(a.config_hash(), faulty.config_hash());
+}
+
+TEST(Farm, SameQueueTwiceIsBitIdentical) {
+  // The acceptance criterion: two farms fed the identical queue emit
+  // byte-identical campaign summaries (the ledger prints KE in hexfloat
+  // precisely so bit-level drift would be visible here).
+  auto campaign = [] {
+    Farm f(farm_config(2));
+    f.submit(member("m-a", 101));
+    f.submit(member("m-b", 102));
+    f.submit(member("m-c", 103, /*steps=*/6, /*priority=*/2));
+    f.submit(member("m-a-again", 101));  // dedup'd
+    f.run_until_drained();
+    return f.format_summary();
+  };
+  const std::string first = campaign();
+  const std::string second = campaign();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("cache"), std::string::npos) << first;
+}
+
+TEST(Farm, CacheHitServesDuplicateForZeroSteps) {
+  Farm f(farm_config(2));
+  const int orig = f.submit(member("orig", 42));
+  f.run_until_drained();
+  // By value: submit() grows the ledger vector, so a reference taken
+  // here would dangle across the resubmissions below.
+  const JobRecord r0 = f.job(orig);
+  ASSERT_EQ(r0.status, JobStatus::kCompleted);
+  EXPECT_FALSE(r0.from_cache);
+  EXPECT_EQ(r0.result.steps_committed, 6);
+  EXPECT_GT(r0.result.busy_us, 0.0);
+
+  const double steps_before = f.campaign_metrics().get("farm.steps_committed");
+  const double busy_before = f.campaign_metrics().get("farm.busy_us");
+
+  const int dup = f.submit(member("dup", 42));
+  f.run_until_drained();
+  const JobRecord& r1 = f.job(dup);
+  ASSERT_EQ(r1.status, JobStatus::kCompleted);
+  EXPECT_TRUE(r1.from_cache);
+  // Zero additional cost: no steps, no cluster occupancy, instant
+  // completion at the dispatch-time job clock.
+  EXPECT_EQ(r1.result.steps_committed, 0);
+  EXPECT_EQ(r1.result.busy_us, 0.0);
+  EXPECT_EQ(r1.cluster, -1);
+  EXPECT_EQ(r1.start_us, r1.finish_us);
+  EXPECT_EQ(f.campaign_metrics().get("farm.steps_committed"), steps_before);
+  EXPECT_EQ(f.campaign_metrics().get("farm.busy_us"), busy_before);
+  EXPECT_EQ(f.campaign_metrics().get("farm.cache_hits"), 1.0);
+  EXPECT_EQ(f.campaign_metrics().get("farm.steps_saved"), 6.0);
+  // The cached diagnostics ARE the original's, to the bit.
+  EXPECT_TRUE(
+      same_bits(r0.result.kinetic_energy, r1.result.kinetic_energy));
+  EXPECT_TRUE(same_bits(r0.result.mean_theta, r1.result.mean_theta));
+
+  // A fresh seed of the same configuration is a new ensemble draw, not
+  // a cache hit.
+  const int fresh = f.submit(member("fresh-seed", 43));
+  f.run_until_drained();
+  EXPECT_FALSE(f.job(fresh).from_cache);
+  EXPECT_EQ(f.job(fresh).result.steps_committed, 6);
+
+  const Farm::CampaignSummary s = f.summary();
+  EXPECT_EQ(s.completed, 3);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.steps_committed, 12);
+  EXPECT_EQ(s.steps_saved, 6);
+}
+
+TEST(Farm, PriorityOrderAndFifoWithinClass) {
+  // One pool cluster: dispatch order is fully visible in the start
+  // stamps.  Highest priority first; FIFO among equals.
+  Farm f(farm_config(1));
+  const int low_a = f.submit(member("low-a", 201, 6, /*priority=*/0));
+  const int low_b = f.submit(member("low-b", 202, 6, /*priority=*/0));
+  const int urgent = f.submit(member("urgent", 203, 6, /*priority=*/5));
+  f.run_until_drained();
+
+  const JobRecord& ru = f.job(urgent);
+  const JobRecord& ra = f.job(low_a);
+  const JobRecord& rb = f.job(low_b);
+  ASSERT_EQ(ru.status, JobStatus::kCompleted);
+  ASSERT_EQ(ra.status, JobStatus::kCompleted);
+  ASSERT_EQ(rb.status, JobStatus::kCompleted);
+  // urgent overtakes both despite submitting last...
+  EXPECT_EQ(ru.start_us, 0.0);
+  EXPECT_LE(ru.finish_us, ra.start_us);
+  // ...and the two priority-0 members keep submission order.
+  EXPECT_LE(ra.finish_us, rb.start_us);
+  // Single cluster: everyone ran on slot 0, back to back.
+  EXPECT_EQ(ru.cluster, 0);
+  EXPECT_EQ(ra.cluster, 0);
+  EXPECT_EQ(rb.cluster, 0);
+}
+
+TEST(Farm, AdmissionControlRejectsOverCapacity) {
+  Farm f(farm_config(1, /*max_pending=*/2));
+  const int a = f.submit(member("fits-a", 301));
+  const int b = f.submit(member("fits-b", 302));
+  const int over = f.submit(member("over", 303));
+  EXPECT_EQ(f.job(a).status, JobStatus::kQueued);
+  EXPECT_EQ(f.job(b).status, JobStatus::kQueued);
+  EXPECT_EQ(f.job(over).status, JobStatus::kRejected);
+  EXPECT_NE(f.job(over).error.find("admission"), std::string::npos)
+      << f.job(over).error;
+
+  f.run_until_drained();
+  // The rejected job stays rejected -- never silently run later -- and
+  // the admitted ones complete normally.
+  EXPECT_EQ(f.job(over).status, JobStatus::kRejected);
+  EXPECT_EQ(f.job(a).status, JobStatus::kCompleted);
+  EXPECT_EQ(f.job(b).status, JobStatus::kCompleted);
+  const Farm::CampaignSummary s = f.summary();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(f.campaign_metrics().get("farm.jobs_rejected"), 1.0);
+
+  // Capacity freed by draining: a resubmit is admitted (and, identical
+  // spec, served from cache).
+  const int again = f.submit(member("over-again", 303));
+  f.run_until_drained();
+  EXPECT_EQ(f.job(again).status, JobStatus::kCompleted);
+}
+
+TEST(Farm, RestartExhaustedMemberFailsWithoutWedgingQueue) {
+  QuietLog quiet;
+  Farm f(farm_config(1));
+  const int doomed = f.submit(doomed_member("doomed"));
+  const int after = f.submit(member("after", 401));
+  f.run_until_drained();
+
+  const JobRecord& rd = f.job(doomed);
+  EXPECT_EQ(rd.status, JobStatus::kFailed);
+  EXPECT_FALSE(rd.error.empty());
+  // A failed member commits zero steps but still burned real virtual
+  // time on its cluster -- the campaign accounting must show both.
+  EXPECT_EQ(rd.result.steps_committed, 0);
+  EXPECT_GT(rd.result.busy_us, 0.0);
+  EXPECT_GT(rd.result.restarts, 0);
+
+  // The queue kept draining: the member behind the wreck completes,
+  // scheduled after the failed job released its cluster.
+  const JobRecord& ra = f.job(after);
+  EXPECT_EQ(ra.status, JobStatus::kCompleted);
+  EXPECT_GE(ra.start_us, rd.finish_us);
+
+  const Farm::CampaignSummary s = f.summary();
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_GT(s.restarts, 0);
+  EXPECT_EQ(f.campaign_metrics().get("farm.jobs_failed"), 1.0);
+
+  // Failures are never cached: resubmitting the doomed spec runs (and
+  // fails) again instead of serving a bogus hit.
+  const int again = f.submit(doomed_member("doomed-again"));
+  f.run_until_drained();
+  EXPECT_EQ(f.job(again).status, JobStatus::kFailed);
+  EXPECT_FALSE(f.job(again).from_cache);
+}
+
+TEST(Farm, PoolSpreadsIndependentMembersAcrossClusters) {
+  Farm f(farm_config(2));
+  const int a = f.submit(member("spread-a", 501));
+  const int b = f.submit(member("spread-b", 502));
+  f.run_until_drained();
+  // Two free slots, two jobs: both start at t=0 on distinct clusters.
+  EXPECT_EQ(f.job(a).start_us, 0.0);
+  EXPECT_EQ(f.job(b).start_us, 0.0);
+  EXPECT_NE(f.job(a).cluster, f.job(b).cluster);
+  const Farm::CampaignSummary s = f.summary();
+  // Makespan is the slower member, not the sum.
+  EXPECT_LT(s.makespan_us, s.busy_us);
+}
+
+}  // namespace
+}  // namespace hyades::farm

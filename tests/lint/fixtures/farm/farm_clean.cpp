@@ -1,0 +1,20 @@
+// Clean: farm-path code doing everything right -- virtual job-clock
+// stamps, spec-carried seeds, and traffic through the reliability
+// layer.  Mentioning send_raw or steady_clock in prose (like this
+// comment) is fine: strings and comments are stripped before matching.
+// Zero findings expected.
+struct Reliable {
+  void send(int peer, const void* data, int len);
+};
+
+struct JobSpec {
+  unsigned long seed = 7;  // determinism: the seed travels in the spec
+};
+
+double advance_job_clock(double now_us, double busy_us) {
+  return now_us + busy_us;  // the only clock the farm knows is virtual
+}
+
+void dispatch(Reliable& rel, const JobSpec& spec) {
+  rel.send(0, &spec, static_cast<int>(sizeof spec));
+}

@@ -1,0 +1,9 @@
+// Tripwire: farm-service traffic bypassing comm/reliable.  The path
+// contains "farm/", so the raw-send rule applies there like in gcm/.
+struct Ctx {
+  void send_raw(int peer, const void* data, int len);
+};
+
+void broadcast_job(Ctx& ctx, const double* spec, int n) {
+  ctx.send_raw(1, spec, n * 8);
+}

@@ -1,0 +1,9 @@
+// Tripwire: nondeterministic randomness in farm code.  Member seeds
+// come from the job spec; drawing them from the host entropy pool would
+// break the (config hash, seed) cache key and the bit-identical ledger.
+#include <random>
+
+unsigned long draw_member_seed() {
+  std::default_random_engine eng;
+  return eng();
+}

@@ -1,0 +1,10 @@
+// Tripwire: a real-time clock read in farm code.  The farm's job clock
+// is virtual; stamping records with host time would make the campaign
+// ledger differ run to run.
+#include <chrono>
+
+double job_finish_stamp() {
+  const auto t = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}

@@ -1,0 +1,42 @@
+// The checked argv parsers that replaced std::atoi in every example:
+// std::atoi silently returns 0 on garbage, which turned a typo'd
+// `./production_run abc` into a zero-segment no-op "success".  The
+// parse_* helpers must accept exactly the whole token or refuse.
+#include <gtest/gtest.h>
+
+#include "support/argparse.hpp"
+
+namespace hyades::support {
+namespace {
+
+TEST(Argparse, ParseIntAcceptsWholeTokensOnly) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-3").value(), -3);
+  EXPECT_EQ(parse_int("0").value(), 0);
+  // The atoi failure modes: garbage, partial parses, empty.
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("4.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int(" 7").has_value());
+  EXPECT_FALSE(parse_int("7 ").has_value());
+  // Overflow is a refusal, not a wrap.
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value());
+}
+
+TEST(Argparse, ParseDoubleAcceptsFiniteWholeTokensOnly) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("-0.25").value(), -0.25);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  // Non-finite tokens parse in strtod but are refused here: every
+  // example knob is a physical quantity.
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());
+}
+
+}  // namespace
+}  // namespace hyades::support

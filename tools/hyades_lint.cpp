@@ -20,10 +20,11 @@
 //                     also catch RankFailStop (deliberately not a
 //                     std::exception) and turn a scheduled node death
 //                     into silent survival.
-//   raw-send          send_raw/send_msg/bus().send from gcm/ code:
-//                     model traffic must ride the comm/reliable
-//                     protocol (CRC status, NAK/retransmit) or carry a
-//                     justification for why loss cannot matter.
+//   raw-send          send_raw/send_msg/bus().send from gcm/ or farm/
+//                     code: model and campaign traffic must ride the
+//                     comm/reliable protocol (CRC status,
+//                     NAK/retransmit) or carry a justification for why
+//                     loss cannot matter.
 //   spancat-coverage  the SpanCat enum (cluster/trace.hpp) and the
 //                     wait-attribution column map (span_cat_column in
 //                     cluster/report.cpp) must stay in sync, and every
@@ -370,9 +371,13 @@ bool path_contains(const std::string& path, const std::string& part) {
 }
 
 void rule_raw_send(const SourceFile& f, std::vector<Finding>* out) {
-  if (!path_contains(f.path, "gcm/") && !path_contains(f.path, "gcm\\")) {
-    return;
-  }
+  // Scope: model code (gcm/) and the ensemble-farm service (farm/) --
+  // both drive whole campaigns through the fault machinery, so a raw
+  // bus send would silently lose CRC/NAK protection there too.
+  const bool scoped =
+      path_contains(f.path, "gcm/") || path_contains(f.path, "gcm\\") ||
+      path_contains(f.path, "farm/") || path_contains(f.path, "farm\\");
+  if (!scoped) return;
   for (std::size_t i = 0; i < f.code.size(); ++i) {
     const std::string& s = f.code[i];
     // Member-call sites only (`x.send_raw(` / `x->send_raw(`):
