@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   fc.clusters = clusters;
   // Admission control sized to the planned wave: the over-capacity
   // probe below is refused, not silently queued forever.
-  fc.max_pending = members + 3;
+  fc.max_pending = members + 4;
   farm::Farm f(fc);
 
   std::cout << "ensemble farm: " << clusters << "-cluster pool, "
@@ -96,6 +96,16 @@ int main(int argc, char** argv) {
     doomed.faults.node_kills.push_back({/*rank=*/1, /*at_us=*/50.0, epoch});
   }
   f.submit(doomed);
+
+  // The same single-kill adversity handled elastically: the survivors
+  // adopt rank 1's tile from its durable checkpoint instead of the
+  // whole world restarting (ledger: recovery=migrate, migr=1, same KE
+  // bits as a failure-free member).
+  farm::JobSpec elastic = gyre_member("fault-migrate", 100, steps);
+  elastic.recovery = gcm::RecoveryMode::kMigrate;
+  elastic.faults.node_kills.push_back({/*rank=*/1, /*at_us=*/50.0,
+                                       /*epoch=*/0});
+  f.submit(elastic);
 
   const int probe =
       f.submit(gyre_member("over-capacity-probe", 100, steps));
@@ -128,7 +138,9 @@ int main(int argc, char** argv) {
   std::cout << "\nnotes:\n"
             << "  validation overtook the bulk sweep (priority 5 vs 0); the\n"
             << "  fault-sweep member exhausted its restart budget and failed\n"
-            << "  without wedging the queue; " << s.cache_hits
+            << "  without wedging the queue; the fault-migrate member\n"
+            << "  survived the same kill by live tile migration ("
+            << s.migrations << " migration(s)); " << s.cache_hits
             << " duplicate submissions were served from cache, saving "
             << s.steps_saved << " simulated steps.\n"
             << "  rerun this command: the ledger above is byte-identical.\n";

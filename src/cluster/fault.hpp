@@ -47,6 +47,16 @@ struct LinkKill {
   Microseconds at_us = 0.0;
 };
 
+// A hot node join: at the first checkpoint cut whose step is >= at_step,
+// a replacement board for SMP `smp` is back in service -- ranks homed on
+// that SMP but migrated elsewhere after a NodeKill return home and the
+// load rebalances.  Keyed by *step*, not virtual time, so a replayed
+// epoch re-applies the join identically (the application is idempotent).
+struct NodeJoin {
+  int smp = -1;
+  long at_step = 0;
+};
+
 // The collectively agreed fail-stop verdict.  detected_us is plan-pure
 // (kill time + heartbeat deadline), never a racing observer's clock, so
 // every survivor publishes the identical verdict.
@@ -108,6 +118,11 @@ struct FaultPlan {
   std::vector<NodeKill> node_kills;
   std::vector<LinkKill> link_kills;
 
+  // Hot joins consumed by the migrate-mode resilient driver: replacement
+  // boards that come back mid-campaign (no effect under epoch restart,
+  // which always relaunches on the home placement).
+  std::vector<NodeJoin> node_joins;
+
   // Membership: a peer silent past `heartbeat_deadline_us` of virtual
   // time (no message, no heartbeat on the reserved tag) is declared
   // down.  Before declaring, the detector fires `dead_peer_probes`
@@ -118,6 +133,17 @@ struct FaultPlan {
   // Virtual cost of one collective restart-from-checkpoint (relaunch +
   // state reload), charged to every rank of the new epoch.
   Microseconds restart_cost_us = 5000.0;
+
+  // Virtual cost of adopting one dead node's tile by live migration:
+  // loading the tile's durable checkpoint on the adopter, deliberately
+  // far below restart_cost_us (survivors keep their in-memory state, so
+  // only the dead tiles touch disk).  Charged to adopting ranks only.
+  Microseconds migrate_cost_us = 1500.0;
+
+  // Virtual cost of handing a migrated tile back to a hot-joined
+  // replacement board (state handoff at a checkpoint cut).  Charged to
+  // the rebalanced rank only.
+  Microseconds rebalance_cost_us = 800.0;
 
   // Extra per-transfer latency between SMP pairs whose direct link died
   // (the route-around path crosses more router stages).
@@ -137,6 +163,7 @@ struct FaultPlan {
     return straggler_rank >= 0 && straggler_factor > 1.0;
   }
   [[nodiscard]] bool has_node_kills() const { return !node_kills.empty(); }
+  [[nodiscard]] bool has_node_joins() const { return !node_joins.empty(); }
   [[nodiscard]] bool has_link_kills() const { return !link_kills.empty(); }
 
   // The kill scheduled for `rank` in `epoch`, or nullptr.

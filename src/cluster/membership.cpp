@@ -29,25 +29,29 @@ Microseconds Membership::last_heard(int peer) const {
 }
 
 const NodeKill* Membership::kill_on_smp(int smp) const {
+  // Kill matching is *host*-granular: a kill naming rank R takes down
+  // the physical board R's tile is hosted on right now, together with
+  // every other tile hosted there.  With identity placement this is
+  // exactly the old structural smp_of() matching.
   for (const NodeKill& k : plan_.node_kills) {
-    if (k.epoch == ctx_.epoch() && ctx_.smp_of(k.rank) == smp) return &k;
+    if (k.epoch == ctx_.epoch() && ctx_.host_smp_of(k.rank) == smp) return &k;
   }
   return nullptr;
 }
 
 void Membership::maybe_fail_self() {
-  const NodeKill* kill = kill_on_smp(ctx_.smp());
+  const NodeKill* kill = kill_on_smp(ctx_.host_smp());
   if (kill != nullptr && ctx_.clock().now() >= kill->at_us) {
     throw RankFailStop{*kill};
   }
 }
 
 const NodeKill* Membership::scheduled_kill(int rank) const {
-  return kill_on_smp(ctx_.smp_of(rank));
+  return kill_on_smp(ctx_.host_smp_of(rank));
 }
 
 const NodeKill* Membership::killed_peer(int peer) const {
-  const NodeKill* kill = kill_on_smp(ctx_.smp_of(peer));
+  const NodeKill* kill = kill_on_smp(ctx_.host_smp_of(peer));
   if (kill == nullptr) return nullptr;
   // Failure-detector assumption: the heartbeat deadline exceeds the
   // virtual-clock skew between partners within a step, so a silent peer

@@ -54,8 +54,11 @@ std::vector<RankBreakdown> wait_attribution(
     b.retrans_us = a.retrans_us;
     b.reroute_us = a.reroute_us;
     b.restart_us = a.restart_us;
+    b.migrate_us = a.migrate_us;
     b.degraded_sends = a.degraded_sends;
     b.restarts = a.restarts;
+    b.migrations = a.migrations;
+    b.rebalances = a.rebalances;
     b.comm_us = a.comm_us;
     b.total_us = a.total_us();
     rows.push_back(b);
@@ -69,22 +72,23 @@ void print_wait_attribution(std::ostream& os,
   if (divisor == 0.0) divisor = 1.0;
   Table t({"rank", "compute (ms)", "exchange (ms)", "gsum (ms)",
            "barrier (ms)", "overlap-hidden (ms)", "imbalance-wait (ms)",
-           "retrans (ms)", "reroute (ms)", "restart (ms)",
-           "degraded/restarts", "total (ms)"});
+           "retrans (ms)", "reroute (ms)", "restart (ms)", "migrate (ms)",
+           "degraded/restarts", "migr/rebal", "total (ms)"});
   const auto ms = [divisor](Microseconds us) {
     return Table::fmt(us / divisor / 1000.0, 3);
   };
-  const auto counts = [](std::int64_t degraded, std::int64_t restarts) {
-    return Table::fmt_int(static_cast<int>(degraded)) + "/" +
-           Table::fmt_int(static_cast<int>(restarts));
+  const auto counts = [](std::int64_t a, std::int64_t b) {
+    return Table::fmt_int(static_cast<int>(a)) + "/" +
+           Table::fmt_int(static_cast<int>(b));
   };
   RankBreakdown sum;
   for (const RankBreakdown& b : rows) {
     t.add_row({Table::fmt_int(b.rank), ms(b.compute_us), ms(b.exchange_us),
                ms(b.gsum_us), ms(b.barrier_us), ms(b.overlap_us),
                ms(b.imbalance_us), ms(b.retrans_us), ms(b.reroute_us),
-               ms(b.restart_us), counts(b.degraded_sends, b.restarts),
-               ms(b.total_us)});
+               ms(b.restart_us), ms(b.migrate_us),
+               counts(b.degraded_sends, b.restarts),
+               counts(b.migrations, b.rebalances), ms(b.total_us)});
     sum.compute_us += b.compute_us;
     sum.exchange_us += b.exchange_us;
     sum.gsum_us += b.gsum_us;
@@ -94,8 +98,11 @@ void print_wait_attribution(std::ostream& os,
     sum.retrans_us += b.retrans_us;
     sum.reroute_us += b.reroute_us;
     sum.restart_us += b.restart_us;
+    sum.migrate_us += b.migrate_us;
     sum.degraded_sends += b.degraded_sends;
     sum.restarts += b.restarts;
+    sum.migrations += b.migrations;
+    sum.rebalances += b.rebalances;
     sum.total_us += b.total_us;
   }
   if (!rows.empty()) {
@@ -107,8 +114,8 @@ void print_wait_attribution(std::ostream& os,
                mean(sum.gsum_us), mean(sum.barrier_us), mean(sum.overlap_us),
                mean(sum.imbalance_us), mean(sum.retrans_us),
                mean(sum.reroute_us), mean(sum.restart_us),
-               counts(sum.degraded_sends, sum.restarts),
-               mean(sum.total_us)});
+               mean(sum.migrate_us), counts(sum.degraded_sends, sum.restarts),
+               counts(sum.migrations, sum.rebalances), mean(sum.total_us)});
   }
   t.print(os, "wait-time attribution (overlap-hidden is a credit, not part "
               "of total; imbalance-wait is a subset of comm)");

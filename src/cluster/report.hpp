@@ -28,8 +28,11 @@ struct RankBreakdown {
   Microseconds retrans_us = 0;    // of the comm waits: fault recovery
   Microseconds reroute_us = 0;    // of the comm waits: dead-link detours
   Microseconds restart_us = 0;    // restart-from-checkpoint (not in total)
+  Microseconds migrate_us = 0;    // live tile adoption/handoff (not in total)
   std::int64_t degraded_sends = 0;  // transfers on a route-around path
   std::int64_t restarts = 0;        // epochs restarted into
+  std::int64_t migrations = 0;      // dead tiles adopted live
+  std::int64_t rebalances = 0;      // tiles handed back to a hot join
   Microseconds comm_us = 0;       // Accounting::comm_us (cross-check)
   Microseconds total_us = 0;      // compute + comm
 

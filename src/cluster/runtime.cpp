@@ -48,7 +48,9 @@ void AbortableBarrier::reset() {
 }
 
 RankContext::RankContext(Runtime& rt, int rank)
-    : rt_(rt), rank_(rank), epoch_(rt.epoch()) {}
+    : rt_(rt), rank_(rank), epoch_(rt.epoch()), host_map_(rt.host_map()) {
+  recompute_elastic_factor();
+}
 
 RankContext::~RankContext() = default;
 
@@ -60,6 +62,41 @@ int RankContext::local_rank() const {
 int RankContext::procs_per_smp() const { return rt_.config().procs_per_smp; }
 int RankContext::smp_of(int rank) const {
   return rank / rt_.config().procs_per_smp;
+}
+
+int RankContext::host_smp_of(int rank) const {
+  if (host_map_.empty()) return rank / rt_.config().procs_per_smp;
+  return host_map_[static_cast<std::size_t>(rank)];
+}
+
+void RankContext::rehome_rank(int rank, int smp) {
+  if (host_map_.empty()) {
+    const int ppp = rt_.config().procs_per_smp;
+    host_map_.resize(static_cast<std::size_t>(nranks()));
+    for (int r = 0; r < nranks(); ++r) {
+      host_map_[static_cast<std::size_t>(r)] = r / ppp;
+    }
+  }
+  host_map_[static_cast<std::size_t>(rank)] = smp;
+  recompute_elastic_factor();
+}
+
+void RankContext::recompute_elastic_factor() {
+  elastic_factor_ = 1.0;
+  if (host_map_.empty()) return;
+  const int mine = host_smp_of(rank_);
+  int hosted = 0;
+  for (int h : host_map_) {
+    if (h == mine) ++hosted;
+  }
+  const int ppp = rt_.config().procs_per_smp;
+  // Oversubscription: a survivor SMP hosting adopted tiles timeshares
+  // its processors round-robin, so every hosted rank computes slower by
+  // the occupancy ratio.  At or below capacity the factor stays 1.0 --
+  // identity placement is bit-identical to the pre-elastic machine.
+  if (hosted > ppp) {
+    elastic_factor_ = static_cast<double>(hosted) / static_cast<double>(ppp);
+  }
 }
 
 const net::Interconnect& RankContext::net() const {
@@ -82,6 +119,7 @@ void RankContext::compute(double flops, double mflops) {
                  << clock_.now() << " us";
     }
   }
+  if (elastic_factor_ > 1.0) dt *= elastic_factor_;
   clock_.advance(dt);
   acct_.compute_us += dt;
   acct_.flops += flops;
@@ -176,6 +214,16 @@ void RankContext::charge_reroute(Microseconds reroute_us) {
 void RankContext::charge_restart(Microseconds restart_us) {
   acct_.restart_us += restart_us;
   ++acct_.restarts;
+}
+
+void RankContext::charge_migrate(Microseconds migrate_us) {
+  acct_.migrate_us += migrate_us;
+  ++acct_.migrations;
+}
+
+void RankContext::charge_rebalance(Microseconds rebalance_us) {
+  acct_.migrate_us += rebalance_us;
+  ++acct_.rebalances;
 }
 
 Membership* RankContext::membership() {

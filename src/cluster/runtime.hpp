@@ -66,6 +66,12 @@ struct Accounting {
   // NodeDown verdict (relaunch + state reload).  Charged once per
   // restart per rank; NOT a subset of comm_us.
   Microseconds restart_us = 0;
+  // Virtual time spent in elastic-membership recovery: adopting a dead
+  // node's tile by live migration (checkpoint load on the adopter) or
+  // handing a migrated tile back to a hot-joined replacement board.
+  // Charged to the migrating/rebalancing rank only; NOT a subset of
+  // comm_us.  Zero under epoch restart.
+  Microseconds migrate_us = 0;
   double flops = 0;
 
   // Fault-recovery event counts (all zero on fault-free runs).
@@ -74,6 +80,8 @@ struct Accounting {
   std::int64_t drops_detected = 0;  // attempts recovered via timeout
   std::int64_t degraded_sends = 0;  // transfers that rode a route-around
   std::int64_t restarts = 0;        // epochs this rank restarted into
+  std::int64_t migrations = 0;      // dead tiles this rank adopted live
+  std::int64_t rebalances = 0;      // tiles handed back to a hot join
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
   // Sustained MFlop/sec over the accounted interval.
@@ -140,6 +148,26 @@ class RankContext {
   [[nodiscard]] bool is_master() const { return local_rank() == 0; }
   [[nodiscard]] int smp_of(int rank) const;
 
+  // ---- elastic placement ----------------------------------------------
+  // Where a rank's tile is *hosted* right now, as opposed to smp_of()'s
+  // structural home (rank / procs_per_smp).  After a live migration a
+  // tile runs on a survivor SMP; after a hot join it returns home.  The
+  // map is a per-rank *copy* (no shared mutable state): the driver seeds
+  // the baseline via Runtime::set_host_map() between runs, and mid-run
+  // changes (hot joins) are applied identically on every rank as a pure
+  // function of (plan, step) at checkpoint cuts.  An empty map means
+  // identity placement -- bit-identical to the pre-elastic machine.
+  // Placement affects fabric cost classification (what counts as a
+  // remote transfer), host-granular kill matching in Membership, and
+  // the compute oversubscription factor; the structural butterfly /
+  // shared-memory coordination math stays on smp_of().
+  [[nodiscard]] int host_smp_of(int rank) const;
+  [[nodiscard]] int host_smp() const { return host_smp_of(rank_); }
+  // Move `rank`'s tile to be hosted on `smp` in THIS rank's local copy
+  // of the placement map (materializing the identity map on first use)
+  // and refresh the oversubscription factor.
+  void rehome_rank(int rank, int smp);
+
   [[nodiscard]] const net::Interconnect& net() const;
   [[nodiscard]] const MachineConfig& config() const;
 
@@ -189,6 +217,10 @@ class RankContext {
   void charge_reroute(Microseconds reroute_us);
   // Attribute one collective restart-from-checkpoint (counts it too).
   void charge_restart(Microseconds restart_us);
+  // Attribute one live tile adoption (counts it too).
+  void charge_migrate(Microseconds migrate_us);
+  // Attribute one tile handoff to a hot-joined board (counts it too).
+  void charge_rebalance(Microseconds rebalance_us);
 
   // The machine's fault plan, or nullptr when fault injection is off.
   [[nodiscard]] const struct FaultPlan* faults() const;
@@ -212,6 +244,8 @@ class RankContext {
   [[nodiscard]] class Tracer* tracer() const { return tracer_; }
 
  private:
+  void recompute_elastic_factor();
+
   Runtime& rt_;
   int rank_;
   int epoch_ = 0;
@@ -219,6 +253,11 @@ class RankContext {
   Accounting acct_;
   class Tracer* tracer_ = nullptr;
   std::unique_ptr<Membership> membership_;
+  // Local copy of the host placement map (empty = identity).
+  std::vector<int> host_map_;
+  // Compute slowdown when this rank's host SMP is oversubscribed (more
+  // hosted ranks than processors after a migration); 1.0 otherwise.
+  double elastic_factor_ = 1.0;
 };
 
 class Runtime {
@@ -248,9 +287,17 @@ class Runtime {
   void set_epoch(int epoch) { epoch_ = epoch; }
   [[nodiscard]] int epoch() const { return epoch_; }
 
+  // Baseline host placement for the next run(); each rank copies it at
+  // construction (see RankContext::host_smp_of).  Empty = identity.  The
+  // elastic resilient driver evolves this between epochs as nodes die
+  // and replacements join.
+  void set_host_map(std::vector<int> map) { host_map_ = std::move(map); }
+  [[nodiscard]] const std::vector<int>& host_map() const { return host_map_; }
+
  private:
   MachineConfig cfg_;
   int epoch_ = 0;
+  std::vector<int> host_map_;
   MessageBus bus_;
   std::vector<std::unique_ptr<SmpShared>> smps_;
   std::vector<Accounting> acct_;

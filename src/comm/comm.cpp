@@ -163,7 +163,11 @@ int Comm::butterfly_core(int n) {
 }
 
 bool Comm::remote(int group_rank) const {
-  return ctx_.smp_of(abs_rank(group_rank)) != ctx_.smp();
+  // Cost classification follows the *host* placement: after a live
+  // migration, traffic to a tile adopted onto my own board is shared
+  // memory, and a once-local partner hosted elsewhere rides the fabric.
+  // Identity placement reduces to the structural smp_of() test.
+  return ctx_.host_smp_of(abs_rank(group_rank)) != ctx_.host_smp();
 }
 
 // ---- global reductions ---------------------------------------------------

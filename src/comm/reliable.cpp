@@ -29,7 +29,7 @@ void Reliable::send(int to, int tag, std::vector<double> data,
                     Microseconds stamp) {
   const cluster::FaultPlan* plan = ctx_.faults();
   if (cluster::Membership* ms = ctx_.membership()) ms->maybe_fail_self();
-  const bool remote = ctx_.smp_of(to) != ctx_.smp();
+  const bool remote = ctx_.host_smp_of(to) != ctx_.host_smp();
 
   // Dead inter-SMP link: the transfer survives on a route-around path
   // through the fat tree's remaining diversity, paying extra latency.
@@ -37,7 +37,8 @@ void Reliable::send(int to, int tag, std::vector<double> data,
   // healthy schedule purely in stamps (state stays bit-identical).
   Microseconds reroute_us = 0;
   if (plan != nullptr && remote && plan->has_link_kills() &&
-      plan->link_dead(ctx_.smp(), ctx_.smp_of(to), ctx_.clock().now())) {
+      plan->link_dead(ctx_.host_smp(), ctx_.host_smp_of(to),
+                      ctx_.clock().now())) {
     reroute_us = plan->reroute_penalty_us;
   }
 

@@ -8,6 +8,7 @@
 #include "comm/comm.hpp"
 #include "gcm/model.hpp"
 #include "gcm/resilient.hpp"
+#include "gcm/tile_ckpt.hpp"
 #include "net/arctic_model.hpp"
 
 namespace hyades::farm {
@@ -24,15 +25,6 @@ void charge_costs(const cluster::Runtime& rt, JobResult* r) {
   for (const cluster::Accounting& a : rt.accounting()) {
     r->retransmits += a.retransmits;
     r->restarts += a.restarts;
-  }
-}
-
-void remove_resilient_slots(const std::string& prefix, int nranks) {
-  for (const char* slot : {".a", ".b"}) {
-    for (int r = 0; r < nranks; ++r) {
-      std::remove(
-          gcm::Model::checkpoint_path(prefix + slot, r).c_str());
-    }
   }
 }
 
@@ -69,6 +61,7 @@ ExecutionOutcome execute_job(const JobSpec& spec,
     rcfg.ckpt_every = spec.ckpt_every;
     rcfg.max_restarts = spec.max_restarts;
     rcfg.init_seed = spec.seed;
+    rcfg.recovery = spec.recovery;
     rcfg.on_complete = [&](cluster::RankContext& ctx, gcm::Model& m) {
       // Collective diagnostics: every rank participates, rank 0 records.
       const double ke = m.kinetic_energy();
@@ -84,6 +77,8 @@ ExecutionOutcome execute_job(const JobSpec& spec,
           gcm::run_resilient(rt, spec.config, spec.steps, rcfg);
       out.ok = true;
       out.result.steps_committed = st.steps;
+      out.result.migrations = st.migrations;
+      out.result.rebalances = st.rebalances;
     } catch (const gcm::RestartExhausted& e) {
       out.ok = false;
       out.error = e.what();
@@ -94,7 +89,7 @@ ExecutionOutcome execute_job(const JobSpec& spec,
       out.result.steps_committed = 0;
     }
     charge_costs(rt, &out.result);
-    remove_resilient_slots(scratch_prefix, mc.nranks());
+    gcm::tile_ckpt::remove_slots(scratch_prefix, mc.nranks());
     return out;
   }
 

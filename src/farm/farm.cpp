@@ -95,6 +95,8 @@ void Farm::dispatch(JobRecord& rec) {
                static_cast<double>(out.result.retransmits));
   metrics_.inc("farm.restarts", static_cast<double>(out.result.restarts));
   metrics_.inc("farm.rollbacks", static_cast<double>(out.result.rollbacks));
+  metrics_.inc("farm.migrations", static_cast<double>(out.result.migrations));
+  metrics_.inc("farm.rebalances", static_cast<double>(out.result.rebalances));
   if (out.ok) {
     rec.status = JobStatus::kCompleted;
     metrics_.inc("farm.jobs_completed");
@@ -142,6 +144,8 @@ Farm::CampaignSummary Farm::summary() const {
       s.retransmits += r.result.retransmits;
       s.restarts += r.result.restarts;
       s.rollbacks += r.result.rollbacks;
+      s.migrations += r.result.migrations;
+      s.rebalances += r.result.rebalances;
     }
     s.makespan_us = std::max(s.makespan_us, r.finish_us);
   }
@@ -151,10 +155,14 @@ Farm::CampaignSummary Farm::summary() const {
 std::string Farm::format_summary() const {
   std::ostringstream os;
   Table t({"job", "name", "prio", "status", "served", "cluster",
-           "start (ms)", "finish (ms)", "steps", "KE (J, hex)"});
+           "start (ms)", "finish (ms)", "steps", "recovery", "migr",
+           "KE (J, hex)"});
   for (const JobRecord& r : jobs_) {
     const bool ran = r.status == JobStatus::kCompleted ||
                      r.status == JobStatus::kFailed;
+    // Node-kill members record how their cluster recovers; everything
+    // else has no recovery mode to speak of.
+    const bool resilient = r.spec.faults.has_node_kills();
     t.add_row({std::to_string(r.id), r.spec.name,
                std::to_string(r.spec.priority), to_string(r.status),
                r.from_cache ? "cache" : (ran ? "pool" : "-"),
@@ -162,6 +170,12 @@ std::string Farm::format_summary() const {
                ran ? Table::fmt(r.start_us / 1000.0, 3) : "-",
                ran ? Table::fmt(r.finish_us / 1000.0, 3) : "-",
                std::to_string(r.result.steps_committed),
+               resilient
+                   ? (r.spec.recovery == gcm::RecoveryMode::kMigrate
+                          ? "migrate"
+                          : "restart")
+                   : "-",
+               resilient ? std::to_string(r.result.migrations) : "-",
                r.status == JobStatus::kCompleted
                    ? hexfloat(r.result.kinetic_energy)
                    : "-"});
@@ -176,7 +190,8 @@ std::string Farm::format_summary() const {
      << Table::fmt(s.busy_us / 1000.0, 3) << " ms; makespan "
      << Table::fmt(s.makespan_us / 1000.0, 3) << " ms\n"
      << "recovery: " << s.retransmits << " retransmits, " << s.restarts
-     << " restarts, " << s.rollbacks << " rollbacks\n";
+     << " restarts, " << s.rollbacks << " rollbacks, " << s.migrations
+     << " migrations, " << s.rebalances << " rebalances\n";
   return os.str();
 }
 

@@ -74,6 +74,8 @@ class Farm {
     std::int64_t retransmits = 0;
     std::int64_t restarts = 0;
     std::int64_t rollbacks = 0;
+    std::int64_t migrations = 0;  // live tile adoptions across members
+    std::int64_t rebalances = 0;  // hot-join handbacks across members
   };
   [[nodiscard]] CampaignSummary summary() const;
 

@@ -41,9 +41,16 @@ std::uint64_t hash_fault_plan(const cluster::FaultPlan& p) {
     d.integer(k.smp_b);
     d.real(k.at_us);
   }
+  d.word(static_cast<std::uint64_t>(p.node_joins.size()));
+  for (const cluster::NodeJoin& j : p.node_joins) {
+    d.integer(j.smp);
+    d.integer(j.at_step);
+  }
   d.real(p.heartbeat_deadline_us);
   d.integer(p.dead_peer_probes);
   d.real(p.restart_cost_us);
+  d.real(p.migrate_cost_us);
+  d.real(p.rebalance_cost_us);
   d.real(p.reroute_penalty_us);
   return d.h;
 }
@@ -62,6 +69,7 @@ std::uint64_t JobSpec::config_hash() const {
     d.word(hash_fault_plan(faults));
     d.integer(ckpt_every);
     d.integer(max_restarts);
+    d.integer(recovery == gcm::RecoveryMode::kMigrate ? 1 : 0);
   } else {
     d.word(0);
   }

@@ -17,6 +17,7 @@
 
 #include "cluster/fault.hpp"
 #include "gcm/config.hpp"
+#include "gcm/resilient.hpp"
 #include "support/units.hpp"
 
 namespace hyades::farm {
@@ -43,6 +44,10 @@ struct JobSpec {
   cluster::FaultPlan faults;
   int ckpt_every = 3;    // durable checkpoint cadence (resilient jobs)
   int max_restarts = 3;  // aborted epochs tolerated before kFailed
+  // How node-kill members recover: restart the world from the newest
+  // slot, or live-migrate the dead tiles onto survivors.  Part of the
+  // identity hash (it changes the member's timing, not its bits).
+  gcm::RecoveryMode recovery = gcm::RecoveryMode::kEpochRestart;
 
   // Everything that determines the stepped bits, hashed in a fixed
   // field order (see job.cpp); the seed deliberately stays out.
@@ -69,6 +74,8 @@ struct JobResult {
   std::int64_t retransmits = 0;  // summed fault-recovery retries
   std::int64_t restarts = 0;     // summed epoch restarts
   int rollbacks = 0;             // soft-fault rollback replays
+  int migrations = 0;            // dead tiles adopted live (migrate mode)
+  int rebalances = 0;            // tiles handed back to hot-joined boards
 };
 
 // One farm ledger row: the spec plus everything the scheduler decided.

@@ -5,15 +5,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
-#include "arctic/crc.hpp"
 
 #include "gcm/eos.hpp"
 #include "gcm/physics.hpp"
+#include "gcm/tile_ckpt.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 
@@ -336,186 +335,27 @@ Array2D<double> Model::gather_speed(int k) {
   return gather2d(local);
 }
 
-namespace {
-// "HYADES03": version 3 adds the self-describing header -- payload byte
-// count and a CRC-32 (the same arctic polynomial the fabric uses end to
-// end) -- so a truncated or bit-flipped file fails fast at load instead
-// of silently seeding a diverged restart.
-constexpr std::uint64_t kCheckpointMagic = 0x4859414445533033ull;
-
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
-}
-
-std::string hex_u64(std::uint64_t v) {
-  std::ostringstream ss;
-  ss << "0x" << std::hex << v;
-  return ss.str();
-}
-
-struct ConfigWord {
-  const char* name;
-  std::uint64_t value;
-};
-
-std::array<ConfigWord, 7> config_words(const ModelConfig& cfg) {
-  return {{{"nx", static_cast<std::uint64_t>(cfg.nx)},
-           {"ny", static_cast<std::uint64_t>(cfg.ny)},
-           {"nz", static_cast<std::uint64_t>(cfg.nz)},
-           {"px", static_cast<std::uint64_t>(cfg.px)},
-           {"py", static_cast<std::uint64_t>(cfg.py)},
-           {"halo", static_cast<std::uint64_t>(cfg.halo)},
-           {"isomorph",
-            static_cast<std::uint64_t>(cfg.isomorph == Isomorph::kOcean ? 0
-                                                                        : 1)}}};
-}
-}  // namespace
+// Checkpoint format and file naming live in gcm/tile_ckpt (the single
+// owner of the HYADES03 wire format and path composition); the Model
+// methods stay as the per-rank facade over it.
 
 std::string Model::checkpoint_path(const std::string& prefix,
                                    int group_rank) {
-  return prefix + ".rank" + std::to_string(group_rank);
+  return tile_ckpt::rank_path(prefix, group_rank);
 }
 
 long Model::checkpoint_step(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw std::runtime_error("checkpoint_step: cannot open " + path);
-  }
-  const std::uint64_t magic = read_u64(is);
-  if (!is || magic != kCheckpointMagic) {
-    throw std::runtime_error("checkpoint_step: bad magic in " + path +
-                             " (got " + hex_u64(magic) + ", want HYADES03 " +
-                             hex_u64(kCheckpointMagic) + ")");
-  }
-  for (int i = 0; i < 7; ++i) (void)read_u64(is);  // config words
-  const std::uint64_t step = read_u64(is);
-  if (!is) {
-    throw std::runtime_error("checkpoint_step: truncated header in " + path);
-  }
-  return static_cast<long>(step);
+  return tile_ckpt::peek_step(path);
 }
 
 void Model::save_checkpoint(const std::string& prefix) const {
-  const std::string path = checkpoint_path(prefix, comm_.group_rank());
-  // Serialize the state payload in memory first, so the header can carry
-  // its byte count and CRC-32.
-  std::vector<std::uint8_t> payload;
-  const auto append = [&payload](const double* p, std::size_t n) {
-    const auto* b = reinterpret_cast<const std::uint8_t*>(p);
-    payload.insert(payload.end(), b, b + n * sizeof(double));
-  };
-  for (const Array3D<double>* f :
-       {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
-        &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
-        &state_.gw_nm1, &state_.phi_nh}) {
-    append(f->data(), f->size());
-  }
-  append(state_.ps.data(), state_.ps.size());
-  const std::uint32_t crc = arctic::crc32(payload);
-
-  // Atomic publish: write the whole file under a temporary name, then
-  // rename onto the real path.  A crash mid-write leaves the previous
-  // complete checkpoint in place, never a half-written file.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("save_checkpoint: cannot open " + tmp);
-    write_u64(os, kCheckpointMagic);
-    for (const ConfigWord& w : config_words(cfg_)) write_u64(os, w.value);
-    write_u64(os, static_cast<std::uint64_t>(state_.step));
-    write_u64(os, static_cast<std::uint64_t>(payload.size()));
-    write_u64(os, static_cast<std::uint64_t>(crc));
-    os.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
-    os.close();
-    if (!os) throw std::runtime_error("save_checkpoint: write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("save_checkpoint: cannot rename " + tmp +
-                             " onto " + path);
-  }
+  tile_ckpt::save(tile_ckpt::rank_path(prefix, comm_.group_rank()), cfg_,
+                  state_);
 }
 
 void Model::load_checkpoint(const std::string& prefix) {
-  const std::string path = checkpoint_path(prefix, comm_.group_rank());
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  const std::uint64_t magic = read_u64(is);
-  if (!is || magic != kCheckpointMagic) {
-    throw std::runtime_error("load_checkpoint: bad magic in " + path +
-                             " (got " + hex_u64(magic) + ", want HYADES03 " +
-                             hex_u64(kCheckpointMagic) + ")");
-  }
-  for (const ConfigWord& w : config_words(cfg_)) {
-    const std::uint64_t got = read_u64(is);
-    if (!is) {
-      throw std::runtime_error("load_checkpoint: truncated header in " + path);
-    }
-    if (got != w.value) {
-      throw std::runtime_error(
-          "load_checkpoint: configuration mismatch in " + path + ": " +
-          w.name + " is " + std::to_string(got) + " in the file, model has " +
-          std::to_string(w.value));
-    }
-  }
-  const std::uint64_t step = read_u64(is);
-  const std::uint64_t payload_bytes = read_u64(is);
-  const std::uint64_t crc_stored = read_u64(is);
-  if (!is) {
-    throw std::runtime_error("load_checkpoint: truncated header in " + path);
-  }
-
-  std::size_t expect_bytes = 0;
-  for (const Array3D<double>* f :
-       {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
-        &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
-        &state_.gw_nm1, &state_.phi_nh}) {
-    expect_bytes += f->size() * sizeof(double);
-  }
-  expect_bytes += state_.ps.size() * sizeof(double);
-  if (payload_bytes != expect_bytes) {
-    throw std::runtime_error(
-        "load_checkpoint: payload size mismatch in " + path + ": header says " +
-        std::to_string(payload_bytes) + " bytes, model state needs " +
-        std::to_string(expect_bytes));
-  }
-
-  std::vector<std::uint8_t> payload(payload_bytes);
-  is.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_bytes) {
-    throw std::runtime_error(
-        "load_checkpoint: truncated " + path + " (payload has " +
-        std::to_string(is.gcount() > 0 ? is.gcount() : 0) + " of " +
-        std::to_string(payload_bytes) + " bytes)");
-  }
-  const std::uint32_t crc = arctic::crc32(payload);
-  if (crc != static_cast<std::uint32_t>(crc_stored)) {
-    throw std::runtime_error(
-        "load_checkpoint: CRC mismatch in " + path + " (stored " +
-        hex_u64(crc_stored) + ", computed " + hex_u64(crc) +
-        "): the checkpoint is corrupt");
-  }
-
-  // Header and payload verified; only now touch the model state.
-  state_.step = static_cast<long>(step);
-  std::size_t off = 0;
-  const auto extract = [&payload, &off](double* p, std::size_t n) {
-    std::memcpy(p, payload.data() + off, n * sizeof(double));
-    off += n * sizeof(double);
-  };
-  for (Array3D<double>* f :
-       {&state_.u, &state_.v, &state_.w, &state_.theta, &state_.salt,
-        &state_.gu_nm1, &state_.gv_nm1, &state_.gt_nm1, &state_.gs_nm1,
-        &state_.gw_nm1, &state_.phi_nh}) {
-    extract(f->data(), f->size());
-  }
-  extract(state_.ps.data(), state_.ps.size());
+  tile_ckpt::load(tile_ckpt::rank_path(prefix, comm_.group_rank()), cfg_,
+                  &state_);
 }
 
 Array2D<double> Model::gather_ps() {

@@ -1,49 +1,38 @@
 #include "gcm/resilient.hpp"
 
-#include <cstdio>
+#include <algorithm>
+#include <array>
+#include <set>
 #include <stdexcept>
 
 #include "cluster/membership.hpp"
 #include "comm/comm.hpp"
+#include "gcm/decomp.hpp"
 #include "gcm/model.hpp"
+#include "gcm/tile_ckpt.hpp"
 #include "support/logging.hpp"
 
 namespace hyades::gcm {
 
 namespace {
 
-std::string slot_prefix(const std::string& prefix, int slot) {
-  return prefix + (slot == 0 ? ".a" : ".b");
+// Durable slot (and in-memory ring slot) of the committed cut at step
+// `s`: the fresh-init step-0 checkpoint lands in slot 0, later cuts
+// alternate.
+int cut_slot(long s, int ckpt_every) {
+  return static_cast<int>((s / ckpt_every) % 2);
 }
 
-// A slot is usable only when every rank's file exists, parses, and
-// reports the same step -- an epoch abort mid-rotation leaves the slot
-// it was rewriting mixed, and the scan rejects it.
-struct SlotScan {
-  bool consistent = false;
+// One committed in-memory snapshot of a rank's tile, written at every
+// checkpoint cut in migrate mode.  Two of these per rank form the ring
+// that lets survivors rewind without touching disk: because each cut's
+// save sits between collective barriers, no two live ranks can be more
+// than one cut apart, so a two-deep ring always covers the recovery
+// step every peer can reach.
+struct Snap {
   long step = -1;
+  State state;
 };
-
-SlotScan scan_slot(const std::string& prefix, int nranks) {
-  SlotScan scan;
-  long step = -1;
-  for (int r = 0; r < nranks; ++r) {
-    long s = -1;
-    try {
-      s = Model::checkpoint_step(Model::checkpoint_path(prefix, r));
-    } catch (const std::runtime_error&) {
-      return scan;  // missing or unreadable file
-    }
-    if (r == 0) {
-      step = s;
-    } else if (s != step) {
-      return scan;  // mixed steps
-    }
-  }
-  scan.consistent = step >= 0;
-  scan.step = step;
-  return scan;
-}
 
 }  // namespace
 
@@ -67,40 +56,83 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
   // Clear both slots up front: a stale checkpoint left by an earlier run
   // (possibly of a different configuration) must never be mistaken for
   // this run's restart point.
-  for (int slot = 0; slot < 2; ++slot) {
-    for (int r = 0; r < nranks; ++r) {
-      std::remove(
-          Model::checkpoint_path(slot_prefix(rcfg.ckpt_prefix, slot), r)
-              .c_str());
-    }
-  }
+  tile_ckpt::remove_slots(rcfg.ckpt_prefix, nranks);
+
+  const bool migrate = rcfg.recovery == RecoveryMode::kMigrate;
+  const cluster::FaultPlan* plan = rt.config().faults;
+  const int ppp = rt.config().procs_per_smp;
+  const int smp_count = rt.config().smp_count;
+
+  // ---- driver-held recovery state -------------------------------------
+  // Everything below is written by the driver between epochs or by a
+  // rank thread in its own slot during an epoch; thread create/join
+  // orders every cross-thread access.
+  std::vector<std::array<Snap, 2>> ring;  // per-rank committed snapshots
+  if (migrate) ring.resize(static_cast<std::size_t>(nranks));
+  std::vector<int> host_map;  // evolving placement baseline; empty=identity
+  std::set<int> dead_smps;    // boards lost and not yet replaced by a join
+  int adopt_rr = 0;           // round-robin fallback cursor for adoption
+
+  const auto host_of = [&](int r) {
+    return host_map.empty() ? r / ppp : host_map[static_cast<std::size_t>(r)];
+  };
+
+  // Resumed-epoch instructions for the rank bodies.
+  long resume_step = -1;  // -1 = fresh start
+  Microseconds clock_base = 0;
+  std::string load_prefix;  // epoch-restart slot to reload
+  std::vector<char> adopt_load(static_cast<std::size_t>(nranks), 0);
+  std::vector<std::string> adopt_path(static_cast<std::size_t>(nranks));
+
+  // Recovery-time probe: each rank records the virtual clock after its
+  // first completed step of an epoch; the driver turns the max into the
+  // per-event recovery_us (detection -> everyone stepping again).
+  Microseconds pending_detect = -1.0;
+  std::vector<Microseconds> probe(static_cast<std::size_t>(nranks), 0.0);
 
   ResilientStats st;
-  Microseconds clock_base = 0;  // virtual start time of a restarted epoch
-  std::string load_prefix;      // slot to restart from; empty = fresh start
+
+  const auto absorb_counts = [&] {
+    for (const cluster::Accounting& a : rt.accounting()) {
+      st.migrations += static_cast<int>(a.migrations);
+      st.rebalances += static_cast<int>(a.rebalances);
+    }
+  };
+  const auto record_recovery = [&] {
+    if (pending_detect < 0) return;
+    Microseconds mx = pending_detect;
+    for (Microseconds p : probe) mx = std::max(mx, p);
+    st.recovery_us.push_back(mx - pending_detect);
+    pending_detect = -1.0;
+  };
 
   for (int epoch = 0;; ++epoch) {
     rt.set_epoch(epoch);
     rt.bus().reset_down();
+    rt.set_host_map(host_map);
 
     try {
       rt.run([&](cluster::RankContext& ctx) {
+        const int rank = ctx.rank();
+        const auto ri = static_cast<std::size_t>(rank);
         if (rcfg.tracers != nullptr) {
-          ctx.set_tracer(
-              &(*rcfg.tracers)[static_cast<std::size_t>(ctx.rank())]);
+          ctx.set_tracer(&(*rcfg.tracers)[ri]);
         }
         try {
           comm::Comm comm(ctx);
           Model model(mcfg, comm);
-          if (load_prefix.empty()) {
+          if (resume_step < 0) {
             model.initialize(rcfg.init_seed);
             // Durable step-0 checkpoint BEFORE the first communication:
             // even a kill firing in the first step restarts from a
             // complete, mutually consistent slot.
-            model.save_checkpoint(slot_prefix(rcfg.ckpt_prefix, 0));
-          } else {
+            model.save_checkpoint(tile_ckpt::slot_prefix(rcfg.ckpt_prefix, 0));
+            if (migrate) {
+              ring[ri][0].step = 0;
+              ring[ri][0].state = model.state();
+            }
+          } else if (!migrate) {
             model.load_checkpoint(load_prefix);
-            const cluster::FaultPlan* plan = ctx.faults();
             const Microseconds began = ctx.clock().now();
             ctx.clock().advance_to(clock_base);
             ctx.charge_restart(plan != nullptr ? plan->restart_cost_us : 0.0);
@@ -108,16 +140,80 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
               ctx.tracer()->record("restart", cluster::SpanCat::kNodeDown,
                                    began, ctx.clock().now());
             }
+          } else {
+            // Live-migration resume: adopters of dead tiles re-read the
+            // newest durable per-tile checkpoint and pay the migration
+            // cost; survivors rewind from the in-memory ring for free.
+            const auto slot =
+                static_cast<std::size_t>(cut_slot(resume_step,
+                                                  rcfg.ckpt_every));
+            if (adopt_load[ri] != 0) {
+              tile_ckpt::load(adopt_path[ri], mcfg, &model.state());
+              const Microseconds began = ctx.clock().now();
+              const Microseconds cost =
+                  plan != nullptr ? plan->migrate_cost_us : 0.0;
+              ctx.clock().advance_to(clock_base + cost);
+              ctx.charge_migrate(cost);
+              if (ctx.tracer() != nullptr) {
+                ctx.tracer()->record("migrate", cluster::SpanCat::kNodeDown,
+                                     began, ctx.clock().now());
+              }
+            } else {
+              model.state() = ring[ri][slot].state;
+              ctx.clock().advance_to(clock_base);
+            }
+            // Re-seed the ring at the recovery cut (fills the adopters'
+            // cleared ring; a bit-exact overwrite on survivors).
+            ring[ri][slot].step = resume_step;
+            ring[ri][slot].state = model.state();
           }
+          bool first_step = true;
           while (model.state().step < steps) {
             (void)model.step();
             const long s = model.state().step;
+            if (first_step) {
+              probe[ri] = ctx.clock().now();
+              first_step = false;
+            }
             if (s < steps && s % rcfg.ckpt_every == 0) {
               // The barrier makes the rotation a collective cut at step
               // s; double buffering covers an abort mid-rotation.
               model.comm().barrier();
-              const int slot = static_cast<int>((s / rcfg.ckpt_every) % 2);
-              model.save_checkpoint(slot_prefix(rcfg.ckpt_prefix, slot));
+              const int cslot = cut_slot(s, rcfg.ckpt_every);
+              model.save_checkpoint(
+                  tile_ckpt::slot_prefix(rcfg.ckpt_prefix, cslot));
+              if (migrate) {
+                ring[ri][static_cast<std::size_t>(cslot)].step = s;
+                ring[ri][static_cast<std::size_t>(cslot)].state =
+                    model.state();
+                // Hot joins: every rank applies the same pure function
+                // of (plan, step) to its local placement map, so the
+                // maps stay consistent without any shared state.  A
+                // migrated tile whose home board is back returns home;
+                // re-applying is a no-op, so replayed epochs converge.
+                if (plan != nullptr && plan->has_node_joins()) {
+                  for (const cluster::NodeJoin& j : plan->node_joins) {
+                    if (j.smp < 0 || j.smp >= smp_count || j.at_step > s) {
+                      continue;
+                    }
+                    const int lo = j.smp * ppp;
+                    for (int q = lo; q < lo + ppp && q < nranks; ++q) {
+                      if (ctx.host_smp_of(q) == j.smp) continue;
+                      ctx.rehome_rank(q, j.smp);
+                      if (q == rank) {
+                        const Microseconds began = ctx.clock().now();
+                        ctx.clock().advance(plan->rebalance_cost_us);
+                        ctx.charge_rebalance(plan->rebalance_cost_us);
+                        if (ctx.tracer() != nullptr) {
+                          ctx.tracer()->record("rebalance",
+                                               cluster::SpanCat::kNodeDown,
+                                               began, ctx.clock().now());
+                        }
+                      }
+                    }
+                  }
+                }
+              }
             }
           }
           if (rcfg.on_complete) rcfg.on_complete(ctx, model);
@@ -142,28 +238,183 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
         }
       });
       st.steps = steps;
+      absorb_counts();
+      record_recovery();
       return st;
     } catch (const cluster::NodeDownError& e) {
+      absorb_counts();
+      record_recovery();
       st.verdicts.push_back(e.verdict);
       if (++st.restarts > rcfg.max_restarts) {
         throw RestartExhausted(st.restarts, e.verdict);
       }
-      const SlotScan a = scan_slot(slot_prefix(rcfg.ckpt_prefix, 0), nranks);
-      const SlotScan b = scan_slot(slot_prefix(rcfg.ckpt_prefix, 1), nranks);
-      if (!a.consistent && !b.consistent) {
-        throw std::runtime_error(
-            "run_resilient: no consistent checkpoint slot to restart from");
+
+      if (!migrate) {
+        // ---- epoch restart: everyone reloads the newest full slot ----
+        const tile_ckpt::SlotScan a =
+            tile_ckpt::scan_slot(rcfg.ckpt_prefix, 0, nranks);
+        const tile_ckpt::SlotScan b =
+            tile_ckpt::scan_slot(rcfg.ckpt_prefix, 1, nranks);
+        if (!a.consistent && !b.consistent) {
+          throw std::runtime_error(
+              "run_resilient: no consistent checkpoint slot to restart from");
+        }
+        const bool use_a = a.consistent && (!b.consistent || a.step >= b.step);
+        load_prefix = tile_ckpt::slot_prefix(rcfg.ckpt_prefix, use_a ? 0 : 1);
+        resume_step = use_a ? a.step : b.step;
+        st.restart_steps.push_back(resume_step);
+        clock_base = e.verdict.detected_us +
+                     (plan != nullptr ? plan->restart_cost_us : 0.0);
+        log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
+                   << e.verdict.rank << " down at t=" << e.verdict.detected_us
+                   << " us); restarting from step "
+                   << st.restart_steps.back();
+      } else {
+        // ---- live migration: survivors rewind in memory, adopters ----
+        // ---- re-load only the dead tiles' durable checkpoints.    ----
+        const int dead_smp = host_of(e.verdict.rank);
+        std::vector<char> is_dead(static_cast<std::size_t>(nranks), 0);
+        std::vector<int> dead;
+        for (int r = 0; r < nranks; ++r) {
+          if (host_of(r) == dead_smp) {
+            is_dead[static_cast<std::size_t>(r)] = 1;
+            dead.push_back(r);
+          }
+        }
+        if (static_cast<int>(dead.size()) == nranks) {
+          throw std::runtime_error(
+              "run_resilient: node down took every rank; nothing to migrate");
+        }
+        // The newest cut every survivor still holds in its ring: because
+        // the cut's save sits between collective barriers, survivors are
+        // within one cut of each other, so the minimum of their newest
+        // ring steps is present in every survivor's two-deep ring.
+        long s_surv = -1;
+        bool have_surv = false;
+        for (int r = 0; r < nranks; ++r) {
+          if (is_dead[static_cast<std::size_t>(r)] != 0) continue;
+          const auto& rr = ring[static_cast<std::size_t>(r)];
+          const long newest = std::max(rr[0].step, rr[1].step);
+          if (newest < 0) {
+            throw std::runtime_error(
+                "run_resilient: survivor rank " + std::to_string(r) +
+                " holds no committed snapshot");
+          }
+          s_surv = have_surv ? std::min(s_surv, newest) : newest;
+          have_surv = true;
+        }
+        // Clamp by the dead tiles' newest durable checkpoints: a rank
+        // that died inside a cut's barrier may have published one cut
+        // less than the survivors reached.
+        long s_recover = s_surv;
+        for (int r : dead) {
+          const tile_ckpt::TileHit hit =
+              tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, s_surv);
+          if (hit.step < 0) {
+            throw std::runtime_error(
+                "run_resilient: no durable checkpoint for dead rank " +
+                std::to_string(r));
+          }
+          s_recover = std::min(s_recover, hit.step);
+        }
+        // Resolve every rank's recovery source at exactly s_recover.
+        adopt_load.assign(static_cast<std::size_t>(nranks), 0);
+        for (int r : dead) {
+          const tile_ckpt::TileHit hit =
+              tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, s_recover);
+          if (hit.step != s_recover) {
+            throw std::runtime_error(
+                "run_resilient: dead rank " + std::to_string(r) +
+                " has no durable checkpoint at recovery step " +
+                std::to_string(s_recover));
+          }
+          adopt_load[static_cast<std::size_t>(r)] = 1;
+          adopt_path[static_cast<std::size_t>(r)] = hit.path;
+        }
+        const int rslot = cut_slot(s_recover, rcfg.ckpt_every);
+        for (int r = 0; r < nranks; ++r) {
+          const auto riv = static_cast<std::size_t>(r);
+          if (is_dead[riv] != 0) continue;
+          if (ring[riv][static_cast<std::size_t>(rslot)].step != s_recover) {
+            throw std::runtime_error(
+                "run_resilient: survivor rank " + std::to_string(r) +
+                " holds no snapshot at recovery step " +
+                std::to_string(s_recover));
+          }
+        }
+
+        // Evolve the placement baseline.  First mirror the joins the
+        // aborted epoch had already applied at cuts up to the recovery
+        // step, so the baseline matches every rank's map at that cut;
+        // then retire the dead board and re-home its tiles.
+        if (host_map.empty()) {
+          host_map.resize(static_cast<std::size_t>(nranks));
+          for (int r = 0; r < nranks; ++r) {
+            host_map[static_cast<std::size_t>(r)] = r / ppp;
+          }
+        }
+        if (plan != nullptr) {
+          for (const cluster::NodeJoin& j : plan->node_joins) {
+            if (j.smp < 0 || j.smp >= smp_count || j.at_step > s_recover ||
+                j.smp == dead_smp) {
+              continue;
+            }
+            dead_smps.erase(j.smp);
+            const int lo = j.smp * ppp;
+            for (int q = lo; q < lo + ppp && q < nranks; ++q) {
+              host_map[static_cast<std::size_t>(q)] = j.smp;
+            }
+          }
+        }
+        dead_smps.insert(dead_smp);
+        std::vector<int> alive;
+        for (int smp = 0; smp < smp_count; ++smp) {
+          if (dead_smps.count(smp) == 0) alive.push_back(smp);
+        }
+        if (alive.empty()) {
+          throw std::runtime_error(
+              "run_resilient: every board is down; cannot migrate");
+        }
+        // Adoption: prefer the board hosting a surviving halo neighbor
+        // (the adopted tile's exchanges stay partly local), else spread
+        // the orphans round-robin over the surviving boards.
+        for (int r : dead) {
+          int target = -1;
+          const Decomp dec(mcfg, r);
+          for (int nr : dec.neighbors) {
+            if (nr < 0 || is_dead[static_cast<std::size_t>(nr)] != 0) {
+              continue;
+            }
+            const int cand = host_map[static_cast<std::size_t>(nr)];
+            if (dead_smps.count(cand) == 0) {
+              target = cand;
+              break;
+            }
+          }
+          if (target < 0) {
+            target = alive[static_cast<std::size_t>(adopt_rr) % alive.size()];
+            ++adopt_rr;
+          }
+          host_map[static_cast<std::size_t>(r)] = target;
+          // The adopter board's in-memory ring never held this tile:
+          // invalidate the dead rank's snapshots so a later failure
+          // cannot rewind onto state that died with the board.
+          ring[static_cast<std::size_t>(r)][0].step = -1;
+          ring[static_cast<std::size_t>(r)][1].step = -1;
+        }
+
+        load_prefix.clear();
+        resume_step = s_recover;
+        st.restart_steps.push_back(s_recover);
+        clock_base = e.verdict.detected_us;
+        log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
+                   << e.verdict.rank << " down at t=" << e.verdict.detected_us
+                   << " us); migrating " << dead.size()
+                   << " tile(s) off board " << dead_smp
+                   << " and resuming from step " << s_recover;
       }
-      const bool use_a = a.consistent && (!b.consistent || a.step >= b.step);
-      load_prefix = slot_prefix(rcfg.ckpt_prefix, use_a ? 0 : 1);
-      st.restart_steps.push_back(use_a ? a.step : b.step);
-      const cluster::FaultPlan* plan = rt.config().faults;
-      clock_base = e.verdict.detected_us +
-                   (plan != nullptr ? plan->restart_cost_us : 0.0);
-      log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
-                 << e.verdict.rank << " down at t=" << e.verdict.detected_us
-                 << " us); restarting from step "
-                 << st.restart_steps.back();
+      pending_detect = e.verdict.detected_us;
+      probe.assign(static_cast<std::size_t>(nranks), e.verdict.detected_us);
     }
   }
 }

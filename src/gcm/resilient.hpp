@@ -22,6 +22,21 @@
 // bit-identical to the failure-free run; with no kills scheduled the
 // epoch loop runs exactly once and adds no comm, clock, or accounting
 // effects beyond the periodic checkpoint barrier.
+//
+// Elastic membership (RecoveryMode::kMigrate) replaces the
+// restart-the-world epoch with *live tile migration*: every rank keeps a
+// two-deep in-memory ring of committed cut snapshots alongside the
+// durable per-tile files, so after a NodeDown verdict the survivors
+// rewind from memory while only the dead node's tiles are re-read from
+// their newest durable checkpoints by adopter ranks re-homed onto
+// surviving boards (neighbor-preferring placement, round-robin
+// fallback).  The epoch tag still bumps -- stale traffic ages out
+// exactly as under restart -- but the survivors pay no restart cost and
+// no disk I/O, so recovery is strictly faster.  A scheduled NodeJoin
+// hands the migrated tiles back to the replacement board at the first
+// checkpoint cut at or past its step, rebalancing the load.  State
+// evolution is placement-independent, so every recovery and rebalance
+// finishes bit-identical to the failure-free run.
 #pragma once
 
 #include <cstdint>
@@ -37,11 +52,17 @@
 
 namespace hyades::gcm {
 
+// How the driver recovers from a NodeDown verdict: relaunch the world
+// from the newest consistent slot (kEpochRestart), or rewind survivors
+// in memory and re-load only the dead tiles (kMigrate).
+enum class RecoveryMode { kEpochRestart, kMigrate };
+
 struct ResilientConfig {
   std::string ckpt_prefix;  // required: durable checkpoint path prefix
   int ckpt_every = 8;       // steps between durable checkpoints (>= 1)
   int max_restarts = 3;     // aborted epochs tolerated before giving up
   std::uint64_t init_seed = 7;
+  RecoveryMode recovery = RecoveryMode::kEpochRestart;
 
   // Optional per-rank tracers (size >= nranks): ranks attach them so
   // node_down / restart spans land in the trace.  Not owned.
@@ -59,6 +80,13 @@ struct ResilientStats {
   int restarts = 0;  // epochs aborted by a NodeDown verdict
   std::vector<cluster::NodeDownVerdict> verdicts;  // one per restart
   std::vector<long> restart_steps;  // checkpoint step each epoch resumed from
+  int migrations = 0;   // dead tiles adopted live (kMigrate only)
+  int rebalances = 0;   // tiles handed back to hot-joined boards
+  // Per recovery event: virtual time from the verdict's detection to the
+  // last rank completing its first post-recovery step -- the time the
+  // campaign was not making forward progress.  Comparable across
+  // recovery modes (bench_recovery plots exactly this).
+  std::vector<Microseconds> recovery_us;
 };
 
 // Thrown when a run aborts more than max_restarts times: the failure is

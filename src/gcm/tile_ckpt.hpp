@@ -1,0 +1,78 @@
+// The checkpoint module: the single owner of durable tile-checkpoint
+// file naming and the HYADES03 wire format.
+//
+// Every rank's tile state is an independently loadable unit: one file
+// per (prefix, slot, rank), self-describing ("HYADES03": magic, config
+// words, step, payload byte count, CRC-32) and published atomically
+// (written to "<path>.tmp", CRC-verified by re-reading the temporary,
+// then renamed).  Every failure path removes the temporary, so a failed
+// save never strands a ".tmp" next to the live slot files.
+//
+// Path discipline (enforced by hyades-lint's ckpt-path rule): nothing
+// outside this module composes checkpoint file names -- callers hold an
+// opaque prefix and go through slot_prefix()/rank_path().  That is what
+// lets the elastic-membership driver reason about per-tile recovery
+// points (newest_rank_ckpt) without ad-hoc string surgery spread over
+// gcm/ and farm/.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gcm/config.hpp"
+#include "gcm/state.hpp"
+
+namespace hyades::gcm::tile_ckpt {
+
+// "<prefix>.a" / "<prefix>.b": the two alternating durable slots the
+// resilient driver rotates through (double buffering).
+[[nodiscard]] std::string slot_prefix(const std::string& prefix, int slot);
+
+// "<prefix>.rank<N>": the per-tile file of one group rank.
+[[nodiscard]] std::string rank_path(const std::string& prefix,
+                                    int group_rank);
+
+// Write one tile's state to `path` atomically: serialize, CRC, write to
+// "<path>.tmp", re-read and verify the temporary, rename.  Throws
+// std::runtime_error on any failure -- after removing the temporary.
+void save(const std::string& path, const ModelConfig& cfg, const State& s);
+
+// Load one tile's state from `path`, verifying magic, config words,
+// payload size and CRC before touching `s`.  Throws on any mismatch.
+void load(const std::string& path, const ModelConfig& cfg, State* s);
+
+// Read the step counter out of a checkpoint header without loading the
+// payload.  Throws if the file is missing or not HYADES03.
+[[nodiscard]] long peek_step(const std::string& path);
+
+// A slot is usable as a collective restart point only when every rank's
+// file exists, parses, and reports the same step.
+struct SlotScan {
+  bool consistent = false;
+  long step = -1;
+};
+[[nodiscard]] SlotScan scan_slot(const std::string& prefix, int slot,
+                                 int nranks);
+
+// The newest durable checkpoint of one rank's tile with step <=
+// max_step, searching both slots.  step == -1 when neither slot holds a
+// usable file -- per-tile recovery (live migration) loads exactly one
+// tile this way, without requiring whole-slot consistency.
+struct TileHit {
+  std::string path;
+  long step = -1;
+};
+[[nodiscard]] TileHit newest_rank_ckpt(const std::string& prefix, int rank,
+                                       long max_step);
+
+// Remove every rank file of both slots (ignores missing files).
+void remove_slots(const std::string& prefix, int nranks);
+
+// Test-only fault injection: invoked with the temporary file's path
+// after the write and before the post-write verify, so tests can
+// corrupt or delete the temporary and assert the failure paths clean
+// up.  Pass nullptr to clear.  Not thread-safe; set it only around
+// single-threaded test saves.
+void set_test_corrupt_hook(std::function<void(const std::string&)> hook);
+
+}  // namespace hyades::gcm::tile_ckpt

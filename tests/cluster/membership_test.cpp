@@ -1,0 +1,104 @@
+// Membership edge cases: monotone liveness stamps, never-heard peers,
+// and the detector-independence of NodeDown verdicts.
+#include "cluster/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/fault.hpp"
+#include "cluster/runtime.hpp"
+#include "net/arctic_model.hpp"
+
+namespace hyades::cluster {
+namespace {
+
+MachineConfig machine(const net::Interconnect& net, const FaultPlan* plan,
+                      int smps = 4, int ppp = 1) {
+  MachineConfig cfg;
+  cfg.smp_count = smps;
+  cfg.procs_per_smp = ppp;
+  cfg.interconnect = &net;
+  cfg.faults = plan;
+  return cfg;
+}
+
+FaultPlan kill_plan(int rank = 3, Microseconds at_us = 50.0, int epoch = 0) {
+  FaultPlan plan;
+  plan.node_kills.push_back({rank, at_us, epoch});
+  return plan;
+}
+
+TEST(Membership, StaleStampNeverMovesLastHeardBackwards) {
+  const net::ArcticModel net;
+  const FaultPlan plan = kill_plan();
+  Runtime rt(machine(net, &plan));
+  rt.run([&](RankContext& ctx) {
+    if (ctx.rank() != 0) return;
+    Membership ms(ctx, plan);
+    ms.note_alive(1, 100.0);
+    EXPECT_DOUBLE_EQ(ms.last_heard(1), 100.0);
+    // A late-delivered message carries an older stamp: liveness
+    // knowledge is monotone, so the fresher time must survive.
+    ms.note_alive(1, 50.0);
+    EXPECT_DOUBLE_EQ(ms.last_heard(1), 100.0);
+    ms.note_alive(1, 150.0);
+    EXPECT_DOUBLE_EQ(ms.last_heard(1), 150.0);
+  });
+}
+
+TEST(Membership, NeverHeardPeerReportsZero) {
+  const net::ArcticModel net;
+  const FaultPlan plan = kill_plan();
+  Runtime rt(machine(net, &plan));
+  rt.run([&](RankContext& ctx) {
+    if (ctx.rank() != 0) return;
+    Membership ms(ctx, plan);
+    for (int peer = 0; peer < ctx.nranks(); ++peer) {
+      EXPECT_DOUBLE_EQ(ms.last_heard(peer), 0.0);
+    }
+  });
+}
+
+// The verdict is a pure function of the fault plan, never of the racing
+// detector's clock: whichever survivor escalates first -- and however
+// much virtual time it had already burned -- the published verdict is
+// bit-identical.  Permute the detecting rank (and skew its clock) and
+// compare.
+TEST(Membership, VerdictIdenticalAcrossDetectionOrder) {
+  const net::ArcticModel net;
+  const FaultPlan plan = kill_plan(/*rank=*/3, /*at_us=*/50.0, /*epoch=*/0);
+  std::vector<NodeDownVerdict> verdicts;
+  const std::vector<std::pair<int, Microseconds>> detectors = {
+      {0, 0.0}, {1, 12.5}, {2, 0.75}, {1, 0.0}, {0, 200.0}};
+  for (const auto& [detector, skew_us] : detectors) {
+    Runtime rt(machine(net, &plan));
+    NodeDownVerdict got;
+    rt.run([&](RankContext& ctx) {
+      if (ctx.rank() != detector) return;
+      if (skew_us > 0) ctx.clock().advance(skew_us);
+      const NodeKill* kill = plan.node_kill(3, ctx.epoch());
+      ASSERT_NE(kill, nullptr);
+      Membership* ms = ctx.membership();
+      ASSERT_NE(ms, nullptr);
+      try {
+        ms->escalate(3, *kill);
+        FAIL() << "escalate must throw NodeDownError";
+      } catch (const NodeDownError& e) {
+        got = e.verdict;
+      }
+    });
+    verdicts.push_back(got);
+  }
+  for (const NodeDownVerdict& v : verdicts) {
+    EXPECT_EQ(v.rank, verdicts.front().rank);
+    EXPECT_EQ(v.epoch, verdicts.front().epoch);
+    EXPECT_DOUBLE_EQ(v.detected_us, verdicts.front().detected_us);
+  }
+  EXPECT_EQ(verdicts.front().rank, 3);
+  EXPECT_DOUBLE_EQ(verdicts.front().detected_us,
+                   50.0 + plan.heartbeat_deadline_us);
+}
+
+}  // namespace
+}  // namespace hyades::cluster

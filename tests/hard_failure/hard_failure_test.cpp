@@ -20,6 +20,7 @@
 #include "comm/comm.hpp"
 #include "gcm/model.hpp"
 #include "gcm/resilient.hpp"
+#include "gcm/tile_ckpt.hpp"
 #include "support/logging.hpp"
 #include "tests/gcm/gcm_test_util.hpp"
 
@@ -57,12 +58,7 @@ std::string ckpt_prefix_for(const char* name) {
 }
 
 void cleanup_slots(const std::string& prefix, int ranks) {
-  for (const char* slot : {".a", ".b"}) {
-    for (int r = 0; r < ranks; ++r) {
-      std::remove(
-          gcm::Model::checkpoint_path(prefix + slot, r).c_str());
-    }
-  }
+  gcm::tile_ckpt::remove_slots(prefix, ranks);
 }
 
 // One resilient gyre run: 4 tiles (2x2), kBasin topography, collecting

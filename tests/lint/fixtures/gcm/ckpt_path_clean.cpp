@@ -1,0 +1,26 @@
+// Near-misses for the ckpt-path rule: none of these compose checkpoint
+// file names, so the lint must stay silent.
+//
+// Prose may freely describe the on-disk format -- the "<prefix>.rank<N>"
+// files and the ".tmp" publish dance live in tile_ckpt's contract docs.
+#include <string>
+
+namespace hyades::gcm {
+
+struct Verdict {
+  int rank = 0;
+};
+
+// `.rank` as a member access is not a file suffix.
+int verdict_rank(const Verdict& v) {
+  return v.rank;
+}
+
+// A justified allow keeps a deliberate composition (say, a migration
+// shim for a legacy layout) honest.
+std::string legacy_shim(const std::string& prefix) {
+  // lint:allow(ckpt-path): exercising the justified-allow path
+  return prefix + ".rank0";
+}
+
+}  // namespace hyades::gcm

@@ -1,0 +1,12 @@
+// Lint tripwire: exactly one planted ckpt-path violation -- model code
+// composing a rank checkpoint file name by hand instead of going
+// through gcm/tile_ckpt's slot_prefix()/rank_path().
+#include <string>
+
+namespace hyades::gcm {
+
+std::string resume_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank);
+}
+
+}  // namespace hyades::gcm

@@ -29,6 +29,14 @@
 //                     wait-attribution column map (span_cat_column in
 //                     cluster/report.cpp) must stay in sync, and every
 //                     named column must exist in the printed table.
+//   ckpt-path         checkpoint file names composed outside the
+//                     gcm/tile_ckpt module (quoted ".rank"/".tmp"/slot
+//                     suffix strings, or a checkpoint prefix spliced
+//                     with `+`) in gcm/ or farm/ code: the HYADES03
+//                     naming scheme has exactly one owner, which is
+//                     what lets per-tile recovery (live migration)
+//                     reason about durable files without ad-hoc string
+//                     surgery scattered over the tree.
 //   magic-topology    bare 4/16/32 literals in the topology machinery
 //                     (src/arctic and src/net files named route/fabric/
 //                     fault/topology/torus/arctic_model): since the
@@ -406,6 +414,72 @@ void rule_raw_send(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void rule_ckpt_path(const SourceFile& f, std::vector<Finding>* out) {
+  // Scope: gcm/ and farm/ production code (plus the lint fixtures
+  // mirroring them).  tile_ckpt itself is the sanctioned owner of the
+  // on-disk names, and tests outside the fixtures legitimately assert
+  // the published format.
+  const bool dir_ok =
+      path_contains(f.path, "gcm/") || path_contains(f.path, "gcm\\") ||
+      path_contains(f.path, "farm/") || path_contains(f.path, "farm\\");
+  if (!dir_ok) return;
+  if (path_contains(f.path, "tests/") && !path_contains(f.path, "fixtures")) {
+    return;
+  }
+  const std::string base = fs::path(f.path).filename().string();
+  if (base.find("tile_ckpt") != std::string::npos) return;
+
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    if (line_is_comment(f.raw[i])) continue;
+    const std::string& raw = f.raw[i];
+    const std::string& code = f.code[i];
+    bool hit = false;
+    // Quoted name fragments: the fragment must sit inside a string
+    // literal (blanked in the code view, with an opening quote before
+    // it) -- `verdict.rank` member accesses and prose in whole-line
+    // comments stay silent.
+    for (const char* frag : {".rank", ".tmp"}) {
+      const std::string tok = frag;
+      std::size_t pos = 0;
+      while ((pos = raw.find(tok, pos)) != std::string::npos) {
+        if (pos < code.size() && code[pos] == ' ' &&
+            raw.rfind('"', pos) != std::string::npos) {
+          hit = true;
+          break;
+        }
+        pos += 1;
+      }
+      if (hit) break;
+    }
+    // The slot suffixes as bare literals.
+    if (!hit && (raw.find("\".a\"") != std::string::npos ||
+                 raw.find("\".b\"") != std::string::npos)) {
+      hit = true;
+    }
+    // A checkpoint prefix spliced with `+` is the other shape of the
+    // same violation.
+    if (!hit) {
+      const std::size_t pos = find_word(code, "ckpt_prefix");
+      if (pos != std::string::npos) {
+        std::size_t a = pos;
+        while (a > 0 && code[a - 1] == ' ') --a;
+        std::size_t b = pos + 11;  // strlen("ckpt_prefix")
+        while (b < code.size() && code[b] == ' ') ++b;
+        if ((a > 0 && code[a - 1] == '+') ||
+            (b < code.size() && code[b] == '+')) {
+          hit = true;
+        }
+      }
+    }
+    if (hit) {
+      report(out, f, i, "ckpt-path",
+             "checkpoint file names are composed only inside gcm/tile_ckpt "
+             "(slot_prefix/rank_path): ad-hoc \".rank\"/\".tmp\"/slot "
+             "suffixes fork the on-disk format");
+    }
+  }
+}
+
 void rule_magic_topology(const SourceFile& f, std::vector<Finding>* out) {
   // Scope: the topology-shape translation units under src/arctic and
   // src/net (plus the lint fixtures mirroring them).  Tests and benches
@@ -631,7 +705,7 @@ void usage() {
          "  --rule NAME  run only the named rule(s); default: all\n"
          "  FILE...      scan exactly these files instead of a root\n"
          "rules: wall-clock unseeded-rng naked-new catch-all raw-send "
-         "spancat-coverage magic-topology\n";
+         "spancat-coverage magic-topology ckpt-path\n";
 }
 
 }  // namespace
@@ -641,8 +715,9 @@ int main(int argc, char** argv) {
   std::set<std::string> rules;
   std::vector<std::string> files;
   static const std::set<std::string> kAllRules = {
-      "wall-clock", "unseeded-rng",     "naked-new",     "catch-all",
-      "raw-send",   "spancat-coverage", "magic-topology"};
+      "wall-clock",       "unseeded-rng",   "naked-new",
+      "catch-all",        "raw-send",       "spancat-coverage",
+      "magic-topology",   "ckpt-path"};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -711,6 +786,7 @@ int main(int argc, char** argv) {
     if (rules.count("catch-all") != 0) rule_catch_all(f, &findings);
     if (rules.count("raw-send") != 0) rule_raw_send(f, &findings);
     if (rules.count("magic-topology") != 0) rule_magic_topology(f, &findings);
+    if (rules.count("ckpt-path") != 0) rule_ckpt_path(f, &findings);
   }
   if (rules.count("spancat-coverage") != 0) {
     rule_spancat_coverage(sources, &findings);
