@@ -107,11 +107,17 @@ bool states_bit_identical(const RunOut& a, const RunOut& b) {
   return true;
 }
 
+struct Kill {
+  int rank = 0;
+  double at_frac = 0;  // kill time as a fraction of the clean run
+  int epoch = 0;       // 0: initial epoch; 1: fires during recovery
+};
+
 struct Schedule {
   std::string name;
-  int rank = 0;
-  double at_frac = 0;   // kill time as a fraction of the clean run
-  long join_step = -1;  // hot-join the killed SMP at this cut (< 0: never)
+  std::vector<Kill> kills;
+  long join_step = -1;    // hot-join the first killed SMP (< 0: never)
+  int expect_events = 1;  // recovery events the schedule must produce
 };
 
 }  // namespace
@@ -126,10 +132,16 @@ int main() {
       run_mode(nullptr, gcm::RecoveryMode::kEpochRestart, "/tmp/hyades_brc");
 
   const std::vector<Schedule> schedules = {
-      {"early (pre-rotation)", 3, 0.0, -1},
-      {"mid-run", 1, 0.45, -1},
-      {"mid-run + hot join", 1, 0.45, 16},
-      {"late", 2, 0.8, -1},
+      {"early (pre-rotation)", {{3, 0.0, 0}}, -1, 1},
+      {"mid-run", {{1, 0.45, 0}}, -1, 1},
+      {"mid-run + hot join", {{1, 0.45, 0}}, 16, 1},
+      {"late", {{2, 0.8, 0}}, -1, 1},
+      // Two boards die inside one heartbeat window: ONE coalesced
+      // verdict, one recovery planning over the whole dead set.
+      {"two boards, one window", {{1, 0.45, 0}, {3, 0.451, 0}}, -1, 1},
+      // A second board dies while the first recovery is replaying: two
+      // ladder events back to back.
+      {"kill during recovery", {{3, 0.5, 0}, {1, 0.7, 1}}, -1, 2},
   };
 
   Table t({"kill schedule", "resume step", "restart rec (us)",
@@ -139,27 +151,37 @@ int main() {
   bool ok = true;
   for (const Schedule& s : schedules) {
     cluster::FaultPlan plan;
-    const double at_us = s.at_frac <= 0.0 ? 50.0 : s.at_frac * clean.busy_us;
-    plan.node_kills.push_back({s.rank, at_us, /*epoch=*/0});
+    for (const Kill& k : s.kills) {
+      const double at_us =
+          k.at_frac <= 0.0 ? 50.0 : k.at_frac * clean.busy_us;
+      plan.node_kills.push_back({k.rank, at_us, k.epoch});
+    }
     if (s.join_step >= 0) {
       // A replacement board for the killed SMP arrives mid-campaign:
       // the adopted tile is handed home at this cut, un-oversubscribing
       // the adopter's board for the rest of the run.
-      plan.node_joins.push_back({s.rank / kPpp, s.join_step});
+      plan.node_joins.push_back({s.kills.front().rank / kPpp, s.join_step});
     }
 
     const RunOut restart =
         run_mode(&plan, gcm::RecoveryMode::kEpochRestart, "/tmp/hyades_brr");
     const RunOut migrate =
         run_mode(&plan, gcm::RecoveryMode::kMigrate, "/tmp/hyades_brm");
-    if (restart.stats.recovery_us.size() != 1 ||
-        migrate.stats.recovery_us.size() != 1) {
+    if (static_cast<int>(restart.stats.recovery_us.size()) !=
+            s.expect_events ||
+        static_cast<int>(migrate.stats.recovery_us.size()) !=
+            s.expect_events) {
       std::cerr << "BENCH_recovery: schedule '" << s.name
-                << "' did not produce exactly one recovery event\n";
+                << "' did not produce exactly " << s.expect_events
+                << " recovery event(s)\n";
       return 1;
     }
-    const double rec_restart = restart.stats.recovery_us[0];
-    const double rec_migrate = migrate.stats.recovery_us[0];
+    // Multi-event schedules compare the summed recovery clock: the
+    // total virtual time the campaign spent not making progress.
+    double rec_restart = 0.0;
+    double rec_migrate = 0.0;
+    for (const double us : restart.stats.recovery_us) rec_restart += us;
+    for (const double us : migrate.stats.recovery_us) rec_migrate += us;
     if (!states_bit_identical(clean, restart) ||
         !states_bit_identical(clean, migrate)) {
       std::cerr << "BENCH_recovery: schedule '" << s.name
@@ -185,8 +207,9 @@ int main() {
                    "%"});
     rows.push(bench::Json::object()
                   .set("schedule", s.name)
-                  .set("kill_rank", s.rank)
-                  .set("kill_at_us", at_us)
+                  .set("kill_rank", s.kills.front().rank)
+                  .set("kills", static_cast<int>(s.kills.size()))
+                  .set("recovery_events", s.expect_events)
                   .set("resume_step", static_cast<double>(resume))
                   .set("recovery_us_restart", rec_restart)
                   .set("recovery_us_migrate", rec_migrate)

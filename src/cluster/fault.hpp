@@ -60,10 +60,25 @@ struct NodeJoin {
 // The collectively agreed fail-stop verdict.  detected_us is plan-pure
 // (kill time + heartbeat deadline), never a racing observer's clock, so
 // every survivor publishes the identical verdict.
+//
+// Failures overlap at scale, so the verdict carries a dead *set*, not a
+// first casualty: every kill of the epoch whose heartbeat deadline has
+// expired by the detection fixpoint (see Membership::coalesced_verdict)
+// is absorbed into `ranks`.  `rank` stays the primary casualty (the
+// lowest kill-named rank of the set) for messages and single-failure
+// consumers; `ranks` is the authoritative set for recovery planning.
 struct NodeDownVerdict {
   int rank = -1;
+  std::vector<int> ranks;  // coalesced kill-named ranks, sorted ascending
   int epoch = 0;
   Microseconds detected_us = 0.0;
+
+  // The dead set for planners: `ranks` when coalescing filled it, else
+  // the single primary casualty (manually built single-rank verdicts).
+  [[nodiscard]] std::vector<int> dead_ranks() const {
+    if (!ranks.empty()) return ranks;
+    return rank >= 0 ? std::vector<int>{rank} : std::vector<int>{};
+  }
 };
 
 // Thrown by every bus operation once a NodeDown verdict is declared:
@@ -72,10 +87,14 @@ struct NodeDownVerdict {
 class NodeDownError : public std::runtime_error {
  public:
   explicit NodeDownError(const NodeDownVerdict& v)
-      : std::runtime_error("node down: rank " + std::to_string(v.rank) +
-                           " (epoch " + std::to_string(v.epoch) +
-                           ", detected at t=" + std::to_string(v.detected_us) +
-                           " us)"),
+      : std::runtime_error(
+            "node down: rank " + std::to_string(v.rank) +
+            (v.ranks.size() > 1
+                 ? " (+" + std::to_string(v.ranks.size() - 1) +
+                       " coalesced)"
+                 : std::string()) +
+            " (epoch " + std::to_string(v.epoch) + ", detected at t=" +
+            std::to_string(v.detected_us) + " us)"),
         verdict(v) {}
   NodeDownVerdict verdict;
 };

@@ -64,6 +64,49 @@ const NodeKill* Membership::killed_peer(int peer) const {
   return kill;
 }
 
+NodeDownVerdict coalesce_expired_kills(const FaultPlan& plan, int epoch) {
+  // Collect this epoch's kills and find the earliest detection deadline.
+  std::vector<const NodeKill*> kills;
+  for (const NodeKill& k : plan.node_kills) {
+    if (k.epoch == epoch) kills.push_back(&k);
+  }
+  NodeDownVerdict verdict;
+  verdict.epoch = epoch;
+  if (kills.empty()) return verdict;
+
+  Microseconds t = kills.front()->at_us + plan.heartbeat_deadline_us;
+  for (const NodeKill* k : kills) {
+    t = std::min(t, k->at_us + plan.heartbeat_deadline_us);
+  }
+  // Fixpoint: any kill that fired before the current detection time is
+  // part of the same casualty event, and detecting it takes until its
+  // own deadline -- expand until no new kill is absorbed.
+  for (;;) {
+    Microseconds expanded = t;
+    for (const NodeKill* k : kills) {
+      if (k->at_us <= t) {
+        expanded = std::max(expanded, k->at_us + plan.heartbeat_deadline_us);
+      }
+    }
+    if (expanded == t) break;
+    t = expanded;
+  }
+  for (const NodeKill* k : kills) {
+    if (k->at_us <= t) verdict.ranks.push_back(k->rank);
+  }
+  std::sort(verdict.ranks.begin(), verdict.ranks.end());
+  verdict.ranks.erase(
+      std::unique(verdict.ranks.begin(), verdict.ranks.end()),
+      verdict.ranks.end());
+  verdict.rank = verdict.ranks.front();
+  verdict.detected_us = t;
+  return verdict;
+}
+
+NodeDownVerdict Membership::coalesced_verdict() const {
+  return coalesce_expired_kills(plan_, ctx_.epoch());
+}
+
 void Membership::escalate(int peer, const NodeKill& kill) {
   // Idle-time probes on the reserved tag: fire-and-forget heartbeats the
   // dead peer will never answer, each costed one small-message send
@@ -75,12 +118,12 @@ void Membership::escalate(int peer, const NodeKill& kill) {
     ctx_.clock().advance(probe_cost);
   }
 
-  // Plan-pure verdict: the detection time is the kill time plus the
-  // membership deadline, not this rank's (scheduling-dependent) clock.
-  NodeDownVerdict verdict;
-  verdict.rank = peer;
-  verdict.epoch = ctx_.epoch();
-  verdict.detected_us = kill.at_us + plan_.heartbeat_deadline_us;
+  // Plan-pure verdict: the canonical coalesced dead set of this epoch,
+  // with the detection fixpoint as its time -- never this rank's
+  // (scheduling-dependent) clock, and never just the one peer this rank
+  // happened to be talking to.  Whichever rank escalates whichever peer
+  // first publishes the identical verdict.
+  const NodeDownVerdict verdict = coalesced_verdict();
 
   const Microseconds began = ctx_.clock().now();
   ctx_.clock().advance_to(verdict.detected_us);
@@ -90,9 +133,10 @@ void Membership::escalate(int peer, const NodeKill& kill) {
   }
   if (g_membership_warn_limiter.admit()) {
     log_warn() << "membership: rank " << ctx_.rank() << " declares rank "
-               << peer << " DOWN (epoch " << verdict.epoch << ", silent since t="
-               << kill.at_us << " us, deadline " << plan_.heartbeat_deadline_us
-               << " us)";
+               << peer << " DOWN (epoch " << verdict.epoch << ", "
+               << verdict.ranks.size() << " rank(s) in the coalesced verdict, "
+               << "silent since t=" << kill.at_us << " us, deadline "
+               << plan_.heartbeat_deadline_us << " us)";
   }
   ctx_.declare_node_down(verdict);
   throw NodeDownError(verdict);

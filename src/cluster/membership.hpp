@@ -64,6 +64,16 @@ class Membership {
   // and unwind this rank's epoch by throwing NodeDownError.
   [[noreturn]] void escalate(int peer, const NodeKill& kill);
 
+  // The canonical verdict for the current epoch: every kill whose
+  // heartbeat deadline has expired at the detection fixpoint is
+  // coalesced into one multi-rank dead set.  Starting from the earliest
+  // kill's deadline, the detection time expands to the latest deadline
+  // of the kills it covers until stable, so two boards dying inside one
+  // heartbeat window yield ONE verdict naming both -- and the result is
+  // a pure function of (plan, epoch), independent of which rank
+  // escalates which peer first.
+  [[nodiscard]] NodeDownVerdict coalesced_verdict() const;
+
  private:
   // The kill (if any) scheduled for the current epoch on the given SMP.
   // Node kills are SMP-granular -- a crashed node takes every rank it
@@ -75,5 +85,15 @@ class Membership {
   const FaultPlan& plan_;
   std::vector<Microseconds> last_heard_;
 };
+
+// The coalescing fixpoint as a pure function of (plan, epoch) -- what
+// Membership::coalesced_verdict computes, callable without a live rank.
+// The resilient driver uses it when an epoch ends with *every* rank
+// silent (each board hosted a kill-named rank): no survivor existed to
+// escalate, so the driver synthesizes the canonical verdict the
+// survivors would have published.  Returns rank == -1 when the plan
+// schedules no kills for the epoch.
+[[nodiscard]] NodeDownVerdict coalesce_expired_kills(const FaultPlan& plan,
+                                                     int epoch);
 
 }  // namespace hyades::cluster

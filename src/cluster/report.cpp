@@ -59,6 +59,7 @@ std::vector<RankBreakdown> wait_attribution(
     b.restarts = a.restarts;
     b.migrations = a.migrations;
     b.rebalances = a.rebalances;
+    b.downgrades = a.downgrades;
     b.comm_us = a.comm_us;
     b.total_us = a.total_us();
     rows.push_back(b);
@@ -73,7 +74,7 @@ void print_wait_attribution(std::ostream& os,
   Table t({"rank", "compute (ms)", "exchange (ms)", "gsum (ms)",
            "barrier (ms)", "overlap-hidden (ms)", "imbalance-wait (ms)",
            "retrans (ms)", "reroute (ms)", "restart (ms)", "migrate (ms)",
-           "degraded/restarts", "migr/rebal", "total (ms)"});
+           "degraded/restarts", "migr/rebal", "downgr", "total (ms)"});
   const auto ms = [divisor](Microseconds us) {
     return Table::fmt(us / divisor / 1000.0, 3);
   };
@@ -88,7 +89,9 @@ void print_wait_attribution(std::ostream& os,
                ms(b.imbalance_us), ms(b.retrans_us), ms(b.reroute_us),
                ms(b.restart_us), ms(b.migrate_us),
                counts(b.degraded_sends, b.restarts),
-               counts(b.migrations, b.rebalances), ms(b.total_us)});
+               counts(b.migrations, b.rebalances),
+               Table::fmt_int(static_cast<int>(b.downgrades)),
+               ms(b.total_us)});
     sum.compute_us += b.compute_us;
     sum.exchange_us += b.exchange_us;
     sum.gsum_us += b.gsum_us;
@@ -103,6 +106,7 @@ void print_wait_attribution(std::ostream& os,
     sum.restarts += b.restarts;
     sum.migrations += b.migrations;
     sum.rebalances += b.rebalances;
+    sum.downgrades += b.downgrades;
     sum.total_us += b.total_us;
   }
   if (!rows.empty()) {
@@ -115,7 +119,9 @@ void print_wait_attribution(std::ostream& os,
                mean(sum.imbalance_us), mean(sum.retrans_us),
                mean(sum.reroute_us), mean(sum.restart_us),
                mean(sum.migrate_us), counts(sum.degraded_sends, sum.restarts),
-               counts(sum.migrations, sum.rebalances), mean(sum.total_us)});
+               counts(sum.migrations, sum.rebalances),
+               Table::fmt_int(static_cast<int>(sum.downgrades)),
+               mean(sum.total_us)});
   }
   t.print(os, "wait-time attribution (overlap-hidden is a credit, not part "
               "of total; imbalance-wait is a subset of comm)");

@@ -33,6 +33,7 @@ struct RankBreakdown {
   std::int64_t restarts = 0;        // epochs restarted into
   std::int64_t migrations = 0;      // dead tiles adopted live
   std::int64_t rebalances = 0;      // tiles handed back to a hot join
+  std::int64_t downgrades = 0;      // recovery-ladder rungs fallen
   Microseconds comm_us = 0;       // Accounting::comm_us (cross-check)
   Microseconds total_us = 0;      // compute + comm
 

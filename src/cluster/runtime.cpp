@@ -226,6 +226,10 @@ void RankContext::charge_rebalance(Microseconds rebalance_us) {
   ++acct_.rebalances;
 }
 
+void RankContext::note_downgrades(int count) {
+  acct_.downgrades += count;
+}
+
 Membership* RankContext::membership() {
   const FaultPlan* plan = faults();
   if (plan == nullptr || !plan->has_node_kills()) return nullptr;

@@ -82,6 +82,11 @@ struct Accounting {
   std::int64_t restarts = 0;        // epochs this rank restarted into
   std::int64_t migrations = 0;      // dead tiles this rank adopted live
   std::int64_t rebalances = 0;      // tiles handed back to a hot join
+  // Rungs the degradation ladder fell during recoveries this rank
+  // resumed into: 0 when every recovery landed on its first-choice
+  // rung, +1 per failed rung attempt (migrate -> older cut -> epoch
+  // restart).  Count-only; the time lands in restart_us/migrate_us.
+  std::int64_t downgrades = 0;
 
   [[nodiscard]] Microseconds total_us() const { return compute_us + comm_us; }
   // Sustained MFlop/sec over the accounted interval.
@@ -221,6 +226,9 @@ class RankContext {
   void charge_migrate(Microseconds migrate_us);
   // Attribute one tile handoff to a hot-joined board (counts it too).
   void charge_rebalance(Microseconds rebalance_us);
+  // Record that the recovery this rank resumed into fell `count` rungs
+  // down the degradation ladder (count-only; no clock effect).
+  void note_downgrades(int count);
 
   // The machine's fault plan, or nullptr when fault injection is off.
   [[nodiscard]] const struct FaultPlan* faults() const;

@@ -79,7 +79,12 @@ ExecutionOutcome execute_job(const JobSpec& spec,
       out.result.steps_committed = st.steps;
       out.result.migrations = st.migrations;
       out.result.rebalances = st.rebalances;
-    } catch (const gcm::RestartExhausted& e) {
+      for (const gcm::RecoveryEvent& ev : st.ladder) {
+        out.result.downgrades += ev.downgrades();
+      }
+    } catch (const gcm::RecoveryError& e) {
+      // Typed give-up (RestartExhausted, RecoveryExhausted): a failed
+      // member with full context in the message, not a failed farm.
       out.ok = false;
       out.error = e.what();
       out.result.steps_committed = 0;  // every epoch aborted: nothing kept

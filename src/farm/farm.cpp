@@ -97,6 +97,7 @@ void Farm::dispatch(JobRecord& rec) {
   metrics_.inc("farm.rollbacks", static_cast<double>(out.result.rollbacks));
   metrics_.inc("farm.migrations", static_cast<double>(out.result.migrations));
   metrics_.inc("farm.rebalances", static_cast<double>(out.result.rebalances));
+  metrics_.inc("farm.downgrades", static_cast<double>(out.result.downgrades));
   if (out.ok) {
     rec.status = JobStatus::kCompleted;
     metrics_.inc("farm.jobs_completed");
@@ -146,6 +147,7 @@ Farm::CampaignSummary Farm::summary() const {
       s.rollbacks += r.result.rollbacks;
       s.migrations += r.result.migrations;
       s.rebalances += r.result.rebalances;
+      s.downgrades += r.result.downgrades;
     }
     s.makespan_us = std::max(s.makespan_us, r.finish_us);
   }
@@ -156,7 +158,7 @@ std::string Farm::format_summary() const {
   std::ostringstream os;
   Table t({"job", "name", "prio", "status", "served", "cluster",
            "start (ms)", "finish (ms)", "steps", "recovery", "migr",
-           "KE (J, hex)"});
+           "downgr", "KE (J, hex)"});
   for (const JobRecord& r : jobs_) {
     const bool ran = r.status == JobStatus::kCompleted ||
                      r.status == JobStatus::kFailed;
@@ -176,6 +178,7 @@ std::string Farm::format_summary() const {
                           : "restart")
                    : "-",
                resilient ? std::to_string(r.result.migrations) : "-",
+               resilient ? std::to_string(r.result.downgrades) : "-",
                r.status == JobStatus::kCompleted
                    ? hexfloat(r.result.kinetic_energy)
                    : "-"});
@@ -191,7 +194,8 @@ std::string Farm::format_summary() const {
      << Table::fmt(s.makespan_us / 1000.0, 3) << " ms\n"
      << "recovery: " << s.retransmits << " retransmits, " << s.restarts
      << " restarts, " << s.rollbacks << " rollbacks, " << s.migrations
-     << " migrations, " << s.rebalances << " rebalances\n";
+     << " migrations, " << s.rebalances << " rebalances, " << s.downgrades
+     << " ladder downgrades\n";
   return os.str();
 }
 

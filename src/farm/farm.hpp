@@ -76,6 +76,7 @@ class Farm {
     std::int64_t rollbacks = 0;
     std::int64_t migrations = 0;  // live tile adoptions across members
     std::int64_t rebalances = 0;  // hot-join handbacks across members
+    std::int64_t downgrades = 0;  // recovery-ladder rungs fallen across members
   };
   [[nodiscard]] CampaignSummary summary() const;
 

@@ -76,6 +76,7 @@ struct JobResult {
   int rollbacks = 0;             // soft-fault rollback replays
   int migrations = 0;            // dead tiles adopted live (migrate mode)
   int rebalances = 0;            // tiles handed back to hot-joined boards
+  int downgrades = 0;            // recovery-ladder rungs fallen (summed)
 };
 
 // One farm ledger row: the spec plus everything the scheduler decided.

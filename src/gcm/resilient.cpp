@@ -1,9 +1,9 @@
 #include "gcm/resilient.hpp"
 
 #include <algorithm>
-#include <array>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "cluster/membership.hpp"
 #include "comm/comm.hpp"
@@ -14,25 +14,62 @@
 
 namespace hyades::gcm {
 
+const char* to_string(RecoveryRung rung) {
+  switch (rung) {
+    case RecoveryRung::kMigrate:
+      return "migrate";
+    case RecoveryRung::kMigrateOlderCut:
+      return "migrate-older-cut";
+    case RecoveryRung::kEpochRestart:
+      return "epoch-restart";
+  }
+  return "?";
+}
+
 namespace {
 
-// Durable slot (and in-memory ring slot) of the committed cut at step
-// `s`: the fresh-init step-0 checkpoint lands in slot 0, later cuts
-// alternate.
-int cut_slot(long s, int ckpt_every) {
+// Durable slot of the committed cut at step `s`: the on-disk store is
+// two alternating slots regardless of ring depth (a property of the
+// HYADES03 double-buffered format, not of the in-memory ring).
+int durable_slot(long s, int ckpt_every) {
   return static_cast<int>((s / ckpt_every) % 2);
 }
 
+// In-memory ring slot of the cut at step `s` for a ring of `depth`
+// committed snapshots: consecutive cuts rotate through the depth.
+int ring_slot(long s, int ckpt_every, int depth) {
+  return static_cast<int>((s / ckpt_every) % depth);
+}
+
+// A chaos soak recovers hundreds of times per process: the per-epoch
+// recovery warnings must not flood the log.  Burst covers interactive
+// runs (every recovery of a normal campaign still prints).
+RateLimiter g_recovery_warn_limiter(/*burst=*/6, /*every=*/64);
+
 // One committed in-memory snapshot of a rank's tile, written at every
-// checkpoint cut in migrate mode.  Two of these per rank form the ring
-// that lets survivors rewind without touching disk: because each cut's
-// save sits between collective barriers, no two live ranks can be more
-// than one cut apart, so a two-deep ring always covers the recovery
-// step every peer can reach.
+// checkpoint cut in migrate mode.  `ring_depth` of these per rank form
+// the ring that lets survivors rewind without touching disk: because
+// each cut's save sits between collective barriers, no two live ranks
+// can be more than one cut apart, so a two-deep ring always covers the
+// newest recovery step every peer can reach -- deeper rings keep older
+// cuts live for the older-cut ladder rung.
 struct Snap {
   long step = -1;
   State state;
 };
+
+long newest_ring_step(const std::vector<Snap>& rr) {
+  long newest = -1;
+  for (const Snap& s : rr) newest = std::max(newest, s.step);
+  return newest;
+}
+
+bool ring_has(const std::vector<Snap>& rr, long step) {
+  for (const Snap& s : rr) {
+    if (s.step == step) return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -46,6 +83,11 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
   }
   if (rcfg.max_restarts < 0) {
     throw std::invalid_argument("run_resilient: max_restarts must be >= 0");
+  }
+  if (rcfg.ring_depth < 2) {
+    throw std::invalid_argument(
+        "run_resilient: ring_depth must be >= 2 (barriers allow one cut of "
+        "skew between live ranks)");
   }
   const int nranks = rt.config().nranks();
   if (rcfg.tracers != nullptr &&
@@ -67,8 +109,11 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
   // Everything below is written by the driver between epochs or by a
   // rank thread in its own slot during an epoch; thread create/join
   // orders every cross-thread access.
-  std::vector<std::array<Snap, 2>> ring;  // per-rank committed snapshots
-  if (migrate) ring.resize(static_cast<std::size_t>(nranks));
+  std::vector<std::vector<Snap>> ring;  // per-rank committed snapshots
+  if (migrate) {
+    ring.assign(static_cast<std::size_t>(nranks),
+                std::vector<Snap>(static_cast<std::size_t>(rcfg.ring_depth)));
+  }
   std::vector<int> host_map;  // evolving placement baseline; empty=identity
   std::set<int> dead_smps;    // boards lost and not yet replaced by a join
   int adopt_rr = 0;           // round-robin fallback cursor for adoption
@@ -83,12 +128,25 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
   std::string load_prefix;  // epoch-restart slot to reload
   std::vector<char> adopt_load(static_cast<std::size_t>(nranks), 0);
   std::vector<std::string> adopt_path(static_cast<std::size_t>(nranks));
+  // Ladder outcome of the recovery being resumed: the rung it landed on
+  // (names the kNodeDown span) and the rungs fallen getting there
+  // (charged to every resuming rank's accounting).
+  RecoveryRung pending_rung = RecoveryRung::kMigrate;
+  int pending_downgrades = 0;
 
   // Recovery-time probe: each rank records the virtual clock after its
   // first completed step of an epoch; the driver turns the max into the
   // per-event recovery_us (detection -> everyone stepping again).
   Microseconds pending_detect = -1.0;
   std::vector<Microseconds> probe(static_cast<std::size_t>(nranks), 0.0);
+
+  // Per-epoch completion flags: a rank marks its slot after its last
+  // step.  When a kill takes down every board at once there is no
+  // survivor left to escalate a verdict -- every rank fail-stops
+  // silently and run() returns cleanly with nothing computed.  The
+  // driver detects that (no rank completed) and synthesizes the
+  // coalesced verdict the survivors would have published.
+  std::vector<char> completed(static_cast<std::size_t>(nranks), 0);
 
   ResilientStats st;
 
@@ -106,10 +164,62 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
     pending_detect = -1.0;
   };
 
+  // ---- the degradation ladder's rungs ---------------------------------
+
+  // Epoch restart: pick the newest consistent AND deep-verified durable
+  // slot for a whole-world reload.  Consistency (same step on every
+  // rank) comes from the header scan; a corrupt payload passes the
+  // header, so every rank file of a candidate slot is CRC-verified
+  // before committing -- a slot with rotted bits degrades to the other
+  // slot, recorded as a failed attempt.  Returns false (with the
+  // attempts recorded) when neither slot is usable.
+  const auto plan_epoch_restart = [&](RecoveryEvent* ev) -> bool {
+    const tile_ckpt::SlotScan scans[2] = {
+        tile_ckpt::scan_slot(rcfg.ckpt_prefix, 0, nranks),
+        tile_ckpt::scan_slot(rcfg.ckpt_prefix, 1, nranks)};
+    std::vector<int> order;
+    for (int slot : {0, 1}) {
+      if (scans[slot].consistent) order.push_back(slot);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](int x, int y) { return scans[x].step > scans[y].step; });
+    for (int slot : order) {
+      const std::string sp = tile_ckpt::slot_prefix(rcfg.ckpt_prefix, slot);
+      int bad_rank = -1;
+      for (int r = 0; r < nranks; ++r) {
+        if (!tile_ckpt::verify(tile_ckpt::rank_path(sp, r), mcfg)) {
+          bad_rank = r;
+          break;
+        }
+      }
+      if (bad_rank >= 0) {
+        ev->attempts.push_back(
+            {RecoveryRung::kEpochRestart, scans[slot].step, false,
+             "slot " + std::to_string(slot) + " at step " +
+                 std::to_string(scans[slot].step) + ": rank " +
+                 std::to_string(bad_rank) +
+                 " durable checkpoint failed deep verification"});
+        continue;
+      }
+      load_prefix = sp;
+      resume_step = scans[slot].step;
+      ev->attempts.push_back(
+          {RecoveryRung::kEpochRestart, resume_step, true, ""});
+      return true;
+    }
+    if (order.empty()) {
+      ev->attempts.push_back(
+          {RecoveryRung::kEpochRestart, -1, false,
+           "no consistent checkpoint slot to restart from"});
+    }
+    return false;
+  };
+
   for (int epoch = 0;; ++epoch) {
     rt.set_epoch(epoch);
     rt.bus().reset_down();
     rt.set_host_map(host_map);
+    completed.assign(static_cast<std::size_t>(nranks), 0);
 
     try {
       rt.run([&](cluster::RankContext& ctx) {
@@ -128,25 +238,37 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
             // complete, mutually consistent slot.
             model.save_checkpoint(tile_ckpt::slot_prefix(rcfg.ckpt_prefix, 0));
             if (migrate) {
+              // ring_slot(0) == 0 at any depth.
               ring[ri][0].step = 0;
               ring[ri][0].state = model.state();
             }
-          } else if (!migrate) {
+          } else if (!migrate || !load_prefix.empty()) {
+            // Epoch restart: the recovery mode's only rung, or the
+            // migrate ladder's last resort (the driver cleared the
+            // rings and reset the placement; the boards are back).
             model.load_checkpoint(load_prefix);
             const Microseconds began = ctx.clock().now();
             ctx.clock().advance_to(clock_base);
             ctx.charge_restart(plan != nullptr ? plan->restart_cost_us : 0.0);
+            if (pending_downgrades > 0) {
+              ctx.note_downgrades(pending_downgrades);
+            }
             if (ctx.tracer() != nullptr) {
               ctx.tracer()->record("restart", cluster::SpanCat::kNodeDown,
                                    began, ctx.clock().now());
+            }
+            if (migrate) {
+              const auto slot = static_cast<std::size_t>(ring_slot(
+                  resume_step, rcfg.ckpt_every, rcfg.ring_depth));
+              ring[ri][slot].step = resume_step;
+              ring[ri][slot].state = model.state();
             }
           } else {
             // Live-migration resume: adopters of dead tiles re-read the
             // newest durable per-tile checkpoint and pay the migration
             // cost; survivors rewind from the in-memory ring for free.
-            const auto slot =
-                static_cast<std::size_t>(cut_slot(resume_step,
-                                                  rcfg.ckpt_every));
+            const auto slot = static_cast<std::size_t>(
+                ring_slot(resume_step, rcfg.ckpt_every, rcfg.ring_depth));
             if (adopt_load[ri] != 0) {
               tile_ckpt::load(adopt_path[ri], mcfg, &model.state());
               const Microseconds began = ctx.clock().now();
@@ -155,12 +277,19 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
               ctx.clock().advance_to(clock_base + cost);
               ctx.charge_migrate(cost);
               if (ctx.tracer() != nullptr) {
-                ctx.tracer()->record("migrate", cluster::SpanCat::kNodeDown,
-                                     began, ctx.clock().now());
+                // The span carries the landed rung's name, so the trace
+                // (and the report built from it) shows whether this
+                // recovery took the newest cut or fell a rung.
+                ctx.tracer()->record(to_string(pending_rung),
+                                     cluster::SpanCat::kNodeDown, began,
+                                     ctx.clock().now());
               }
             } else {
               model.state() = ring[ri][slot].state;
               ctx.clock().advance_to(clock_base);
+            }
+            if (pending_downgrades > 0) {
+              ctx.note_downgrades(pending_downgrades);
             }
             // Re-seed the ring at the recovery cut (fills the adopters'
             // cleared ring; a bit-exact overwrite on survivors).
@@ -179,13 +308,14 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
               // The barrier makes the rotation a collective cut at step
               // s; double buffering covers an abort mid-rotation.
               model.comm().barrier();
-              const int cslot = cut_slot(s, rcfg.ckpt_every);
+              const int dslot = durable_slot(s, rcfg.ckpt_every);
               model.save_checkpoint(
-                  tile_ckpt::slot_prefix(rcfg.ckpt_prefix, cslot));
+                  tile_ckpt::slot_prefix(rcfg.ckpt_prefix, dslot));
               if (migrate) {
-                ring[ri][static_cast<std::size_t>(cslot)].step = s;
-                ring[ri][static_cast<std::size_t>(cslot)].state =
-                    model.state();
+                const auto cslot = static_cast<std::size_t>(
+                    ring_slot(s, rcfg.ckpt_every, rcfg.ring_depth));
+                ring[ri][cslot].step = s;
+                ring[ri][cslot].state = model.state();
                 // Hot joins: every rank applies the same pure function
                 // of (plan, step) to its local placement map, so the
                 // maps stay consistent without any shared state.  A
@@ -216,6 +346,7 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
               }
             }
           }
+          completed[ri] = 1;
           if (rcfg.on_complete) rcfg.on_complete(ctx, model);
         } catch (const cluster::RankFailStop&) {
           // This rank's node fail-stopped at a communication point: go
@@ -237,6 +368,24 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
           throw;
         }
       });
+      bool all_completed = true;
+      for (char c : completed) all_completed = all_completed && c != 0;
+      if (!all_completed) {
+        // Every rank fail-stopped before finishing (steps are collective,
+        // so completion is all-or-nothing): the whole machine went down
+        // inside one detection window and nobody was left to escalate.
+        // Synthesize the canonical coalesced verdict and recover through
+        // the ladder like any other NodeDown event.
+        if (plan == nullptr || !plan->has_node_kills()) {
+          throw RecoveryError(
+              "run_resilient: epoch " + std::to_string(epoch) +
+                  " ended with no rank completing and no scheduled kill to "
+                  "explain it",
+              -1, -1, -1, RecoveryRung::kMigrate);
+        }
+        throw cluster::NodeDownError(
+            cluster::coalesce_expired_kills(*plan, epoch));
+      }
       st.steps = steps;
       absorb_counts();
       record_recovery();
@@ -248,171 +397,259 @@ ResilientStats run_resilient(cluster::Runtime& rt, const ModelConfig& mcfg,
       if (++st.restarts > rcfg.max_restarts) {
         throw RestartExhausted(st.restarts, e.verdict);
       }
+      // Chaos/test hook: damage durable state *before* planning, so the
+      // planner sees exactly what a recovery after silent bit rot sees.
+      if (rcfg.pre_recovery) rcfg.pre_recovery(epoch, e.verdict);
+
+      RecoveryEvent ev;
+      ev.verdict = e.verdict;
 
       if (!migrate) {
         // ---- epoch restart: everyone reloads the newest full slot ----
-        const tile_ckpt::SlotScan a =
-            tile_ckpt::scan_slot(rcfg.ckpt_prefix, 0, nranks);
-        const tile_ckpt::SlotScan b =
-            tile_ckpt::scan_slot(rcfg.ckpt_prefix, 1, nranks);
-        if (!a.consistent && !b.consistent) {
-          throw std::runtime_error(
-              "run_resilient: no consistent checkpoint slot to restart from");
+        if (!plan_epoch_restart(&ev)) {
+          throw RecoveryExhausted(e.verdict, ev.attempts);
         }
-        const bool use_a = a.consistent && (!b.consistent || a.step >= b.step);
-        load_prefix = tile_ckpt::slot_prefix(rcfg.ckpt_prefix, use_a ? 0 : 1);
-        resume_step = use_a ? a.step : b.step;
         st.restart_steps.push_back(resume_step);
         clock_base = e.verdict.detected_us +
                      (plan != nullptr ? plan->restart_cost_us : 0.0);
-        log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
-                   << e.verdict.rank << " down at t=" << e.verdict.detected_us
-                   << " us); restarting from step "
-                   << st.restart_steps.back();
+        if (g_recovery_warn_limiter.admit()) {
+          log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
+                     << e.verdict.rank << " down at t="
+                     << e.verdict.detected_us << " us); restarting from step "
+                     << st.restart_steps.back();
+        }
       } else {
         // ---- live migration: survivors rewind in memory, adopters ----
         // ---- re-load only the dead tiles' durable checkpoints.    ----
-        const int dead_smp = host_of(e.verdict.rank);
+        // The verdict carries a dead *set*: every board hosting a
+        // kill-named rank is down, together with every tile it hosts
+        // (including tiles adopted during an earlier recovery).
+        std::set<int> dead_boards;
+        for (int vr : e.verdict.dead_ranks()) dead_boards.insert(host_of(vr));
         std::vector<char> is_dead(static_cast<std::size_t>(nranks), 0);
         std::vector<int> dead;
         for (int r = 0; r < nranks; ++r) {
-          if (host_of(r) == dead_smp) {
+          if (dead_boards.count(host_of(r)) != 0) {
             is_dead[static_cast<std::size_t>(r)] = 1;
             dead.push_back(r);
           }
         }
-        if (static_cast<int>(dead.size()) == nranks) {
-          throw std::runtime_error(
-              "run_resilient: node down took every rank; nothing to migrate");
-        }
-        // The newest cut every survivor still holds in its ring: because
-        // the cut's save sits between collective barriers, survivors are
-        // within one cut of each other, so the minimum of their newest
-        // ring steps is present in every survivor's two-deep ring.
-        long s_surv = -1;
-        bool have_surv = false;
-        for (int r = 0; r < nranks; ++r) {
-          if (is_dead[static_cast<std::size_t>(r)] != 0) continue;
-          const auto& rr = ring[static_cast<std::size_t>(r)];
-          const long newest = std::max(rr[0].step, rr[1].step);
-          if (newest < 0) {
-            throw std::runtime_error(
-                "run_resilient: survivor rank " + std::to_string(r) +
-                " holds no committed snapshot");
-          }
-          s_surv = have_surv ? std::min(s_surv, newest) : newest;
-          have_surv = true;
-        }
-        // Clamp by the dead tiles' newest durable checkpoints: a rank
-        // that died inside a cut's barrier may have published one cut
-        // less than the survivors reached.
-        long s_recover = s_surv;
-        for (int r : dead) {
-          const tile_ckpt::TileHit hit =
-              tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, s_surv);
-          if (hit.step < 0) {
-            throw std::runtime_error(
-                "run_resilient: no durable checkpoint for dead rank " +
-                std::to_string(r));
-          }
-          s_recover = std::min(s_recover, hit.step);
-        }
-        // Resolve every rank's recovery source at exactly s_recover.
-        adopt_load.assign(static_cast<std::size_t>(nranks), 0);
-        for (int r : dead) {
-          const tile_ckpt::TileHit hit =
-              tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, s_recover);
-          if (hit.step != s_recover) {
-            throw std::runtime_error(
-                "run_resilient: dead rank " + std::to_string(r) +
-                " has no durable checkpoint at recovery step " +
-                std::to_string(s_recover));
-          }
-          adopt_load[static_cast<std::size_t>(r)] = 1;
-          adopt_path[static_cast<std::size_t>(r)] = hit.path;
-        }
-        const int rslot = cut_slot(s_recover, rcfg.ckpt_every);
-        for (int r = 0; r < nranks; ++r) {
-          const auto riv = static_cast<std::size_t>(r);
-          if (is_dead[riv] != 0) continue;
-          if (ring[riv][static_cast<std::size_t>(rslot)].step != s_recover) {
-            throw std::runtime_error(
-                "run_resilient: survivor rank " + std::to_string(r) +
-                " holds no snapshot at recovery step " +
-                std::to_string(s_recover));
-          }
-        }
 
-        // Evolve the placement baseline.  First mirror the joins the
-        // aborted epoch had already applied at cuts up to the recovery
-        // step, so the baseline matches every rank's map at that cut;
-        // then retire the dead board and re-home its tiles.
-        if (host_map.empty()) {
-          host_map.resize(static_cast<std::size_t>(nranks));
+        // One rung of migration planning: find the newest cut at or
+        // below `ceiling` that every survivor's ring and every dead
+        // rank's (CRC-verified) durable checkpoint can meet at.  Any
+        // precondition miss fails the rung with its reason -- the
+        // ladder decides what to do next, nothing aborts the campaign.
+        std::vector<std::string> planned_paths(
+            static_cast<std::size_t>(nranks));
+        const auto try_migrate = [&](long ceiling, RungAttempt* att) -> bool {
+          att->ok = false;
+          att->step = -1;
+          if (static_cast<int>(dead.size()) == nranks) {
+            att->reason = "verdict takes every board down; nothing to migrate";
+            return false;
+          }
+          long s_surv = -1;
+          bool have_surv = false;
           for (int r = 0; r < nranks; ++r) {
-            host_map[static_cast<std::size_t>(r)] = r / ppp;
-          }
-        }
-        if (plan != nullptr) {
-          for (const cluster::NodeJoin& j : plan->node_joins) {
-            if (j.smp < 0 || j.smp >= smp_count || j.at_step > s_recover ||
-                j.smp == dead_smp) {
-              continue;
+            if (is_dead[static_cast<std::size_t>(r)] != 0) continue;
+            const long newest =
+                newest_ring_step(ring[static_cast<std::size_t>(r)]);
+            if (newest < 0) {
+              att->reason = "survivor rank " + std::to_string(r) +
+                            " holds no committed snapshot";
+              return false;
             }
-            dead_smps.erase(j.smp);
-            const int lo = j.smp * ppp;
-            for (int q = lo; q < lo + ppp && q < nranks; ++q) {
-              host_map[static_cast<std::size_t>(q)] = j.smp;
+            s_surv = have_surv ? std::min(s_surv, newest) : newest;
+            have_surv = true;
+          }
+          const long cap = std::min(s_surv, ceiling);
+          if (cap < 0) {
+            att->reason = "no committed cut at or below step " +
+                          std::to_string(ceiling);
+            return false;
+          }
+          // Clamp by the dead tiles' newest durable checkpoints: a rank
+          // that died inside a cut's barrier may have published one cut
+          // less than the survivors reached.
+          long s_recover = cap;
+          for (int r : dead) {
+            const tile_ckpt::TileHit hit =
+                tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, cap);
+            if (hit.step < 0) {
+              att->reason = "dead rank " + std::to_string(r) +
+                            " has no durable checkpoint at or below step " +
+                            std::to_string(cap);
+              return false;
+            }
+            s_recover = std::min(s_recover, hit.step);
+          }
+          att->step = s_recover;
+          // Resolve every dead rank's recovery source at exactly
+          // s_recover, and deep-verify it: peek_step only reads the
+          // header, so a payload with rotted bits would otherwise crash
+          // the adopter mid-load instead of degrading the rung.
+          for (int r : dead) {
+            const tile_ckpt::TileHit hit =
+                tile_ckpt::newest_rank_ckpt(rcfg.ckpt_prefix, r, s_recover);
+            if (hit.step != s_recover) {
+              att->reason = "dead rank " + std::to_string(r) +
+                            " has no durable checkpoint at recovery step " +
+                            std::to_string(s_recover);
+              return false;
+            }
+            if (!tile_ckpt::verify(hit.path, mcfg)) {
+              att->reason = "dead rank " + std::to_string(r) +
+                            " durable checkpoint at step " +
+                            std::to_string(s_recover) +
+                            " failed deep verification (corrupt)";
+              return false;
+            }
+            planned_paths[static_cast<std::size_t>(r)] = hit.path;
+          }
+          for (int r = 0; r < nranks; ++r) {
+            const auto riv = static_cast<std::size_t>(r);
+            if (is_dead[riv] != 0) continue;
+            if (!ring_has(ring[riv], s_recover)) {
+              att->reason = "survivor rank " + std::to_string(r) +
+                            " ring misses recovery cut " +
+                            std::to_string(s_recover);
+              return false;
             }
           }
-        }
-        dead_smps.insert(dead_smp);
-        std::vector<int> alive;
-        for (int smp = 0; smp < smp_count; ++smp) {
-          if (dead_smps.count(smp) == 0) alive.push_back(smp);
-        }
-        if (alive.empty()) {
-          throw std::runtime_error(
-              "run_resilient: every board is down; cannot migrate");
-        }
-        // Adoption: prefer the board hosting a surviving halo neighbor
-        // (the adopted tile's exchanges stay partly local), else spread
-        // the orphans round-robin over the surviving boards.
-        for (int r : dead) {
-          int target = -1;
-          const Decomp dec(mcfg, r);
-          for (int nr : dec.neighbors) {
-            if (nr < 0 || is_dead[static_cast<std::size_t>(nr)] != 0) {
-              continue;
-            }
-            const int cand = host_map[static_cast<std::size_t>(nr)];
-            if (dead_smps.count(cand) == 0) {
-              target = cand;
-              break;
-            }
-          }
-          if (target < 0) {
-            target = alive[static_cast<std::size_t>(adopt_rr) % alive.size()];
-            ++adopt_rr;
-          }
-          host_map[static_cast<std::size_t>(r)] = target;
-          // The adopter board's in-memory ring never held this tile:
-          // invalidate the dead rank's snapshots so a later failure
-          // cannot rewind onto state that died with the board.
-          ring[static_cast<std::size_t>(r)][0].step = -1;
-          ring[static_cast<std::size_t>(r)][1].step = -1;
+          att->ok = true;
+          return true;
+        };
+
+        // Rung 1: migrate at the newest common cut.
+        RungAttempt a1;
+        a1.rung = RecoveryRung::kMigrate;
+        bool planned = try_migrate(static_cast<long>(steps), &a1);
+        ev.attempts.push_back(a1);
+        // Rung 2: migrate from one durable cut further back (the newest
+        // may be corrupt, or a dead rank may miss it entirely).
+        if (!planned) {
+          RungAttempt a2;
+          a2.rung = RecoveryRung::kMigrateOlderCut;
+          const long older_ceiling =
+              (a1.step >= 0 ? a1.step : static_cast<long>(steps)) - 1;
+          planned = try_migrate(older_ceiling, &a2);
+          ev.attempts.push_back(a2);
         }
 
-        load_prefix.clear();
-        resume_step = s_recover;
-        st.restart_steps.push_back(s_recover);
-        clock_base = e.verdict.detected_us;
-        log_warn() << "run_resilient: epoch " << epoch << " aborted (rank "
-                   << e.verdict.rank << " down at t=" << e.verdict.detected_us
-                   << " us); migrating " << dead.size()
-                   << " tile(s) off board " << dead_smp
-                   << " and resuming from step " << s_recover;
+        if (planned) {
+          const long s_recover = ev.attempts.back().step;
+          adopt_load.assign(static_cast<std::size_t>(nranks), 0);
+          for (int r : dead) {
+            adopt_load[static_cast<std::size_t>(r)] = 1;
+            adopt_path[static_cast<std::size_t>(r)] =
+                planned_paths[static_cast<std::size_t>(r)];
+          }
+
+          // Evolve the placement baseline.  First mirror the joins the
+          // aborted epoch had already applied at cuts up to the recovery
+          // step, so the baseline matches every rank's map at that cut;
+          // then retire the dead boards and re-home their tiles.
+          if (host_map.empty()) {
+            host_map.resize(static_cast<std::size_t>(nranks));
+            for (int r = 0; r < nranks; ++r) {
+              host_map[static_cast<std::size_t>(r)] = r / ppp;
+            }
+          }
+          if (plan != nullptr) {
+            for (const cluster::NodeJoin& j : plan->node_joins) {
+              if (j.smp < 0 || j.smp >= smp_count || j.at_step > s_recover ||
+                  dead_boards.count(j.smp) != 0) {
+                continue;
+              }
+              dead_smps.erase(j.smp);
+              const int lo = j.smp * ppp;
+              for (int q = lo; q < lo + ppp && q < nranks; ++q) {
+                host_map[static_cast<std::size_t>(q)] = j.smp;
+              }
+            }
+          }
+          dead_smps.insert(dead_boards.begin(), dead_boards.end());
+          std::vector<int> alive;
+          for (int smp = 0; smp < smp_count; ++smp) {
+            if (dead_smps.count(smp) == 0) alive.push_back(smp);
+          }
+          // Adoption: prefer the board hosting a surviving halo neighbor
+          // (the adopted tile's exchanges stay partly local), else
+          // spread the orphans round-robin over the surviving boards.
+          // `alive` cannot be empty here: a planned migration implies at
+          // least one survivor, and its host is not a dead board.
+          for (int r : dead) {
+            int target = -1;
+            const Decomp dec(mcfg, r);
+            for (int nr : dec.neighbors) {
+              if (nr < 0 || is_dead[static_cast<std::size_t>(nr)] != 0) {
+                continue;
+              }
+              const int cand = host_map[static_cast<std::size_t>(nr)];
+              if (dead_smps.count(cand) == 0) {
+                target = cand;
+                break;
+              }
+            }
+            if (target < 0) {
+              target =
+                  alive[static_cast<std::size_t>(adopt_rr) % alive.size()];
+              ++adopt_rr;
+            }
+            host_map[static_cast<std::size_t>(r)] = target;
+            // The adopter board's in-memory ring never held this tile:
+            // invalidate the dead rank's snapshots so a later failure
+            // cannot rewind onto state that died with the board.
+            for (Snap& snap : ring[static_cast<std::size_t>(r)]) {
+              snap.step = -1;
+            }
+          }
+
+          load_prefix.clear();
+          resume_step = s_recover;
+          st.restart_steps.push_back(s_recover);
+          clock_base = e.verdict.detected_us;
+          if (g_recovery_warn_limiter.admit()) {
+            log_warn() << "run_resilient: epoch " << epoch
+                       << " aborted (rank " << e.verdict.rank << " down, "
+                       << dead_boards.size() << " board(s), t="
+                       << e.verdict.detected_us << " us); "
+                       << to_string(ev.landed()) << ": migrating "
+                       << dead.size() << " tile(s) and resuming from step "
+                       << s_recover;
+          }
+        } else {
+          const std::string migrate_fail_reason = ev.attempts.back().reason;
+          if (!plan_epoch_restart(&ev)) {
+            throw RecoveryExhausted(e.verdict, ev.attempts);
+          }
+          // Rung 3: restart the world from the newest verified slot.
+          // The operator replaced the boards: placement returns to
+          // identity, no board is dead in the restarted epoch, and the
+          // rings restart from the reload cut (the driver clears them;
+          // each rank re-seeds its own at resume).
+          host_map.clear();
+          dead_smps.clear();
+          adopt_load.assign(static_cast<std::size_t>(nranks), 0);
+          for (std::vector<Snap>& rr : ring) {
+            for (Snap& snap : rr) snap.step = -1;
+          }
+          st.restart_steps.push_back(resume_step);
+          clock_base = e.verdict.detected_us +
+                       (plan != nullptr ? plan->restart_cost_us : 0.0);
+          if (g_recovery_warn_limiter.admit()) {
+            log_warn() << "run_resilient: epoch " << epoch
+                       << " aborted (rank " << e.verdict.rank
+                       << " down); migration unplannable ("
+                       << migrate_fail_reason
+                       << "); epoch restart from step " << resume_step;
+          }
+        }
       }
+      pending_rung = ev.landed();
+      pending_downgrades = ev.downgrades();
+      st.ladder.push_back(ev);
       pending_detect = e.verdict.detected_us;
       probe.assign(static_cast<std::size_t>(nranks), e.verdict.detected_us);
     }

@@ -64,6 +64,21 @@ struct ResilientConfig {
   std::uint64_t init_seed = 7;
   RecoveryMode recovery = RecoveryMode::kEpochRestart;
 
+  // Depth of the in-memory snapshot ring (kMigrate only; >= 2).  Depth
+  // 2 covers the one-cut skew collective barriers allow between live
+  // ranks; deeper rings keep older cuts live so the older-cut rung can
+  // reach further back under long detection latencies.  The durable
+  // on-disk store stays two-slot regardless (a file-format property).
+  int ring_depth = 2;
+
+  // Test/chaos hook invoked on the driver thread when a NodeDown
+  // verdict is caught, before any recovery planning -- the chaos
+  // harness uses it to damage durable files deterministically (bit rot
+  // after commit), exercising the degradation ladder.  Not called on
+  // fault-free runs.
+  std::function<void(int epoch, const cluster::NodeDownVerdict&)>
+      pre_recovery;
+
   // Optional per-rank tracers (size >= nranks): ranks attach them so
   // node_down / restart spans land in the trace.  Not owned.
   std::vector<cluster::Tracer>* tracers = nullptr;
@@ -73,6 +88,44 @@ struct ResilientConfig {
   // Tests use it to capture the final model state for bit-identity
   // checks; it must be thread-safe across ranks.
   std::function<void(cluster::RankContext&, class Model&)> on_complete;
+};
+
+// The degradation ladder's rungs, in the order recovery attempts them
+// under kMigrate.  Epoch restart is both a mode and the ladder's
+// next-to-last rung: when migration cannot be planned (no survivors, a
+// corrupt adopted tile with no older cut, a ring miss), the driver
+// falls back to restarting the world from the newest consistent slot
+// before giving up with a typed RecoveryExhausted.
+enum class RecoveryRung {
+  kMigrate = 0,          // newest common cut, survivors rewind in memory
+  kMigrateOlderCut = 1,  // same plan, one durable cut further back
+  kEpochRestart = 2,     // everyone reloads the newest consistent slot
+};
+[[nodiscard]] const char* to_string(RecoveryRung rung);
+
+// One attempted rung of one recovery event: where it aimed and, when it
+// failed, why the ladder fell through to the next rung.
+struct RungAttempt {
+  RecoveryRung rung = RecoveryRung::kMigrate;
+  long step = -1;      // recovery step this rung targeted (-1: none found)
+  bool ok = false;
+  std::string reason;  // failure cause; empty when ok
+};
+
+// One recovery event: the verdict that triggered it and the full ladder
+// history (every attempt, in order; the last one succeeded unless the
+// run ended in RecoveryExhausted).
+struct RecoveryEvent {
+  cluster::NodeDownVerdict verdict;
+  std::vector<RungAttempt> attempts;
+  // The rung the recovery landed on (the last attempt's).
+  [[nodiscard]] RecoveryRung landed() const {
+    return attempts.empty() ? RecoveryRung::kMigrate : attempts.back().rung;
+  }
+  // Rungs fallen before landing: 0 for a first-choice recovery.
+  [[nodiscard]] int downgrades() const {
+    return attempts.empty() ? 0 : static_cast<int>(attempts.size()) - 1;
+  }
 };
 
 struct ResilientStats {
@@ -87,21 +140,73 @@ struct ResilientStats {
   // campaign was not making forward progress.  Comparable across
   // recovery modes (bench_recovery plots exactly this).
   std::vector<Microseconds> recovery_us;
+  // Per recovery event, aligned with `verdicts`: the degradation-ladder
+  // history (which rungs were tried, which one the recovery landed on).
+  std::vector<RecoveryEvent> ladder;
+};
+
+// Base of the typed recovery-error hierarchy: every way run_resilient
+// gives up is a subclass carrying the context a campaign operator needs
+// to triage -- the primary casualty, the recovery step and durable slot
+// in question (-1 when not applicable), and the ladder rung being
+// attempted when recovery became impossible.  Still a runtime_error, so
+// pre-existing generic handlers (the farm's failed-member triage) keep
+// working unchanged.
+class RecoveryError : public std::runtime_error {
+ public:
+  RecoveryError(const std::string& what_msg, int failed_rank, long at_step,
+                int in_slot, RecoveryRung at_rung)
+      : std::runtime_error(what_msg),
+        rank(failed_rank),
+        step(at_step),
+        slot(in_slot),
+        rung(at_rung) {}
+  int rank;           // primary casualty rank, or -1
+  long step;          // recovery step in question, or -1
+  int slot;           // durable slot in question, or -1
+  RecoveryRung rung;  // rung under attempt when the error was raised
 };
 
 // Thrown when a run aborts more than max_restarts times: the failure is
 // not survivable by restarting (e.g. the plan kills a node every epoch).
-struct RestartExhausted : std::runtime_error {
+struct RestartExhausted : RecoveryError {
   RestartExhausted(int after_restarts, const cluster::NodeDownVerdict& v)
-      : std::runtime_error(
+      : RecoveryError(
             "run_resilient: giving up after " +
-            std::to_string(after_restarts) +
-            " restarts (last verdict: rank " + std::to_string(v.rank) +
-            " down in epoch " + std::to_string(v.epoch) + " at t=" +
-            std::to_string(v.detected_us) + " us)"),
+                std::to_string(after_restarts) +
+                " restarts (last verdict: rank " + std::to_string(v.rank) +
+                " down in epoch " + std::to_string(v.epoch) + " at t=" +
+                std::to_string(v.detected_us) + " us)",
+            v.rank, /*at_step=*/-1, /*in_slot=*/-1,
+            RecoveryRung::kEpochRestart),
         restarts(after_restarts), last_verdict(v) {}
   int restarts;
   cluster::NodeDownVerdict last_verdict;
+};
+
+// Thrown when every rung of the degradation ladder failed for one
+// recovery event: migration could not be planned at any reachable cut
+// AND no consistent, CRC-verified durable slot exists to restart the
+// epoch from.  Carries the full ladder history so the error itself
+// shows what was tried and why each rung fell through.
+struct RecoveryExhausted : RecoveryError {
+  RecoveryExhausted(const cluster::NodeDownVerdict& v,
+                    std::vector<RungAttempt> ladder_history)
+      : RecoveryError(
+            "run_resilient: recovery exhausted after " +
+                std::to_string(ladder_history.size()) +
+                " ladder rung(s) (verdict: rank " + std::to_string(v.rank) +
+                ", " + std::to_string(v.dead_ranks().size()) +
+                " dead rank(s), epoch " + std::to_string(v.epoch) +
+                "): " +
+                (ladder_history.empty() ? std::string("no rung attempted")
+                                        : ladder_history.back().reason),
+            v.rank, /*at_step=*/-1, /*in_slot=*/-1,
+            ladder_history.empty() ? RecoveryRung::kMigrate
+                                   : ladder_history.back().rung),
+        verdict(v), history(std::move(ladder_history)) {}
+  cluster::NodeDownVerdict verdict;
+  std::vector<RungAttempt> history;
 };
 
 // Run `steps` model steps across all of rt's ranks (one tile per rank;

@@ -228,6 +228,28 @@ void load(const std::string& path, const ModelConfig& cfg, State* s) {
   extract(s->ps.data(), s->ps.size());
 }
 
+bool verify(const std::string& path, const ModelConfig& cfg) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  const std::uint64_t magic = read_u64(is);
+  if (!is || magic != kCheckpointMagic) return false;
+  for (const ConfigWord& w : config_words(cfg)) {
+    const std::uint64_t got = read_u64(is);
+    if (!is || got != w.value) return false;
+  }
+  (void)read_u64(is);  // step
+  const std::uint64_t payload_bytes = read_u64(is);
+  const std::uint64_t crc_stored = read_u64(is);
+  if (!is) return false;
+  std::vector<std::uint8_t> payload(payload_bytes);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_bytes) {
+    return false;
+  }
+  return arctic::crc32(payload) == static_cast<std::uint32_t>(crc_stored);
+}
+
 long peek_step(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {

@@ -45,6 +45,15 @@ void load(const std::string& path, const ModelConfig& cfg, State* s);
 // payload.  Throws if the file is missing or not HYADES03.
 [[nodiscard]] long peek_step(const std::string& path);
 
+// Deep verification without touching any State: magic, config words,
+// payload byte count, and the CRC-32 over the full payload all check
+// out.  peek_step only reads the header, so a bit-flipped payload
+// passes it -- the recovery ladder calls this before committing to a
+// rung, so a corrupt durable tile degrades the recovery instead of
+// crashing an adopter mid-load.  Returns false (never throws) on any
+// damage, including a missing file.
+[[nodiscard]] bool verify(const std::string& path, const ModelConfig& cfg);
+
 // A slot is usable as a collective restart point only when every rank's
 // file exists, parses, and reports the same step.
 struct SlotScan {

@@ -1,0 +1,18 @@
+// Lint tripwire: exactly one planted recovery-typed violation -- the
+// membership service swallowing every unwind with catch (...), which
+// would also swallow RankFailStop (deliberately not a std::exception)
+// and turn a scheduled node death into silent survival.
+namespace hyades::cluster {
+
+void probe_peer(int peer);
+
+bool try_probe(int peer) {
+  try {
+    probe_peer(peer);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace hyades::cluster

@@ -1,0 +1,38 @@
+// Clean fixture for the recovery-typed rule: the near-miss patterns
+// that must stay silent in a recovery-critical translation unit.
+// Catching the runtime_error base to triage collateral errors is fine
+// (only *constructing* one is a finding), prose mentioning
+// runtime_error or catch (...) in comments and strings is fine, and a
+// justified lint:allow suppresses a deliberate construction.
+#include <stdexcept>
+#include <string>
+
+namespace hyades::gcm {
+
+void risky_step();
+
+// A typed error deriving from std::runtime_error is the sanctioned
+// shape; referencing the base type in a declaration is not a
+// construction.
+struct TypedRecoveryFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+int triage() {
+  try {
+    risky_step();
+  } catch (const std::runtime_error&) {
+    // Catching the base type (e.g. collateral barrier aborts) is the
+    // documented triage pattern, not an untyped throw.
+    return 1;
+  }
+  return 0;
+}
+
+void justified() {
+  // lint:allow(recovery-typed): exercising the suppression path; a real
+  // site would explain why no typed error fits here.
+  throw std::runtime_error("justified and suppressed");
+}
+
+}  // namespace hyades::gcm

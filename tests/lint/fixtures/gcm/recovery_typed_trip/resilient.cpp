@@ -1,0 +1,14 @@
+// Lint tripwire: exactly one planted recovery-typed violation -- the
+// resilient driver throwing a bare std::runtime_error instead of a
+// typed gcm::RecoveryError, erasing the rank/step/slot/rung context the
+// degradation ladder and the farm triage depend on.
+#include <stdexcept>
+#include <string>
+
+namespace hyades::gcm {
+
+void give_up(int rank) {
+  throw std::runtime_error("no checkpoint for rank " + std::to_string(rank));
+}
+
+}  // namespace hyades::gcm

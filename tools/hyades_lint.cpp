@@ -37,6 +37,13 @@
 //                     what lets per-tile recovery (live migration)
 //                     reason about durable files without ad-hoc string
 //                     surgery scattered over the tree.
+//   recovery-typed    catch (...) or a bare std::runtime_error
+//                     construction inside the recovery-critical
+//                     translation units (gcm/resilient.cpp,
+//                     cluster/membership.cpp): every failure there must
+//                     be a typed gcm::RecoveryError subclass carrying
+//                     rank/step/slot/rung context, or the degradation
+//                     ladder and the farm's triage lose the why.
 //   magic-topology    bare 4/16/32 literals in the topology machinery
 //                     (src/arctic and src/net files named route/fabric/
 //                     fault/topology/torus/arctic_model): since the
@@ -414,6 +421,52 @@ void rule_raw_send(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+void rule_recovery_typed(const SourceFile& f, std::vector<Finding>* out) {
+  // Scope: the recovery-critical translation units -- the resilient
+  // driver and the membership service.  Everything that can go wrong
+  // there must surface as a typed, context-carrying error (the
+  // degradation ladder records rung failures, the farm triages typed
+  // give-ups); a bare std::runtime_error erases the rank/step/slot/rung
+  // context, and a catch (...) would swallow RankFailStop.  Fixtures
+  // mirroring those filenames are linted too.
+  const std::string base = fs::path(f.path).filename().string();
+  if (base != "resilient.cpp" && base != "membership.cpp") return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    std::size_t pos = 0;
+    while ((pos = find_word(s, "catch", pos)) != std::string::npos) {
+      std::size_t j = pos + 5;
+      while (j < s.size() && s[j] == ' ') ++j;
+      if (j < s.size() && s[j] == '(') {
+        const std::size_t dots = s.find("...", j);
+        const std::size_t close = s.find(')', j);
+        if (dots != std::string::npos && close != std::string::npos &&
+            dots < close) {
+          report(out, f, i, "recovery-typed",
+                 "recovery code must not catch (...): failures stay typed "
+                 "for the degradation ladder and farm triage");
+        }
+      }
+      pos += 1;
+    }
+    pos = 0;
+    while ((pos = find_word(s, "runtime_error", pos)) != std::string::npos) {
+      std::size_t j = pos + 13;
+      while (j < s.size() && s[j] == ' ') ++j;
+      // Construction sites only (`runtime_error(...)`): catching the
+      // base type to triage collateral errors is fine, throwing it
+      // discards the context a typed gcm::RecoveryError carries.
+      if (j < s.size() && s[j] == '(') {
+        report(out, f, i, "recovery-typed",
+               "bare std::runtime_error in recovery code: throw a typed "
+               "gcm::RecoveryError (or subclass) carrying rank/step/slot/"
+               "rung context");
+      }
+      pos += 1;
+    }
+  }
+}
+
 void rule_ckpt_path(const SourceFile& f, std::vector<Finding>* out) {
   // Scope: gcm/ and farm/ production code (plus the lint fixtures
   // mirroring them).  tile_ckpt itself is the sanctioned owner of the
@@ -705,7 +758,7 @@ void usage() {
          "  --rule NAME  run only the named rule(s); default: all\n"
          "  FILE...      scan exactly these files instead of a root\n"
          "rules: wall-clock unseeded-rng naked-new catch-all raw-send "
-         "spancat-coverage magic-topology ckpt-path\n";
+         "spancat-coverage magic-topology ckpt-path recovery-typed\n";
 }
 
 }  // namespace
@@ -717,7 +770,7 @@ int main(int argc, char** argv) {
   static const std::set<std::string> kAllRules = {
       "wall-clock",       "unseeded-rng",   "naked-new",
       "catch-all",        "raw-send",       "spancat-coverage",
-      "magic-topology",   "ckpt-path"};
+      "magic-topology",   "ckpt-path",      "recovery-typed"};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -787,6 +840,9 @@ int main(int argc, char** argv) {
     if (rules.count("raw-send") != 0) rule_raw_send(f, &findings);
     if (rules.count("magic-topology") != 0) rule_magic_topology(f, &findings);
     if (rules.count("ckpt-path") != 0) rule_ckpt_path(f, &findings);
+    if (rules.count("recovery-typed") != 0) {
+      rule_recovery_typed(f, &findings);
+    }
   }
   if (rules.count("spancat-coverage") != 0) {
     rule_spancat_coverage(sources, &findings);
