@@ -29,11 +29,19 @@ const char* tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+// The level is a standalone filter knob: no other data is published
+// with it, so relaxed ordering is sufficient (threads only need to
+// eventually see the new level, not anything it guards).
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
   support::MutexLock lock(g_mutex);
   std::cerr << tag(level) << msg << '\n';
 }

@@ -1,0 +1,21 @@
+// Near-miss patterns for atomic-order: explicit orders, the free
+// std::exchange (not an atomic member op), and a justified seq_cst.
+#include <atomic>
+#include <utility>
+
+std::atomic<int> g_flag{0};
+std::atomic<int> g_state{0};
+
+int take(int* slot) {
+  return std::exchange(*slot, 0);  // free function, not an atomic op
+}
+
+void publish() { g_flag.store(1, std::memory_order_release); }
+
+int consume() { return g_flag.load(std::memory_order_acquire); }
+
+void reset() {
+  // lint:allow(atomic-order): deliberate seq_cst -- the reset pairs
+  // with every other access and must keep the single total order.
+  g_state.store(0);
+}

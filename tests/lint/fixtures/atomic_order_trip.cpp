@@ -1,0 +1,7 @@
+// Tripwire: a bare default-seq_cst atomic store hides the ordering
+// contract the lock-free code depends on.
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+void publish() { g_flag.store(1); }

@@ -1,5 +1,6 @@
 // Near-miss patterns that must NOT fire: the lint matches code, not
 // prose, and honors justified suppressions.  Zero findings expected.
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -29,7 +30,7 @@ std::unique_ptr<Stepper> make_stepper() {
 long long watchdog_now() {
   // lint:allow(wall-clock): host watchdog for hang detection only;
   // never feeds simulated timestamps.
-  return 42;  // stand-in for a justified real-clock read
+  return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 
 void typed_catch() {

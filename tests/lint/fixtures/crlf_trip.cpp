@@ -1,0 +1,7 @@
+// Tripwire: CRLF line endings must not shift token columns or
+// confuse the lexer: the carriage return is stripped at load.
+#include <chrono>
+
+long long now_us() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

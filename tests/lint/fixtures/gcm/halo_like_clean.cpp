@@ -1,0 +1,8 @@
+// Near-miss: a member function named exchange() on a plain object --
+// no atomic type anywhere in this file, so atomic-order stays silent
+// (the halo exchanger's comm.exchange(nb, buf) is exactly this shape).
+struct HaloComm {
+  void exchange(int nb, double* buf);
+};
+
+void step(HaloComm& comm, double* buf) { comm.exchange(0, buf); }

@@ -1,0 +1,9 @@
+// Near-miss: per-tile kernel loops own their accumulation order; the
+// kernels* basename is exempt even though the buffer is tile-indexed.
+double tile_sum(const double* cell, int ncells, int tile) {
+  double acc = 0.0;
+  for (int i = 0; i < ncells; ++i) {
+    acc += cell[tile * ncells + i];
+  }
+  return acc;
+}

@@ -1,0 +1,9 @@
+// Near-miss: scalar accumulation over a plain loop index is not a
+// cross-rank reduction -- the loop order here is the contract.
+double trapezoid(const double* f, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += f[i];
+  }
+  return acc * 0.5;
+}

@@ -1,0 +1,9 @@
+// Tripwire: folding partial sums in rank order with raw += diverges
+// from the fixed fold-then-butterfly order comm::Comm guarantees.
+double total_energy(const double* partials, int nranks) {
+  double total = 0.0;
+  for (int rank = 0; rank < nranks; ++rank) {
+    total += partials[rank];
+  }
+  return total;
+}

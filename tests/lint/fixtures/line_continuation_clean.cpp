@@ -1,0 +1,4 @@
+// A trailing backslash legally extends this comment onto the next \
+   line, where steady_clock and rand() stay prose -- the v1 stripper \
+   treated these continuations as code and fired here.
+int answer() { return 6 * 7; }

@@ -1,0 +1,5 @@
+// Tripwire: this comment's trailing backslash legally extends it to \
+   the next physical line, so the steady_clock here is prose only.
+long long now_ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// Near-miss: ordered containers, plus prose and string literals that
+// merely mention unordered_map, must stay silent.
+#include <map>
+#include <string>
+
+// An unordered_map would hash; std::map iterates in key order.
+std::string describe() { return "not an unordered_map"; }
+
+int count_keys(const std::map<int, int>& m) {
+  return static_cast<int>(m.size());
+}

@@ -1,0 +1,7 @@
+// Tripwire: unordered_map iteration order depends on the host hash
+// and bucket layout -- it leaks host behavior into bit-determinism.
+#include <unordered_map>
+
+int count_keys(const std::unordered_map<int, int>& m) {
+  return static_cast<int>(m.size());
+}

@@ -1,0 +1,12 @@
+// Tripwire: this allow excuses nothing -- the naked new it once
+// covered became make_unique, and the excuse stayed behind where it
+// would silently eat the next genuine violation.
+#include <memory>
+
+struct Grid {};
+
+std::unique_ptr<Grid> make_grid() {
+  // lint:allow(naked-new): arena handoff (stale: the code below now
+  // uses make_unique)
+  return std::make_unique<Grid>();
+}

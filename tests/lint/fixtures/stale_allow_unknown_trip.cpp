@@ -1,0 +1,6 @@
+// Tripwire: an allow naming a rule that does not exist can never
+// suppress anything (here, a typo for wall-clock).
+int deploy() {
+  // lint:allow(wall-cock): typo, should be wall-clock
+  return 0;
+}

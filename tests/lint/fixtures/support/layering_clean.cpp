@@ -1,0 +1,6 @@
+// Near-miss: same-module quoted includes are legal at any layer, and
+// angled system headers carry no layer at all.
+#include "support/rng.hpp"
+#include <vector>
+
+int support_ok() { return 1; }

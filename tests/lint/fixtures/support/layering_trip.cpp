@@ -1,0 +1,5 @@
+// Tripwire: support/ (layer 0) reaching up into gcm/ (layer 7)
+// inverts the dependency DAG the build is layered around.
+#include "gcm/config.hpp"
+
+int support_helper() { return 0; }

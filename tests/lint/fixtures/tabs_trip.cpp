@@ -1,0 +1,7 @@
+// Tripwire: tab indentation -- a tab advances the byte column by
+// exactly one, so the finding lands at 6:22 regardless of tab width.
+#include <chrono>
+
+long long now_us() {
+	return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,349 @@
+// hyades-lint v2 core tests: tokenizer provenance (line continuation,
+// CRLF, tabs, raw strings, spliced literals), the include scanner, and
+// the machine-readable output formats.  json/sarif are checked against
+// the same minimal strict RFC-8259 validator the BENCH_*.json probes
+// use -- campaign tooling and the verify skill parse these documents
+// with strict parsers, so "roughly JSON" is a regression.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+#include "lint/source.hpp"
+#include "lint/token.hpp"
+
+namespace hyades::lint {
+namespace {
+
+// Minimal strict RFC-8259 recursive-descent validator (same idiom as
+// tests/farm/bench_json_test.cpp).
+class StrictJson {
+ public:
+  static bool valid(const std::string& text) {
+    StrictJson p(text);
+    p.ws();
+    if (!p.value()) return false;
+    p.ws();
+    return p.i_ == text.size();
+  }
+
+ private:
+  explicit StrictJson(const std::string& t) : t_(t) {}
+  const std::string& t_;
+  std::size_t i_ = 0;
+
+  [[nodiscard]] char peek() const { return i_ < t_.size() ? t_[i_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  bool lit(const char* s) {
+    std::size_t j = i_;
+    for (; *s != '\0'; ++s, ++j) {
+      if (j >= t_.size() || t_[j] != *s) return false;
+    }
+    i_ = j;
+    return true;
+  }
+  void ws() {
+    while (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+           peek() == '\r') {
+      ++i_;
+    }
+  }
+  static bool digit(char c) { return c >= '0' && c <= '9'; }
+  static bool hex(char c) {
+    return digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (true) {
+      if (i_ >= t_.size()) return false;
+      const unsigned char c = static_cast<unsigned char>(t_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;  // bare control character: invalid
+      if (c == '\\') {
+        ++i_;
+        const char e = peek();
+        if (e == 'u') {
+          ++i_;
+          for (int k = 0; k < 4; ++k) {
+            if (!hex(peek())) return false;
+            ++i_;
+          }
+          continue;
+        }
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++i_;
+          continue;
+        }
+        return false;
+      }
+      ++i_;
+    }
+  }
+
+  bool number() {
+    (void)eat('-');
+    if (eat('0')) {
+      // leading zero must not be followed by digits
+    } else if (digit(peek())) {
+      while (digit(peek())) ++i_;
+    } else {
+      return false;
+    }
+    if (eat('.')) {
+      if (!digit(peek())) return false;
+      while (digit(peek())) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!digit(peek())) return false;
+      while (digit(peek())) ++i_;
+    }
+    return true;
+  }
+
+  bool value() {  // NOLINT(misc-no-recursion)
+    const char c = peek();
+    if (c == '{') {
+      ++i_;
+      ws();
+      if (eat('}')) return true;
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (!eat(':')) return false;
+        ws();
+        if (!value()) return false;
+        ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      ws();
+      if (eat(']')) return true;
+      while (true) {
+        ws();
+        if (!value()) return false;
+        ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') return string();
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+};
+
+std::string fixture(const std::string& name) {
+  return std::string(HYADES_LINT_FIXDIR) + "/" + name;
+}
+
+bool has_ident(const LexedFile& lf, const std::string& text) {
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::kIdent && t.text == text) return true;
+  }
+  return false;
+}
+
+const Token* find_ident(const LexedFile& lf, const std::string& text) {
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::kIdent && t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+// ---- tokenizer provenance -------------------------------------------
+
+TEST(LintTokenizer, LineCommentContinuationIsStillComment) {
+  // The v1 stripper bug: a `//` comment ending in backslash continues
+  // onto the next physical line, which must stay blank.
+  const LexedFile lf = lex({"// prose mentioning steady_clock \\",
+                            "still prose: rand() and steady_clock here",
+                            "int x = 1;"});
+  EXPECT_FALSE(has_ident(lf, "steady_clock"));
+  EXPECT_FALSE(has_ident(lf, "rand"));
+  const Token* x = find_ident(lf, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->line, 3u);
+}
+
+TEST(LintTokenizer, DoubleContinuationChainsAcrossLines) {
+  const LexedFile lf =
+      lex({"// one \\", "two \\", "three, still comment", "int y;"});
+  ASSERT_NE(find_ident(lf, "y"), nullptr);
+  EXPECT_FALSE(has_ident(lf, "three"));
+  EXPECT_EQ(find_ident(lf, "y")->line, 4u);
+}
+
+TEST(LintTokenizer, TabAdvancesOneByteColumn) {
+  const LexedFile lf = lex({"\tint indented;"});
+  const Token* t = find_ident(lf, "int");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->line, 1u);
+  EXPECT_EQ(t->col, 2u);  // tab is one byte -> column 2
+}
+
+TEST(LintTokenizer, CrlfFixtureLoadsLikeLf) {
+  SourceFile sf;
+  ASSERT_TRUE(load(fixture("crlf_trip.cpp"), &sf));
+  for (const std::string& line : sf.raw) {
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+  }
+  const Token* clk = nullptr;
+  for (const Token& t : sf.tokens) {
+    if (t.kind == Tok::kIdent && t.text == "steady_clock") clk = &t;
+  }
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(clk->line, 6u);
+  EXPECT_EQ(clk->col, 23u);
+}
+
+TEST(LintTokenizer, RawStringContentsAreNotCode) {
+  const LexedFile lf = lex({"auto s = R\"(steady_clock rand())\";"});
+  EXPECT_FALSE(has_ident(lf, "steady_clock"));
+  bool found = false;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::kString &&
+        t.text.find("steady_clock") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTokenizer, SplicedStringLiteralSpansLines) {
+  const LexedFile lf =
+      lex({"const char* s = \"abc\\", "def\";", "int after;"});
+  EXPECT_FALSE(has_ident(lf, "def"));
+  const Token* after = find_ident(lf, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 3u);
+}
+
+TEST(LintTokenizer, PpNumbersLexAsOneToken) {
+  const LexedFile lf = lex({"double a = 1e-3; int b = 1'000; int c = 0x3F;"});
+  std::vector<std::string> numbers;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::kNumber) numbers.push_back(t.text);
+  }
+  ASSERT_EQ(numbers.size(), 3u);
+  EXPECT_EQ(numbers[0], "1e-3");
+  EXPECT_EQ(numbers[1], "1'000");
+  EXPECT_EQ(numbers[2], "0x3F");
+}
+
+TEST(LintTokenizer, IncludeDirectivesAreCaptured) {
+  const LexedFile lf =
+      lex({"#include \"gcm/config.hpp\"", "#include <vector>",
+           "// #include \"net/fabric.hpp\" in a comment is not captured"});
+  ASSERT_EQ(lf.includes.size(), 2u);
+  EXPECT_EQ(lf.includes[0].target, "gcm/config.hpp");
+  EXPECT_FALSE(lf.includes[0].angled);
+  EXPECT_EQ(lf.includes[0].line, 1u);
+  EXPECT_EQ(lf.includes[1].target, "vector");
+  EXPECT_TRUE(lf.includes[1].angled);
+}
+
+// ---- formats --------------------------------------------------------
+
+int run_files(const std::vector<std::string>& names, Format fmt,
+              std::string* out_text) {
+  Options opts;
+  for (const std::string& n : names) opts.files.push_back(fixture(n));
+  opts.format = fmt;
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run(opts, out, err);
+  *out_text = out.str();
+  EXPECT_EQ(err.str(), "");
+  return rc;
+}
+
+TEST(LintFormats, JsonStrictParses) {
+  std::string text;
+  const int rc = run_files({"wall_clock_trip.cpp", "naked_new_trip.cpp"},
+                           Format::kJson, &text);
+  EXPECT_EQ(rc, 1);
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+  EXPECT_NE(text.find("\"tool\":\"hyades-lint\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"rule\":\"wall-clock\""), std::string::npos) << text;
+}
+
+TEST(LintFormats, SarifStrictParses) {
+  std::string text;
+  const int rc = run_files({"wall_clock_trip.cpp"}, Format::kSarif, &text);
+  EXPECT_EQ(rc, 1);
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+  EXPECT_NE(text.find("\"version\":\"2.1.0\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ruleId\":\"wall-clock\""), std::string::npos) << text;
+}
+
+TEST(LintFormats, CleanRunStillStrictParses) {
+  std::string text;
+  const int rc = run_files({"clean.cpp"}, Format::kJson, &text);
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(StrictJson::valid(text)) << text;
+  EXPECT_NE(text.find("\"count\":0"), std::string::npos) << text;
+}
+
+TEST(LintFormats, FindingOrderIsStableAcrossInputOrder) {
+  std::string forward;
+  std::string backward;
+  run_files({"wall_clock_trip.cpp", "naked_new_trip.cpp"}, Format::kText,
+            &forward);
+  run_files({"naked_new_trip.cpp", "wall_clock_trip.cpp"}, Format::kText,
+            &backward);
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(LintFormats, EscapingSurvivesStrictParse) {
+  // Adversarial finding content: control chars, quotes, backslashes.
+  const std::vector<Finding> findings = {
+      Finding{"dir/we\"ird\\path.cpp", 3, 1, "wall-clock",
+              std::string("msg with \x01 control\tand\nnewline")},
+  };
+  const std::vector<RuleInfo> rules = {{"wall-clock", "summary \"quoted\""}};
+  std::ostringstream js;
+  emit_json(findings, rules, 1, js);
+  EXPECT_TRUE(StrictJson::valid(js.str())) << js.str();
+  EXPECT_NE(js.str().find("\\u0001"), std::string::npos) << js.str();
+  std::ostringstream sar;
+  emit_sarif(findings, rules, sar);
+  EXPECT_TRUE(StrictJson::valid(sar.str())) << sar.str();
+}
+
+TEST(LintDriver, StaleAllowFiresAndCleanAllowsStaySilent) {
+  std::string text;
+  EXPECT_EQ(run_files({"stale_allow_trip.cpp"}, Format::kText, &text), 1);
+  EXPECT_NE(text.find("[stale-allow]"), std::string::npos) << text;
+  EXPECT_EQ(run_files({"stale_allow_clean.cpp"}, Format::kText, &text), 0)
+      << text;
+}
+
+TEST(LintDriver, LayeringTripAndClean) {
+  std::string text;
+  EXPECT_EQ(run_files({"support/layering_trip.cpp"}, Format::kText, &text),
+            1);
+  EXPECT_NE(text.find("[layering]"), std::string::npos) << text;
+  EXPECT_EQ(run_files({"support/layering_clean.cpp"}, Format::kText, &text),
+            0)
+      << text;
+}
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,156 @@
+#include "lint/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "lint/rule.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hyades::lint {
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<Rule*> sorted_rules() {
+  std::vector<Rule*> rules = all_rules();
+  std::sort(rules.begin(), rules.end(), [](const Rule* a, const Rule* b) {
+    return a->name() < b->name();
+  });
+  return rules;
+}
+
+}  // namespace
+
+void usage(std::ostream& err) {
+  err << "usage: hyades-lint [--root DIR] [--rule NAME]... "
+         "[--format=text|json|sarif] [FILE]...\n"
+         "  --root DIR     scan DIR/{src,tests,bench,examples,tools}\n"
+         "  --rule NAME    run only the named rule(s); default: all\n"
+         "  --format=FMT   text (default), json, or sarif\n"
+         "  FILE...        scan exactly these files instead of a root\n"
+         "rules:";
+  for (const Rule* r : sorted_rules()) err << " " << r->name();
+  err << "\n";
+}
+
+bool parse_args(int argc, const char* const* argv, Options* opts, bool* help,
+                std::ostream& err) {
+  *help = false;
+  std::set<std::string> known;
+  for (const Rule* r : all_rules()) known.insert(r->name());
+
+  auto set_format = [&](const std::string& v) {
+    if (v == "text") {
+      opts->format = Format::kText;
+    } else if (v == "json") {
+      opts->format = Format::kJson;
+    } else if (v == "sarif") {
+      opts->format = Format::kSarif;
+    } else {
+      err << "hyades-lint: unknown format '" << v << "'\n";
+      return false;
+    }
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts->root = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      const std::string r = argv[++i];
+      if (known.count(r) == 0) {
+        err << "hyades-lint: unknown rule '" << r << "'\n";
+        usage(err);
+        return false;
+      }
+      opts->rules.insert(r);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      if (!set_format(arg.substr(9))) return false;
+    } else if (arg == "--format" && i + 1 < argc) {
+      if (!set_format(argv[++i])) return false;
+    } else if (arg == "--help" || arg == "-h") {
+      *help = true;
+      return true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(err);
+      return false;
+    } else {
+      opts->files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int run(const Options& opts, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> files = opts.files;
+  const bool root_scan = files.empty();
+  if (root_scan) {
+    if (opts.root.empty()) {
+      usage(err);
+      return 2;
+    }
+    for (const char* sub : {"src", "tests", "bench", "examples", "tools"}) {
+      const fs::path dir = fs::path(opts.root) / sub;
+      if (!fs::exists(dir)) continue;
+      for (const auto& e : fs::recursive_directory_iterator(dir)) {
+        if (e.is_regular_file() && lintable(e.path())) {
+          files.push_back(e.path().string());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+
+  Corpus corpus;
+  corpus.root_scan = root_scan;
+  corpus.files.reserve(files.size());
+  for (const std::string& f : files) {
+    SourceFile sf;
+    if (!load(f, &sf)) {
+      err << "hyades-lint: cannot read " << f << "\n";
+      return 2;
+    }
+    // Lint fixtures are deliberate tripwires: skipped when discovered
+    // by a root scan, linted when named explicitly (the fixture tests).
+    if (root_scan &&
+        sf.path.find("tests/lint/fixtures") != std::string::npos) {
+      continue;
+    }
+    corpus.files.push_back(std::move(sf));
+  }
+  corpus.index = Index::build(corpus.files);
+
+  Reporter rep(opts.rules);
+  std::vector<RuleInfo> infos;
+  for (Rule* r : sorted_rules()) {
+    infos.push_back(RuleInfo{r->name(), r->summary()});
+    if (!rep.rule_enabled(r->name())) continue;
+    for (const SourceFile& f : corpus.files) r->per_file(f, corpus, rep);
+    r->whole_corpus(corpus, rep);
+  }
+  for (Rule* r : sorted_rules()) {
+    if (rep.rule_enabled(r->name())) r->finalize(corpus, rep);
+  }
+
+  const std::vector<Finding> findings = rep.take_sorted();
+  switch (opts.format) {
+    case Format::kText:
+      emit_text(findings, corpus.files.size(), out);
+      break;
+    case Format::kJson:
+      emit_json(findings, infos, corpus.files.size(), out);
+      break;
+    case Format::kSarif:
+      emit_sarif(findings, infos, out);
+      break;
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace hyades::lint

@@ -1,0 +1,33 @@
+// Driver: argument parsing, corpus assembly, rule execution, output.
+// Split from main() so the lint_core tests can run the whole pipeline
+// in-process against fixture files.
+#pragma once
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/format.hpp"
+
+namespace hyades::lint {
+
+struct Options {
+  std::string root;                 // --root DIR (scan mode)
+  std::vector<std::string> files;   // explicit files (fixture mode)
+  std::set<std::string> rules;      // empty = all
+  Format format = Format::kText;
+};
+
+// Parse argv into opts; returns false (after printing to err) on a
+// usage error.  `help` is set when --help was asked (caller exits 0).
+bool parse_args(int argc, const char* const* argv, Options* opts,
+                bool* help, std::ostream& err);
+
+void usage(std::ostream& err);
+
+// Run the lint pipeline.  Exit status: 0 clean, 1 findings, 2
+// usage/IO error.
+int run(const Options& opts, std::ostream& out, std::ostream& err);
+
+}  // namespace hyades::lint

@@ -1,0 +1,105 @@
+#include "lint/format.hpp"
+
+#include <cstdio>
+
+namespace hyades::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_text(const std::vector<Finding>& findings, std::size_t files_scanned,
+               std::ostream& out) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+        << f.message << "\n";
+  }
+  out << findings.size() << " finding(s) in " << files_scanned
+      << " file(s)\n";
+}
+
+void emit_json(const std::vector<Finding>& findings,
+               const std::vector<RuleInfo>& rules, std::size_t files_scanned,
+               std::ostream& out) {
+  out << "{\"tool\":\"hyades-lint\",\"schema_version\":2,";
+  out << "\"files_scanned\":" << files_scanned << ",";
+  out << "\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"name\":\"" << json_escape(rules[i].name) << "\",\"summary\":\""
+        << json_escape(rules[i].summary) << "\"}";
+  }
+  out << "],\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"col\":" << f.col << ",\"rule\":\"" << json_escape(f.rule)
+        << "\",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  out << "],\"count\":" << findings.size() << "}\n";
+}
+
+void emit_sarif(const std::vector<Finding>& findings,
+                const std::vector<RuleInfo>& rules, std::ostream& out) {
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{";
+  out << "\"tool\":{\"driver\":{\"name\":\"hyades-lint\","
+      << "\"informationUri\":\"tools/lint/README.md\",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"id\":\"" << json_escape(rules[i].name)
+        << "\",\"shortDescription\":{\"text\":\""
+        << json_escape(rules[i].summary) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "{\"ruleId\":\"" << json_escape(f.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\""
+        << json_escape(f.message) << "\"},\"locations\":[{"
+        << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << json_escape(f.file) << "\"},\"region\":{\"startLine\":" << f.line
+        << ",\"startColumn\":" << f.col << "}}}]}";
+  }
+  out << "]}]}\n";
+}
+
+}  // namespace hyades::lint

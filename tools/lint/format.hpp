@@ -1,0 +1,42 @@
+// Output formatters for hyades-lint.
+//
+// All three formats consume the same sorted finding list, so ordering
+// is stable across runs and formats.  json and sarif are strict
+// RFC-8259: every control character is escaped, and no non-finite
+// numbers can occur (all numbers emitted are line/column counts).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace hyades::lint {
+
+enum class Format { kText, kJson, kSarif };
+
+// Escape a string for embedding inside JSON quotes.
+std::string json_escape(const std::string& s);
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+// `file:line:col: [rule] message` lines plus a trailing count summary.
+void emit_text(const std::vector<Finding>& findings, std::size_t files_scanned,
+               std::ostream& out);
+
+// Single JSON object: tool, schema_version, files_scanned, rules,
+// findings, count.
+void emit_json(const std::vector<Finding>& findings,
+               const std::vector<RuleInfo>& rules, std::size_t files_scanned,
+               std::ostream& out);
+
+// Minimal SARIF 2.1.0 log: one run, driver rule metadata, one result
+// per finding.
+void emit_sarif(const std::vector<Finding>& findings,
+                const std::vector<RuleInfo>& rules, std::ostream& out);
+
+}  // namespace hyades::lint

@@ -1,0 +1,61 @@
+#include "lint/index.hpp"
+
+namespace hyades::lint {
+
+namespace {
+
+// First path component after a marker directory ("src/", or
+// "fixtures/" so lint fixtures can exercise the layering rule).
+std::string component_after(const std::string& path,
+                            const std::string& marker) {
+  const std::size_t at = path.rfind(marker);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + marker.size();
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return "";  // file directly in marker dir
+  return path.substr(start, slash - start);
+}
+
+}  // namespace
+
+int layer_of(const std::string& module) {
+  if (module == "support") return 0;
+  if (module == "sim") return 1;
+  if (module == "arctic") return 2;
+  if (module == "startx") return 3;
+  if (module == "net") return 4;
+  if (module == "cluster") return 5;
+  if (module == "comm") return 6;
+  if (module == "gcm") return 7;
+  if (module == "perf" || module == "farm") return 8;
+  return -1;
+}
+
+std::string module_of(const std::string& path) {
+  for (const char* marker : {"src/", "fixtures/"}) {
+    const std::string c = component_after(path, marker);
+    if (layer_of(c) >= 0) return c;
+  }
+  return "";
+}
+
+Index Index::build(const std::vector<SourceFile>& files) {
+  Index idx;
+  for (const SourceFile& f : files) {
+    const std::string mod = module_of(f.path);
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.angled) continue;  // system/library headers carry no layer
+      idx.includers[inc.target].insert(f.path);
+      // Quoted includes are rooted at src/, so the first component of
+      // the target *is* the module name.
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string dep = inc.target.substr(0, slash);
+      if (layer_of(dep) < 0 || mod.empty()) continue;
+      idx.module_edges.push_back(IncludeEdge{f.path, mod, dep, inc.line});
+    }
+  }
+  return idx;
+}
+
+}  // namespace hyades::lint

@@ -1,0 +1,46 @@
+// Include-graph / module index for hyades-lint.
+//
+// Built once over the whole corpus by scanning the #include directives
+// the tokenizer captured.  The layering rule consumes module_deps; the
+// header->includers map is available for future cross-TU rules.
+//
+// The dependency DAG is expressed as linear layers (an include is legal
+// iff it targets the same module or a strictly lower layer):
+//
+//   support(0) <- sim(1) <- arctic(2) <- startx(3) <- net(4)
+//            <- cluster(5) <- comm(6) <- gcm(7) <- {perf, farm}(8)
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace hyades::lint {
+
+// Module name ("support", "gcm", ...) for a path under src/ (or a lint
+// fixture mimicking one); "" when the path is not in a known module.
+std::string module_of(const std::string& path);
+
+// Layer number for a known module; -1 for unknown.
+int layer_of(const std::string& module);
+
+struct IncludeEdge {
+  std::string from_file;
+  std::string from_module;
+  std::string to_module;
+  std::size_t line = 0;  // 1-based
+};
+
+struct Index {
+  // Edges between *known modules* (quoted includes only).
+  std::vector<IncludeEdge> module_edges;
+  // header target -> files that include it (quoted includes).
+  std::map<std::string, std::set<std::string>> includers;
+
+  static Index build(const std::vector<SourceFile>& files);
+};
+
+}  // namespace hyades::lint

@@ -1,0 +1,36 @@
+// hyades-lint v2: repo-specific invariant checker.
+//
+// The simulated world only stays deterministic and fault-pure because
+// a handful of disciplines hold everywhere; sanitizers and golden
+// tests catch violations at run time, this tool catches them at review
+// time with zero execution.  See tools/lint/README.md for the rule
+// catalog and how to add a rule; DESIGN.md section 4 for the
+// architecture (tokenizer -> index -> rules -> formats).
+//
+// Suppression: a finding is allowed by a comment on the same line or
+// the contiguous comment block above, of the form
+//
+//     // lint:allow(<rule>): <justification>
+//
+// The justification is mandatory -- an allow without a reason is
+// itself a finding -- and an allow that suppresses zero findings is a
+// stale-allow finding.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <iostream>
+
+#include "lint/driver.hpp"
+
+int main(int argc, char** argv) {
+  hyades::lint::Options opts;
+  bool help = false;
+  if (!hyades::lint::parse_args(argc, argv, &opts, &help, std::cerr)) {
+    return 2;
+  }
+  if (help) {
+    hyades::lint::usage(std::cerr);
+    return 0;
+  }
+  return hyades::lint::run(opts, std::cout, std::cerr);
+}

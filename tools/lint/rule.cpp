@@ -1,0 +1,64 @@
+#include "lint/rule.hpp"
+
+#include <algorithm>
+
+namespace hyades::lint {
+
+const AllowSite* Reporter::find_allow(const SourceFile& file,
+                                      std::size_t line_idx,
+                                      const std::string& rule) const {
+  // Same line first, then the contiguous `//` comment block directly
+  // above the offending line.
+  for (const AllowSite& a : file.allows) {
+    if (a.line_idx == line_idx && a.rule == rule) return &a;
+  }
+  std::size_t i = line_idx;
+  while (i > 0 && line_is_comment(file.raw[i - 1])) {
+    --i;
+    for (const AllowSite& a : file.allows) {
+      if (a.line_idx == i && a.rule == rule) return &a;
+    }
+  }
+  return nullptr;
+}
+
+void Reporter::report(const SourceFile& file, std::size_t line_idx,
+                      const std::string& rule, const std::string& message,
+                      std::size_t col) {
+  if (!rule_enabled(rule)) return;
+  if (const AllowSite* a = find_allow(file, line_idx, rule)) {
+    a->used = true;
+    if (!a->justified && !a->nagged) {
+      a->nagged = true;
+      findings_.push_back(Finding{
+          file.path, a->line_idx + 1, 1, rule,
+          "lint:allow(" + rule + ") needs a justification after the colon"});
+    }
+    return;
+  }
+  findings_.push_back(Finding{file.path, line_idx + 1, col, rule, message});
+}
+
+void Reporter::raw_report(Finding f) {
+  if (!rule_enabled(f.rule)) return;
+  findings_.push_back(std::move(f));
+}
+
+std::vector<Finding> Reporter::take_sorted() {
+  std::sort(findings_.begin(), findings_.end());
+  findings_.erase(std::unique(findings_.begin(), findings_.end(),
+                              [](const Finding& a, const Finding& b) {
+                                return !(a < b) && !(b < a);
+                              }),
+                  findings_.end());
+  return std::move(findings_);
+}
+
+std::vector<Rule*>& all_rules() {
+  static std::vector<Rule*> rules;
+  return rules;
+}
+
+RuleRegistrar::RuleRegistrar(Rule* r) { all_rules().push_back(r); }
+
+}  // namespace hyades::lint

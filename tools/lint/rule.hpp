@@ -1,0 +1,123 @@
+// Rule plumbing for hyades-lint: Finding, Reporter (suppression +
+// ordering), the Rule base class, and the self-registration registry.
+//
+// Writing a new rule (see tools/lint/README.md for the worked example):
+//
+//   #include "lint/rule.hpp"
+//   namespace { class MyRule final : public hyades::lint::Rule { ... }; }
+//   HYADES_LINT_RULE(MyRule)
+//
+// The macro instantiates the rule at static-init time and pushes it
+// into the registry; the driver discovers every rule through
+// `all_rules()`.  Rules live in an OBJECT library so no registration
+// unit can be dead-stripped.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/source.hpp"
+
+namespace hyades::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 1;   // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (col != o.col) return col < o.col;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+// Everything a rule may look at.
+struct Corpus {
+  std::vector<SourceFile> files;
+  Index index;
+  bool root_scan = false;  // true when scanning the tree (not explicit files)
+};
+
+// Collects findings, honoring lint:allow suppressions and producing the
+// stable ordering the formatters rely on.
+class Reporter {
+ public:
+  explicit Reporter(std::set<std::string> enabled)
+      : enabled_(std::move(enabled)) {}
+
+  bool rule_enabled(const std::string& rule) const {
+    return enabled_.empty() || enabled_.count(rule) > 0;
+  }
+  const std::set<std::string>& enabled() const { return enabled_; }
+
+  // Report a finding at raw-line index `line_idx` (0-based) of `file`.
+  // Consults allow comments on the line itself and in the contiguous
+  // comment block above; a matching allow marks itself `used` and eats
+  // the finding (a bare allow additionally yields one
+  // needs-a-justification finding).
+  void report(const SourceFile& file, std::size_t line_idx,
+              const std::string& rule, const std::string& message,
+              std::size_t col = 1);
+
+  // Report with no suppression lookup (whole-corpus rules that already
+  // did their own, and stale-allow itself for unknown rule names).
+  void raw_report(Finding f);
+
+  // Sorted, deduplicated findings.
+  std::vector<Finding> take_sorted();
+
+ private:
+  const AllowSite* find_allow(const SourceFile& file, std::size_t line_idx,
+                              const std::string& rule) const;
+
+  std::set<std::string> enabled_;
+  std::vector<Finding> findings_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string name() const = 0;
+  virtual std::string summary() const = 0;
+  // Called once per file.
+  virtual void per_file(const SourceFile& file, const Corpus& corpus,
+                        Reporter& rep) {
+    (void)file;
+    (void)corpus;
+    (void)rep;
+  }
+  // Called once after every per_file pass (cross-file rules).
+  virtual void whole_corpus(const Corpus& corpus, Reporter& rep) {
+    (void)corpus;
+    (void)rep;
+  }
+  // Called after all rules ran (stale-allow judges allow usage here).
+  virtual void finalize(const Corpus& corpus, Reporter& rep) {
+    (void)corpus;
+    (void)rep;
+  }
+};
+
+// Registry -----------------------------------------------------------
+
+std::vector<Rule*>& all_rules();
+
+struct RuleRegistrar {
+  explicit RuleRegistrar(Rule* r);
+};
+
+#define HYADES_LINT_RULE(cls)                                 \
+  static cls hyades_lint_inst_##cls;                          \
+  static ::hyades::lint::RuleRegistrar hyades_lint_reg_##cls{ \
+      &hyades_lint_inst_##cls};
+
+}  // namespace hyades::lint

@@ -1,0 +1,72 @@
+// atomic-order: every std::atomic operation in src/ must spell an
+// explicit std::memory_order.  A bare seq_cst default hides the
+// intended ordering contract -- the auditability floor for lock-free
+// code (SPSC mailboxes, progress counters).
+#include <string>
+
+#include "lint/rule.hpp"
+#include "lint/walk.hpp"
+
+namespace hyades::lint {
+namespace {
+
+bool is_atomic_op(const std::string& id) {
+  return id == "load" || id == "store" || id == "exchange" ||
+         id == "fetch_add" || id == "fetch_sub" || id == "fetch_and" ||
+         id == "fetch_or" || id == "fetch_xor" ||
+         id == "compare_exchange_weak" || id == "compare_exchange_strong";
+}
+
+class AtomicOrderRule final : public Rule {
+ public:
+  std::string name() const override { return "atomic-order"; }
+  std::string summary() const override {
+    return "atomic op without an explicit std::memory_order";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    if (!path_contains(f.path, "src/") &&
+        !path_contains(f.path, "fixtures/")) {
+      return;
+    }
+    const std::vector<Token>& t = f.tokens;
+    // File gate: only files that mention an atomic type at all --
+    // `comm.exchange(nb, buf)` on a halo exchanger or `cfg.load(path)`
+    // on a plain object must stay silent.  Any file that declares or
+    // includes std::atomic necessarily spells an identifier starting
+    // with "atomic".
+    bool mentions_atomic = false;
+    for (const Token& tok : t) {
+      if (tok.kind == Tok::kIdent && tok.text.rfind("atomic", 0) == 0) {
+        mentions_atomic = true;
+        break;
+      }
+    }
+    if (!mentions_atomic) return;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::kIdent || !is_atomic_op(t[i].text)) continue;
+      if (!is_member(t, i) || !is_call(t, i)) continue;
+      const std::size_t close = match_paren(t, i + 1);
+      bool has_order = false;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == Tok::kIdent &&
+            t[j].text.rfind("memory_order", 0) == 0) {
+          has_order = true;
+          break;
+        }
+      }
+      if (!has_order) {
+        rep.report(f, t[i].line - 1, name(),
+                   t[i].text +
+                       "() without std::memory_order: spell the intended "
+                       "ordering (relaxed/acquire/release/...) or justify "
+                       "seq_cst explicitly",
+                   t[i].col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(AtomicOrderRule)
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,48 @@
+// layering: enforce the module dependency DAG via the include graph.
+//
+//   support <- sim <- arctic <- startx <- net <- cluster <- comm
+//           <- gcm <- {perf, farm}
+//
+// A file inside src/<mod>/ may only include headers from <mod> itself
+// or from a strictly lower layer; src/support/ including gcm/ is the
+// canonical finding.  Files outside known modules (tests, bench,
+// examples, tools) may include anything.
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace hyades::lint {
+namespace {
+
+class LayeringRule final : public Rule {
+ public:
+  std::string name() const override { return "layering"; }
+  std::string summary() const override {
+    return "include edge violating the module dependency DAG";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    const std::string mod = module_of(f.path);
+    if (mod.empty()) return;
+    const int my_layer = layer_of(mod);
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.angled) continue;  // system/library headers carry no layer
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string dep = inc.target.substr(0, slash);
+      const int dep_layer = layer_of(dep);
+      if (dep_layer < 0) continue;  // not a known module
+      if (dep == mod || dep_layer < my_layer) continue;
+      rep.report(f, inc.line - 1, name(),
+                 mod + "/ may not include " + dep + "/ (layer " +
+                     std::to_string(my_layer) + " <- " +
+                     std::to_string(dep_layer) +
+                     "): the DAG is support <- sim <- arctic <- startx <- "
+                     "net <- cluster <- comm <- gcm <- {perf,farm}",
+                 inc.col);
+    }
+  }
+};
+HYADES_LINT_RULE(LayeringRule)
+
+}  // namespace
+}  // namespace hyades::lint

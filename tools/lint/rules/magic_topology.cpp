@@ -1,0 +1,77 @@
+// magic-topology: bare shape literals in the topology machinery.
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+#include "lint/walk.hpp"
+
+namespace hyades::lint {
+namespace {
+
+class MagicTopologyRule final : public Rule {
+ public:
+  std::string name() const override { return "magic-topology"; }
+  std::string summary() const override {
+    return "bare 4/16/32 literals in topology code instead of FatTreeShape";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    // Scope: the topology-shape translation units under src/arctic and
+    // src/net (plus the lint fixtures mirroring them).  Tests and
+    // benches legitimately spell out concrete shapes.
+    const bool dir_ok = path_contains(f.path, "src/arctic") ||
+                        path_contains(f.path, "src/net") ||
+                        path_contains(f.path, "fixtures/arctic") ||
+                        path_contains(f.path, "fixtures/net");
+    if (!dir_ok) return;
+    static const char* kUnits[] = {"route",    "fabric", "fault",
+                                   "topology", "torus",  "arctic_model"};
+    const std::string base = basename_of(f.path);
+    bool unit_ok = false;
+    for (const char* u : kUnits) {
+      if (base.find(u) != std::string::npos) {
+        unit_ok = true;
+        break;
+      }
+    }
+    if (!unit_ok) return;
+
+    // Named-constant definitions are the sanctioned home for these
+    // numbers: skip every line that spells `constexpr`.
+    std::set<std::size_t> constexpr_lines;
+    for (const Token& t : f.tokens) {
+      if (t.kind == Tok::kIdent && t.text == "constexpr") {
+        constexpr_lines.insert(t.line);
+      }
+    }
+
+    std::size_t last_line = 0;  // at most one finding per line (v1 parity)
+    for (const Token& t : f.tokens) {
+      if (t.kind != Tok::kNumber || t.line == last_line) continue;
+      if (constexpr_lines.count(t.line) != 0) continue;
+      // Strip integer suffixes; float spellings (4.0, 0.4) lex as a
+      // single pp-number and won't match -- calibration values, not
+      // shapes.
+      std::string digits = t.text;
+      while (!digits.empty()) {
+        const char c = digits.back();
+        if (c == 'u' || c == 'U' || c == 'l' || c == 'L') {
+          digits.pop_back();
+        } else {
+          break;
+        }
+      }
+      if (digits == "4" || digits == "16" || digits == "32") {
+        last_line = t.line;
+        rep.report(f, t.line - 1, name(),
+                   "bare " + digits +
+                       ": shape numbers (radix, endpoints, ports) come from "
+                       "FatTreeShape or a named constexpr constant",
+                   t.col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(MagicTopologyRule)
+
+}  // namespace
+}  // namespace hyades::lint

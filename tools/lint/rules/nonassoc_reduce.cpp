@@ -1,0 +1,88 @@
+// nonassoc-reduce: raw `+=` accumulation over rank- or tile-indexed
+// buffers outside gcm/kernels and comm/.  Floating-point addition is
+// not associative; a global sum folded in ad-hoc order diverges from
+// the fixed fold-then-butterfly order comm::Comm guarantees, so every
+// cross-rank reduction must go through it.  Within a kernel (single
+// tile, fixed loop order) and inside comm itself the order *is* the
+// contract, so those stay exempt.
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "lint/rule.hpp"
+#include "lint/walk.hpp"
+
+namespace hyades::lint {
+namespace {
+
+bool stmt_boundary(const Token& t) {
+  return t.kind == Tok::kPunct &&
+         (t.text == ";" || t.text == "{" || t.text == "}");
+}
+
+// Does any identifier inside a [...] subscript in [a, b) smell like a
+// rank or tile index?
+bool indexed_by_rank_or_tile(const std::vector<Token>& t, std::size_t a,
+                             std::size_t b) {
+  int depth = 0;
+  for (std::size_t j = a; j < b && j < t.size(); ++j) {
+    if (t[j].kind == Tok::kPunct) {
+      if (t[j].text == "[") ++depth;
+      if (t[j].text == "]") --depth;
+      continue;
+    }
+    if (depth > 0 && t[j].kind == Tok::kIdent) {
+      std::string low = t[j].text;
+      std::transform(low.begin(), low.end(), low.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      });
+      if (low.find("rank") != std::string::npos ||
+          low.find("tile") != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+class NonassocReduceRule final : public Rule {
+ public:
+  std::string name() const override { return "nonassoc-reduce"; }
+  std::string summary() const override {
+    return "raw += over rank/tile-indexed buffers outside comm/kernels";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    if (!path_contains(f.path, "src/") &&
+        !path_contains(f.path, "fixtures/")) {
+      return;
+    }
+    // Exemptions: comm owns the sanctioned reduction order, kernels own
+    // their per-tile loop order.
+    if (path_contains(f.path, "comm/")) return;
+    if (basename_of(f.path).rfind("kernels", 0) == 0) return;
+
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!tok_is(t, i, Tok::kPunct, "+=")) continue;
+      // Statement extent: back to the previous ;/{/} and forward to the
+      // next ';' -- subscripts on either side of += count
+      // (`total += p[rank]` and `sums[tile] += v` are the same
+      // violation).
+      std::size_t a = i;
+      while (a > 0 && !stmt_boundary(t[a - 1])) --a;
+      std::size_t b = i + 1;
+      while (b < t.size() && !tok_is(t, b, Tok::kPunct, ";")) ++b;
+      if (indexed_by_rank_or_tile(t, a, b)) {
+        rep.report(f, t[i].line - 1, name(),
+                   "raw += over a rank/tile-indexed buffer: fold through "
+                   "comm::Comm so the reduction order stays fixed",
+                   t[i].col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(NonassocReduceRule)
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,41 @@
+// ordered-state: std::unordered_map/unordered_set in src/ is a
+// finding.  Iteration order of the unordered containers depends on the
+// host hash and bucket layout; one rank printing or folding in that
+// order leaks host behavior into the bit-determinism contract.  The
+// tree is clean today -- this is a tripwire like magic-topology.
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace hyades::lint {
+namespace {
+
+class OrderedStateRule final : public Rule {
+ public:
+  std::string name() const override { return "ordered-state"; }
+  std::string summary() const override {
+    return "unordered container: hash iteration order is not deterministic";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    if (!path_contains(f.path, "src/") &&
+        !path_contains(f.path, "fixtures/")) {
+      return;
+    }
+    for (const Token& t : f.tokens) {
+      if (t.kind != Tok::kIdent) continue;
+      if (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+        rep.report(f, t.line - 1, name(),
+                   "std::" + t.text +
+                       ": iteration order leaks host-hash behavior into "
+                       "bit-determinism; use std::map/std::set or a sorted "
+                       "vector",
+                   t.col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(OrderedStateRule)
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,176 @@
+// Protocol/recovery rule pack: raw-send, ckpt-path, recovery-typed.
+// Path-scoped rules over model (gcm/) and campaign (farm/) code.
+#include <string>
+
+#include "lint/rule.hpp"
+#include "lint/walk.hpp"
+
+namespace hyades::lint {
+namespace {
+
+bool in_gcm_or_farm(const std::string& path) {
+  return path_contains(path, "gcm/") || path_contains(path, "gcm\\") ||
+         path_contains(path, "farm/") || path_contains(path, "farm\\");
+}
+
+class RawSendRule final : public Rule {
+ public:
+  std::string name() const override { return "raw-send"; }
+  std::string summary() const override {
+    return "gcm/farm traffic bypassing the comm/reliable protocol";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    // Scope: model code (gcm/) and the ensemble-farm service (farm/) --
+    // both drive whole campaigns through the fault machinery, so a raw
+    // bus send would silently lose CRC/NAK protection there too.
+    if (!in_gcm_or_farm(f.path)) return;
+    const std::vector<Token>& t = f.tokens;
+    static const char* kMsg =
+        "gcm traffic bypassing comm/reliable loses CRC/NAK protection "
+        "under fault plans";
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::kIdent) continue;
+      // Member-call sites only (`x.send_raw(` / `x->send_raw(`):
+      // declarations of the bus primitives are fine, invoking them from
+      // model code is the violation.
+      if ((t[i].text == "send_raw" || t[i].text == "send_msg") &&
+          is_call(t, i) && is_member(t, i)) {
+        rep.report(f, t[i].line - 1, name(), kMsg, t[i].col);
+      }
+      // bus().send(...)
+      if (t[i].text == "bus" && tok_is(t, i + 1, Tok::kPunct, "(") &&
+          tok_is(t, i + 2, Tok::kPunct, ")") &&
+          tok_is(t, i + 3, Tok::kPunct, ".") &&
+          tok_is(t, i + 4, Tok::kIdent, "send")) {
+        rep.report(f, t[i].line - 1, name(), kMsg, t[i].col);
+      }
+      // MessageBus::send(...)
+      if (t[i].text == "MessageBus" && tok_is(t, i + 1, Tok::kPunct, "::") &&
+          tok_is(t, i + 2, Tok::kIdent, "send")) {
+        rep.report(f, t[i].line - 1, name(), kMsg, t[i].col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(RawSendRule)
+
+class RecoveryTypedRule final : public Rule {
+ public:
+  std::string name() const override { return "recovery-typed"; }
+  std::string summary() const override {
+    return "untyped errors in recovery-critical translation units";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    // Scope: the recovery-critical translation units -- the resilient
+    // driver and the membership service.  Fixtures mirroring those
+    // filenames are linted too.
+    const std::string base = basename_of(f.path);
+    if (base != "resilient.cpp" && base != "membership.cpp") return;
+    const std::vector<Token>& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::kIdent) continue;
+      if (t[i].text == "catch" && is_call(t, i)) {
+        const std::size_t close = match_paren(t, i + 1);
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (tok_is(t, j, Tok::kPunct, "...")) {
+            rep.report(f, t[i].line - 1, name(),
+                       "recovery code must not catch (...): failures stay "
+                       "typed for the degradation ladder and farm triage",
+                       t[i].col);
+            break;
+          }
+        }
+      }
+      // Construction sites only (`runtime_error(...)`): catching the
+      // base type to triage collateral errors is fine, throwing it
+      // discards the context a typed gcm::RecoveryError carries.
+      if (t[i].text == "runtime_error" && is_call(t, i)) {
+        rep.report(f, t[i].line - 1, name(),
+                   "bare std::runtime_error in recovery code: throw a typed "
+                   "gcm::RecoveryError (or subclass) carrying "
+                   "rank/step/slot/rung context",
+                   t[i].col);
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(RecoveryTypedRule)
+
+class CkptPathRule final : public Rule {
+ public:
+  std::string name() const override { return "ckpt-path"; }
+  std::string summary() const override {
+    return "checkpoint file names composed outside gcm/tile_ckpt";
+  }
+  void per_file(const SourceFile& f, const Corpus&, Reporter& rep) override {
+    // Scope: gcm/ and farm/ production code (plus the lint fixtures
+    // mirroring them).  tile_ckpt itself is the sanctioned owner of the
+    // on-disk names, and tests outside the fixtures legitimately assert
+    // the published format.  This rule stays line-oriented: it reasons
+    // about where fragments sit relative to string literals, which the
+    // blanked code view encodes positionally.
+    if (!in_gcm_or_farm(f.path)) return;
+    if (path_contains(f.path, "tests/") &&
+        !path_contains(f.path, "fixtures")) {
+      return;
+    }
+    if (basename_of(f.path).find("tile_ckpt") != std::string::npos) return;
+
+    for (std::size_t i = 0; i < f.raw.size(); ++i) {
+      if (line_is_comment(f.raw[i])) continue;
+      const std::string& raw = f.raw[i];
+      const std::string& code = f.code[i];
+      bool hit = false;
+      // Quoted name fragments: the fragment must sit inside a string
+      // literal (blanked in the code view, with an opening quote before
+      // it) -- `verdict.rank` member accesses and prose in whole-line
+      // comments stay silent.
+      for (const char* frag : {".rank", ".tmp"}) {
+        const std::string tok = frag;
+        std::size_t pos = 0;
+        while ((pos = raw.find(tok, pos)) != std::string::npos) {
+          if (pos < code.size() && code[pos] == ' ' &&
+              raw.rfind('"', pos) != std::string::npos) {
+            hit = true;
+            break;
+          }
+          pos += 1;
+        }
+        if (hit) break;
+      }
+      // The slot suffixes as bare literals.
+      if (!hit && (raw.find("\".a\"") != std::string::npos ||
+                   raw.find("\".b\"") != std::string::npos)) {
+        hit = true;
+      }
+      // A checkpoint prefix spliced with `+` is the other shape of the
+      // same violation.
+      if (!hit) {
+        const std::size_t pos = code.find("ckpt_prefix");
+        if (pos != std::string::npos &&
+            (pos == 0 || !ident_char(code[pos - 1])) &&
+            (pos + 11 >= code.size() || !ident_char(code[pos + 11]))) {
+          std::size_t a = pos;
+          while (a > 0 && code[a - 1] == ' ') --a;
+          std::size_t b = pos + 11;  // strlen("ckpt_prefix")
+          while (b < code.size() && code[b] == ' ') ++b;
+          if ((a > 0 && code[a - 1] == '+') ||
+              (b < code.size() && code[b] == '+')) {
+            hit = true;
+          }
+        }
+      }
+      if (hit) {
+        rep.report(f, i, name(),
+                   "checkpoint file names are composed only inside "
+                   "gcm/tile_ckpt (slot_prefix/rank_path): ad-hoc "
+                   "\".rank\"/\".tmp\"/slot suffixes fork the on-disk "
+                   "format");
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(CkptPathRule)
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,166 @@
+// spancat-coverage: the SpanCat enum (cluster/trace.hpp) and the
+// wait-attribution column map (span_cat_column in cluster/report.cpp)
+// must stay in sync, and every named column must exist in the printed
+// table.  A whole-corpus rule: it pairs the enum file with the map
+// file, so it stays line-oriented over the blanked code view (the pair
+// lives in different translation units).
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace hyades::lint {
+namespace {
+
+// Parse `enum class SpanCat ... { kA, kB, ... }` enumerator names.
+std::vector<std::string> parse_spancat_enum(const SourceFile& f) {
+  std::vector<std::string> names;
+  bool in_enum = false;
+  for (const std::string& s : f.code) {
+    if (!in_enum) {
+      if (s.find("enum class SpanCat") == std::string::npos) continue;
+      in_enum = true;
+    }
+    // Collect identifiers starting with 'k' at word boundaries.
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i] == '}') return names;
+      if (ident_char(s[i]) && (i == 0 || !ident_char(s[i - 1]))) {
+        std::size_t j = i;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        const std::string word = s.substr(i, j - i);
+        if (word.size() > 1 && word[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(word[1])) != 0) {
+          names.push_back(word);
+        }
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return names;
+}
+
+class SpancatCoverageRule final : public Rule {
+ public:
+  std::string name() const override { return "spancat-coverage"; }
+  std::string summary() const override {
+    return "SpanCat enum and span_cat_column map out of sync";
+  }
+  void whole_corpus(const Corpus& corpus, Reporter& rep) override {
+    const SourceFile* enum_file = nullptr;
+    const SourceFile* report_file = nullptr;
+    for (const SourceFile& f : corpus.files) {
+      bool has_enum = false;
+      bool has_map = false;
+      for (const std::string& s : f.code) {
+        if (s.find("enum class SpanCat") != std::string::npos) {
+          has_enum = true;
+        }
+        if (s.find("span_cat_column") != std::string::npos &&
+            s.find("switch") == std::string::npos) {
+          has_map = true;
+        }
+      }
+      // The switch implementation (not the header declaration) contains
+      // `case SpanCat::`.
+      bool has_cases = false;
+      for (const std::string& s : f.code) {
+        if (s.find("case SpanCat::") != std::string::npos) has_cases = true;
+      }
+      if (has_enum && enum_file == nullptr) enum_file = &f;
+      if (has_map && has_cases) report_file = &f;
+    }
+    // Single-file scans (fixtures, pre-commit on one file) may
+    // legitimately see only half the pair; the rule only fires when
+    // both sides exist.
+    if (enum_file == nullptr || report_file == nullptr) return;
+
+    const std::vector<std::string> cats = parse_spancat_enum(*enum_file);
+    if (cats.empty()) return;
+
+    // Which categories have a `case SpanCat::kX:` and what column
+    // strings the map returns.  Column strings live in the *raw* lines
+    // (string literals are blanked in the code view).
+    std::set<std::string> covered;
+    std::vector<std::pair<std::size_t, std::string>> columns;
+    bool in_map = false;
+    int depth = 0;
+    for (std::size_t i = 0; i < report_file->code.size(); ++i) {
+      const std::string& s = report_file->code[i];
+      if (!in_map && s.find("span_cat_column") != std::string::npos &&
+          s.find(';') == std::string::npos) {
+        in_map = true;  // function definition begins
+      }
+      if (!in_map) continue;
+      for (char c : s) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      const std::size_t cs = s.find("case SpanCat::");
+      if (cs != std::string::npos) {
+        std::size_t j = cs + 14;
+        std::string nm;
+        while (j < s.size() && ident_char(s[j])) nm += s[j++];
+        covered.insert(nm);
+      }
+      if (s.find("return") != std::string::npos) {
+        const std::string& raw = report_file->raw[i];
+        const std::size_t q1 = raw.find('"');
+        const std::size_t q2 = q1 == std::string::npos ? std::string::npos
+                                                       : raw.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          columns.emplace_back(i, raw.substr(q1 + 1, q2 - q1 - 1));
+        }
+      }
+      if (in_map && depth == 0 && s.find('}') != std::string::npos) break;
+    }
+
+    for (const std::string& cat : cats) {
+      if (covered.count(cat) == 0) {
+        rep.raw_report(Finding{
+            report_file->path, 1, 1, name(),
+            "SpanCat::" + cat + " (declared in " + enum_file->path +
+                ") has no case in span_cat_column: decide its "
+                "wait-attribution column (or map it to nullptr with a "
+                "comment)"});
+      }
+    }
+    for (const std::string& cat : covered) {
+      if (std::find(cats.begin(), cats.end(), cat) == cats.end()) {
+        rep.raw_report(Finding{report_file->path, 1, 1, name(),
+                               "span_cat_column handles SpanCat::" + cat +
+                                   " which the enum no longer declares"});
+      }
+    }
+    // Every named column must appear in the printed table's header
+    // list.
+    std::string headers;
+    for (const std::string& raw : report_file->raw) headers += raw;
+    for (const auto& [line_idx, col] : columns) {
+      // Count occurrences: the return site plus at least one use in a
+      // table header initializer.
+      std::size_t count = 0;
+      std::size_t pos = 0;
+      const std::string quoted = "\"" + col + "\"";
+      while ((pos = headers.find(quoted, pos)) != std::string::npos) {
+        ++count;
+        pos += quoted.size();
+      }
+      if (count < 2) {
+        rep.raw_report(Finding{report_file->path, line_idx + 1, 1, name(),
+                               "column \"" + col +
+                                   "\" returned by span_cat_column does not "
+                                   "appear in the report's table headers"});
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(SpancatCoverageRule)
+
+}  // namespace
+}  // namespace hyades::lint

@@ -1,0 +1,59 @@
+// stale-allow: a lint:allow(<rule>) comment that suppressed zero
+// findings this run is itself a finding.  Suppressions rot -- the code
+// they excused gets rewritten, the excuse stays and silently eats the
+// next genuine violation on that line.  Runs in finalize(), after
+// every other rule has consulted the allow sites.
+//
+// Subset runs (`--rule X`) only judge allows whose rule actually ran;
+// an allow for a disabled rule cannot be proven stale.
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace hyades::lint {
+namespace {
+
+class StaleAllowRule final : public Rule {
+ public:
+  std::string name() const override { return "stale-allow"; }
+  std::string summary() const override {
+    return "lint:allow comment that suppresses zero findings";
+  }
+  void finalize(const Corpus& corpus, Reporter& rep) override {
+    std::set<std::string> known;
+    for (const Rule* r : all_rules()) known.insert(r->name());
+
+    // Two passes: judge every non-stale-allow site first, so an allow
+    // *of* stale-allow suppressing those verdicts is marked used before
+    // pass 2 judges it in turn.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const SourceFile& f : corpus.files) {
+        for (const AllowSite& a : f.allows) {
+          const bool self = a.rule == name();
+          if (self != (pass == 1)) continue;
+          if (known.count(a.rule) == 0) {
+            rep.report(f, a.line_idx, name(),
+                       "lint:allow(" + a.rule +
+                           ") names an unknown rule: nothing can ever be "
+                           "suppressed by it",
+                       1);
+            continue;
+          }
+          if (!rep.rule_enabled(a.rule)) continue;  // subset run: unprovable
+          if (!a.used) {
+            rep.report(f, a.line_idx, name(),
+                       "lint:allow(" + a.rule +
+                           ") suppresses zero findings: delete it (or the "
+                           "code it excused grew back wrong)",
+                       1);
+          }
+        }
+      }
+    }
+  }
+};
+HYADES_LINT_RULE(StaleAllowRule)
+
+}  // namespace
+}  // namespace hyades::lint

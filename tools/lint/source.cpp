@@ -1,0 +1,72 @@
+#include "lint/source.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace hyades::lint {
+
+namespace {
+
+// Scan one raw line for lint:allow(<rule>) comments.  The justification
+// demand is what keeps suppressions auditable: text must follow the
+// "): " -- a bare allow still suppresses (so the tree stays
+// single-finding) but is reported itself.  Rule names are strictly
+// [a-z-]: prose like `lint:allow(<rule>)` in docs never becomes a
+// suppression site.
+void scan_allows(const std::string& line, std::size_t line_idx,
+                 std::vector<AllowSite>* out) {
+  static const std::string kNeedle = "lint:allow(";
+  std::size_t pos = 0;
+  while ((pos = line.find(kNeedle, pos)) != std::string::npos) {
+    std::size_t j = pos + kNeedle.size();
+    std::string rule;
+    while (j < line.size() &&
+           ((line[j] >= 'a' && line[j] <= 'z') || line[j] == '-')) {
+      rule += line[j++];
+    }
+    if (j >= line.size() || line[j] != ')' || rule.empty()) {
+      pos = j;  // malformed or prose: not a suppression site
+      continue;
+    }
+    ++j;  // ')'
+    while (j < line.size() && (line[j] == ':' || line[j] == ' ')) ++j;
+    out->push_back(AllowSite{line_idx, rule, j < line.size()});
+    pos = j;
+  }
+}
+
+}  // namespace
+
+bool load(const std::string& path, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->path = path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    out->raw.push_back(line);
+  }
+  LexedFile lexed = lex(out->raw);
+  out->code = std::move(lexed.code);
+  out->tokens = std::move(lexed.tokens);
+  out->includes = std::move(lexed.includes);
+  for (std::size_t i = 0; i < out->raw.size(); ++i) {
+    scan_allows(out->raw[i], i, &out->allows);
+  }
+  return true;
+}
+
+bool line_is_comment(const std::string& raw) {
+  const std::size_t p = raw.find_first_not_of(" \t");
+  return p != std::string::npos && raw.compare(p, 2, "//") == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& part) {
+  return path.find(part) != std::string::npos;
+}
+
+std::string basename_of(const std::string& path) {
+  return std::filesystem::path(path).filename().string();
+}
+
+}  // namespace hyades::lint

@@ -1,0 +1,52 @@
+// Source loading and suppression bookkeeping for hyades-lint.
+//
+// A SourceFile carries every view a rule might need: the raw lines
+// (allow comments live here), the blanked code view (legacy
+// line-oriented matching), the token stream, and the include
+// directives.  AllowSites are scanned once at load; the Reporter marks
+// them used as findings consult them, which is what makes the
+// stale-allow rule possible -- an allow that suppressed nothing this
+// run is itself a finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace hyades::lint {
+
+struct AllowSite {
+  std::size_t line_idx = 0;  // 0-based raw-line index
+  std::string rule;
+  bool justified = false;
+  // Consultation state, written by the Reporter during the run.
+  mutable bool used = false;    // suppressed at least one finding
+  mutable bool nagged = false;  // missing-justification already reported
+};
+
+struct SourceFile {
+  std::string path;                        // as reported in findings
+  std::vector<std::string> raw;            // original lines, '\r'-stripped
+  std::vector<std::string> code;           // comments/strings blanked
+  std::vector<Token> tokens;               // token stream with provenance
+  std::vector<IncludeDirective> includes;  // for the include graph
+  std::vector<AllowSite> allows;           // lint:allow comments
+};
+
+// Read `path` (stripping trailing '\r' so CRLF files lint like LF),
+// lex it, and scan allow comments.  False on IO failure.
+bool load(const std::string& path, SourceFile* out);
+
+// True if the raw line is nothing but a `//` comment (allow comments
+// stack in a contiguous block above the suppressed line).
+bool line_is_comment(const std::string& raw);
+
+// Substring containment helper shared by the path-scoped rules.
+bool path_contains(const std::string& path, const std::string& part);
+
+// Filename (last component) of a path.
+std::string basename_of(const std::string& path);
+
+}  // namespace hyades::lint

@@ -1,0 +1,294 @@
+#include "lint/token.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hyades::lint {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Raw-string prefixes: the identifier immediately before '"' that turns
+// the literal into R"tag(...)tag" form.
+bool raw_string_prefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Longest-match punctuation merging; everything else is a single char.
+const char* const kPuncts3[] = {"...", "->*", "<<=", ">>="};
+const char* const kPuncts2[] = {"::", "->", "+=", "-=", "*=", "/=", "%=",
+                                "&=", "|=", "^=", "==", "!=", "<=", ">=",
+                                "&&", "||", "<<", ">>", "++", "--", "##"};
+
+// Parse `#include <...>` / `#include "..."` starting at the '#' in
+// `line[hash]`.  Returns true and fills `out` when the directive is an
+// include with a complete target on this line.
+bool scan_include(const std::string& line, std::size_t hash,
+                  std::size_t lineno, IncludeDirective* out) {
+  std::size_t j = hash + 1;
+  while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+  const char* kw = "include";
+  for (const char* p = kw; *p != '\0'; ++p, ++j) {
+    if (j >= line.size() || line[j] != *p) return false;
+  }
+  if (j < line.size() && ident_char(line[j])) return false;  // include_next
+  while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+  if (j >= line.size()) return false;
+  char close = '\0';
+  bool angled = false;
+  if (line[j] == '"') {
+    close = '"';
+  } else if (line[j] == '<') {
+    close = '>';
+    angled = true;
+  } else {
+    return false;
+  }
+  const std::size_t end = line.find(close, j + 1);
+  if (end == std::string::npos) return false;
+  out->target = line.substr(j + 1, end - j - 1);
+  out->angled = angled;
+  out->line = lineno;
+  out->col = hash + 1;
+  return true;
+}
+
+}  // namespace
+
+LexedFile lex(const std::vector<std::string>& raw) {
+  LexedFile out;
+  out.code.reserve(raw.size());
+
+  enum class St { kCode, kBlock, kLineComment, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_tag;  // raw-string terminator: )tag"
+  Token pending;        // string/char literal being accumulated
+
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    const std::size_t lineno = li + 1;
+    // A backslash as the very last character splices this physical line
+    // with the next one -- in particular a `//` comment ending in a
+    // backslash legally continues (the strip_noncode v1 bug treated the
+    // continuation as code).
+    const bool spliced = !line.empty() && line.back() == '\\';
+
+    if (st == St::kLineComment) {
+      out.code.emplace_back(line.size(), ' ');
+      if (!spliced) st = St::kCode;
+      continue;
+    }
+
+    std::string o;
+    o.reserve(line.size());
+    bool only_ws = true;       // nothing but whitespace emitted so far
+    bool str_spliced = false;  // string/char literal continues past EOL
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (st) {
+        case St::kCode: {
+          if (c == '/' && n == '/') {
+            o.append(line.size() - i, ' ');
+            i = line.size();
+            if (spliced) st = St::kLineComment;
+            break;
+          }
+          if (c == '/' && n == '*') {
+            st = St::kBlock;
+            o += "  ";
+            i += 2;
+            break;
+          }
+          if (c == '"') {
+            pending = Token{Tok::kString, "", lineno, i + 1};
+            st = St::kStr;
+            o += ' ';
+            ++i;
+            only_ws = false;
+            break;
+          }
+          if (c == '\'') {
+            pending = Token{Tok::kChar, "", lineno, i + 1};
+            st = St::kChar;
+            o += ' ';
+            ++i;
+            only_ws = false;
+            break;
+          }
+          if (c == '#' && only_ws) {
+            IncludeDirective inc;
+            if (scan_include(line, i, lineno, &inc)) {
+              out.includes.push_back(std::move(inc));
+            }
+            out.tokens.push_back(Token{Tok::kPunct, "#", lineno, i + 1});
+            o += c;
+            ++i;
+            only_ws = false;
+            break;
+          }
+          if (ident_start(c)) {
+            std::size_t j = i;
+            while (j < line.size() && ident_char(line[j])) ++j;
+            std::string text = line.substr(i, j - i);
+            if (j < line.size() && line[j] == '"' &&
+                raw_string_prefix(text)) {
+              // R"tag( ... )tag": collect the delimiter up to '('.
+              std::size_t k = j + 1;
+              std::string tag;
+              while (k < line.size() && line[k] != '(') tag += line[k++];
+              raw_tag = ")" + tag + "\"";
+              pending = Token{Tok::kString, "", lineno, i + 1};
+              st = St::kRaw;
+              const std::size_t consumed = std::min(k + 1, line.size()) - i;
+              o.append(consumed, ' ');
+              i += consumed;
+              only_ws = false;
+              break;
+            }
+            out.tokens.push_back(
+                Token{Tok::kIdent, text, lineno, i + 1});
+            o += text;
+            i = j;
+            only_ws = false;
+            break;
+          }
+          if (is_digit(c) || (c == '.' && is_digit(n))) {
+            // pp-number: digits, identifier chars, '.', digit
+            // separators, and signed exponents (1e-3, 0x1p+2).
+            std::size_t j = i;
+            while (j < line.size()) {
+              const char d = line[j];
+              if (!(ident_char(d) || d == '.' || d == '\'')) break;
+              if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                  j + 1 < line.size() &&
+                  (line[j + 1] == '+' || line[j + 1] == '-')) {
+                j += 2;
+              } else {
+                ++j;
+              }
+            }
+            const std::string text = line.substr(i, j - i);
+            out.tokens.push_back(
+                Token{Tok::kNumber, text, lineno, i + 1});
+            o += text;
+            i = j;
+            only_ws = false;
+            break;
+          }
+          if (c == ' ' || c == '\t') {
+            o += c;
+            ++i;
+            break;
+          }
+          if (c == '\\' && i + 1 >= line.size()) {
+            // Code-line splice: acts as whitespace.
+            o += ' ';
+            ++i;
+            break;
+          }
+          {
+            std::string text(1, c);
+            for (const char* p : kPuncts3) {
+              if (line.compare(i, 3, p) == 0) {
+                text = p;
+                break;
+              }
+            }
+            if (text.size() == 1) {
+              for (const char* p : kPuncts2) {
+                if (line.compare(i, 2, p) == 0) {
+                  text = p;
+                  break;
+                }
+              }
+            }
+            out.tokens.push_back(
+                Token{Tok::kPunct, text, lineno, i + 1});
+            o += text;
+            i += text.size();
+            only_ws = false;
+          }
+          break;
+        }
+        case St::kBlock:
+          if (c == '*' && n == '/') {
+            st = St::kCode;
+            o += "  ";
+            i += 2;
+          } else {
+            o += ' ';
+            ++i;
+          }
+          break;
+        case St::kStr:
+        case St::kChar: {
+          const char quote = st == St::kStr ? '"' : '\'';
+          if (c == '\\') {
+            if (i + 1 >= line.size()) {
+              // Backslash-newline inside a literal: continues next line.
+              str_spliced = true;
+              o += ' ';
+              ++i;
+            } else {
+              pending.text += c;
+              pending.text += n;
+              o += "  ";
+              i += 2;
+            }
+          } else if (c == quote) {
+            out.tokens.push_back(pending);
+            st = St::kCode;
+            o += ' ';
+            ++i;
+          } else {
+            pending.text += c;
+            o += ' ';
+            ++i;
+          }
+          break;
+        }
+        case St::kRaw: {
+          const std::size_t hit = line.find(raw_tag, i);
+          if (hit == std::string::npos) {
+            pending.text += line.substr(i);
+            pending.text += '\n';
+            o.append(line.size() - i, ' ');
+            i = line.size();
+          } else {
+            pending.text += line.substr(i, hit - i);
+            out.tokens.push_back(pending);
+            o.append(hit - i + raw_tag.size(), ' ');
+            i = hit + raw_tag.size();
+            st = St::kCode;
+          }
+          break;
+        }
+        case St::kLineComment:
+          // Handled before the loop; unreachable here.
+          ++i;
+          break;
+      }
+    }
+    // Unterminated ordinary string/char literals do not span lines in
+    // valid C++ (only an explicit backslash-newline splice does).
+    if ((st == St::kStr || st == St::kChar) && !str_spliced) {
+      out.tokens.push_back(pending);
+      st = St::kCode;
+    }
+    out.code.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace hyades::lint

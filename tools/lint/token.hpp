@@ -1,0 +1,61 @@
+// hyades-lint tokenizer: a real C++ token stream with file/line/column
+// provenance, plus the comment/string-blanked "code view" the
+// line-oriented legacy rules (spancat-coverage) still consume and the
+// #include directives the include graph is built from.
+//
+// The lexer is deliberately a *lexer*, not a parser: rules match token
+// shapes (identifier followed by '(', member access before a name,
+// number spellings), which is exactly the precision the repo's
+// invariant checks need -- and it is immune to the classic line-regex
+// failure modes: tokens inside strings, comments, raw strings, and
+// (the PR-10 fix) `//` comments whose trailing backslash legally
+// continues the comment onto the next line.
+//
+// Provenance: `line` is 1-based; `col` is the 1-based *byte* column
+// (a tab advances one column -- stable across editors, locked by the
+// tab/CRLF fixtures).  Input lines must already be '\r'-stripped
+// (source.cpp does this on load), so CRLF files lint identically to
+// LF files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hyades::lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-numbers: 4, 16u, 0x3F, 4.0, 1'000, 1e-3
+  kString,  // text = contents without quotes (escapes kept verbatim)
+  kChar,    // text = contents without quotes
+  kPunct,   // operators/punctuation, multi-char forms merged ("->", "+=")
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based byte column
+};
+
+struct IncludeDirective {
+  std::string target;   // "gcm/config.hpp" or "vector"
+  bool angled = false;  // <...> vs "..."
+  std::size_t line = 0;
+  std::size_t col = 0;  // column of the '#'
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> code;  // comments/strings/chars blanked, per line
+  std::vector<IncludeDirective> includes;
+};
+
+// True for [A-Za-z0-9_].
+bool ident_char(char c);
+
+// Lex `raw` (one entry per physical line, no trailing newline/'\r').
+LexedFile lex(const std::vector<std::string>& raw);
+
+}  // namespace hyades::lint

@@ -1,0 +1,42 @@
+// Token-walking helpers shared by the rule implementations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace hyades::lint {
+
+// tokens[i] exists, has kind `k`, and spells `text`.
+inline bool tok_is(const std::vector<Token>& t, std::size_t i, Tok k,
+                   const char* text) {
+  return i < t.size() && t[i].kind == k && t[i].text == text;
+}
+
+// tokens[i] is an identifier followed immediately by '(' -- a call (or
+// function-style construction) site.
+inline bool is_call(const std::vector<Token>& t, std::size_t i) {
+  return tok_is(t, i + 1, Tok::kPunct, "(");
+}
+
+// tokens[i] is reached through member access: preceded by '.' or '->'.
+inline bool is_member(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 && t[i - 1].kind == Tok::kPunct &&
+         (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+// Index of the ')' matching the '(' at `open` (which must be a '('),
+// or t.size() when unbalanced.
+inline std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].kind != Tok::kPunct) continue;
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+}  // namespace hyades::lint
